@@ -1,0 +1,108 @@
+// ABLATION of the paper's §2.1 design decision: every rank runs its own
+// thorough search (paper) vs. only the globally best rank does (the
+// serial-equivalent policy, which needs an extra synchronization). REAL runs
+// of the full stack on a synthetic stand-in.
+//
+// Expected shape: the all-ranks policy returns an equal-or-better final lnL
+// (more independent thorough searches), at essentially no wall-clock cost on
+// a cluster because the searches run concurrently — while the best-rank-only
+// policy leaves p-1 ranks idle through stage 4.
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "bench_util.h"
+#include "bio/datasets.h"
+#include "bio/patterns.h"
+#include "core/comprehensive.h"
+#include "minimpi/comm.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace raxh;
+
+struct Outcome {
+  double best_lnl = 0.0;
+  double thorough_cpu = 0.0;  // summed stage-4 time over ranks (cluster cost)
+  int thorough_searches = 0;
+};
+
+Outcome run_policy(const PatternAlignment& patterns, int ranks,
+                   bool thorough_everywhere, std::uint64_t bootstraps) {
+  ComprehensiveOptions options;
+  options.specified_bootstraps = static_cast<int>(bootstraps);
+  options.fast.max_rounds = 1;
+  options.slow.max_rounds = 2;
+  options.thorough.max_rounds = 3;
+
+  Outcome outcome;
+  std::mutex mu;
+  mpi::run_thread_ranks(ranks, [&](mpi::Comm& comm) {
+    std::function<bool(double)> selector;
+    if (!thorough_everywhere) {
+      selector = [&comm](double my_slow_lnl) {
+        // Only the rank with the globally best slow tree searches.
+        const auto best = comm.allreduce_maxloc(my_slow_lnl);
+        return best.rank == comm.rank();
+      };
+    }
+    const auto report = run_comprehensive_rank(
+        patterns, options, comm.rank(), comm.size(), nullptr,
+        [&comm] { comm.barrier(); }, selector);
+    const auto winner = comm.allreduce_maxloc(report.best_lnl);
+    const double thorough_sum = comm.allreduce_sum(report.times.thorough);
+    std::lock_guard<std::mutex> lock(mu);
+    outcome.best_lnl = winner.value;
+    outcome.thorough_cpu = thorough_sum;
+  });
+  outcome.thorough_searches = thorough_everywhere ? ranks : 1;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "ABLATION - p thorough searches (paper) vs best-rank-only (REAL runs)",
+      "design decision of paper 2.1; quality effect behind Table 6");
+
+  std::printf("%-12s %5s | %14s %8s | %14s %8s | %s\n", "data set", "ranks",
+              "lnL all-ranks", "stage4-n", "lnL best-only", "stage4-n",
+              "winner");
+  std::ostringstream csv;
+  csv << "name,ranks,lnl_all_ranks,lnl_best_only,delta\n";
+
+  int all_ranks_wins = 0, ties = 0, total = 0;
+  for (const auto& spec : paper_datasets()) {
+    const Alignment a = generate_dataset(spec, 0.05, 13);
+    const auto patterns = PatternAlignment::compress(a);
+    for (int ranks : {2, 4}) {
+      const Outcome everywhere = run_policy(patterns, ranks, true, 8);
+      const Outcome best_only = run_policy(patterns, ranks, false, 8);
+      const double delta = everywhere.best_lnl - best_only.best_lnl;
+      ++total;
+      if (delta > 0.01) {
+        ++all_ranks_wins;
+      } else if (delta > -0.01) {
+        ++ties;
+      }
+      std::printf("%-12s %5d | %14.4f %8d | %14.4f %8d | %s\n",
+                  spec.name.c_str(), ranks, everywhere.best_lnl,
+                  everywhere.thorough_searches, best_only.best_lnl,
+                  best_only.thorough_searches,
+                  delta > 0.01   ? "all-ranks"
+                  : delta > -0.01 ? "tie"
+                                  : "best-only");
+      csv << spec.name << ',' << ranks << ',' << everywhere.best_lnl << ','
+          << best_only.best_lnl << ',' << delta << '\n';
+    }
+  }
+  bench::write_output("ablation_thorough.csv", csv.str());
+  std::printf("\nall-ranks policy better or tied in %d/%d configurations "
+              "(paper: 'often returns a better solution')\n",
+              all_ranks_wins + ties, total);
+  std::printf("note: on a cluster the extra searches are free wall-clock "
+              "(they run concurrently); best-only leaves p-1 ranks idle.\n");
+  return 0;
+}

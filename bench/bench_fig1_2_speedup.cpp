@@ -1,0 +1,68 @@
+// Regenerates Figs. 1 and 2: speedup and parallel-efficiency curves versus
+// core count for the 1,846-pattern data set on Dash, one curve per thread
+// count (1/2/4/8) plus the single-process (Pthreads-only) curve — the exact
+// series layout of the paper's plots.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "simsched/sweeps.h"
+
+int main() {
+  using namespace raxh::sim;
+  raxh::bench::print_header(
+      "FIGS 1-2 - speedup and parallel efficiency, 1,846 patterns on Dash",
+      "Pfeiffer & Stamatakis 2010, Figs. 1 and 2");
+
+  const PerfModel model(machine_by_name("Dash"), paper_shape(1846));
+  constexpr int kMaxCores = 80;
+  constexpr int kBootstraps = 100;
+
+  for (const bool efficiency : {false, true}) {
+    std::vector<Series> series;
+    for (int threads : {1, 2, 4, 8})
+      series.push_back(
+          speedup_series(model, threads, kMaxCores, kBootstraps, efficiency));
+    series.push_back(
+        single_process_series(model, 8, kBootstraps, efficiency));
+
+    std::printf("\n--- Fig. %d: %s vs cores ---\n", efficiency ? 2 : 1,
+                efficiency ? "parallel efficiency" : "speedup");
+    std::printf("%5s", "cores");
+    for (const auto& s : series) std::printf(" %12s", s.label.c_str());
+    std::printf("\n");
+    for (int cores : {1, 2, 4, 8, 16, 24, 32, 40, 48, 64, 80}) {
+      std::printf("%5d", cores);
+      for (const auto& s : series) {
+        bool found = false;
+        for (const auto& pt : s.points) {
+          if (pt.cores == cores) {
+            std::printf(" %12.2f", pt.value);
+            found = true;
+            break;
+          }
+        }
+        if (!found) std::printf(" %12s", "-");
+      }
+      std::printf("\n");
+    }
+    raxh::bench::write_output(
+        efficiency ? "fig2_efficiency.csv" : "fig1_speedup.csv",
+        series_csv(series));
+  }
+
+  // The paper's headline observations from these figures:
+  const auto best80 = best_run(model, 80, kBootstraps);
+  const double pthreads_node = run_seconds(model, 1, 8, kBootstraps);
+  std::printf("\nheadlines:\n");
+  std::printf("  80-core speedup (best split %dp x %dt): %.1f  (paper: 35)\n",
+              best80.config.processes, best80.config.threads, best80.speedup);
+  std::printf("  10-node hybrid vs 1-node Pthreads-only: %.1fx  (paper: 6.5x)\n",
+              pthreads_node / best80.seconds);
+  std::printf("  4 threads fastest at 8/16 cores, 8 threads at 64/80: %s/%s\n",
+              best_run(model, 8, kBootstraps).config.threads == 4 ? "yes"
+                                                                  : "no",
+              best_run(model, 80, kBootstraps).config.threads == 8 ? "yes"
+                                                                   : "no");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Figs. 5-6: parallel-efficiency curves on Dash for the two
+// pattern-richest data sets (7,429 and 19,436 patterns). The paper's shape:
+// for these sets, 8 threads (the full node) is optimal from 16 cores up.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "simsched/sweeps.h"
+
+int main() {
+  using namespace raxh::sim;
+  raxh::bench::print_header(
+      "FIGS 5-6 - parallel efficiency on Dash, 7,429- and 19,436-pattern sets",
+      "Pfeiffer & Stamatakis 2010, Figs. 5 and 6");
+
+  const auto& dash = machine_by_name("Dash");
+  int figure = 5;
+  for (std::size_t patterns : {7429u, 19436u}) {
+    const PerfModel model(dash, paper_shape(patterns));
+    std::vector<Series> series;
+    for (int threads : {1, 2, 4, 8})
+      series.push_back(speedup_series(model, threads, 80, 100, true));
+    series.push_back(single_process_series(model, 8, 100, true));
+
+    std::printf("\n--- Fig. %d: %zu patterns ---\n", figure, patterns);
+    std::printf("%5s", "cores");
+    for (const auto& s : series) std::printf(" %12s", s.label.c_str());
+    std::printf("\n");
+    for (int cores : {8, 16, 32, 40, 64, 80}) {
+      std::printf("%5d", cores);
+      for (const auto& s : series) {
+        bool found = false;
+        for (const auto& pt : s.points)
+          if (pt.cores == cores) {
+            std::printf(" %12.3f", pt.value);
+            found = true;
+            break;
+          }
+        if (!found) std::printf(" %12s", "-");
+      }
+      std::printf("\n");
+    }
+    raxh::bench::write_output(
+        "fig" + std::to_string(figure) + "_efficiency_" +
+            std::to_string(patterns) + ".csv",
+        series_csv(series));
+
+    std::printf("optimal threads at 16+ cores: ");
+    bool always8 = true;
+    for (int cores : {16, 40, 80})
+      always8 = always8 && best_run(model, cores, 100).config.threads == 8;
+    std::printf("%s (paper: 8, the full node)\n", always8 ? "8" : "mixed");
+    ++figure;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Fig. 7: parallel efficiency of the 19,436-pattern set on
+// Triton PDAF (32 cores/node). The paper's shape: all 32 threads are optimal
+// and high-core-count scaling beats Dash's.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "simsched/sweeps.h"
+
+int main() {
+  using namespace raxh::sim;
+  raxh::bench::print_header(
+      "FIG 7 - parallel efficiency, 19,436 patterns on Triton PDAF",
+      "Pfeiffer & Stamatakis 2010, Fig. 7");
+
+  const PerfModel triton(machine_by_name("Triton PDAF"), paper_shape(19436));
+  const PerfModel dash(machine_by_name("Dash"), paper_shape(19436));
+
+  std::vector<Series> series;
+  for (int threads : {1, 4, 8, 16, 32})
+    series.push_back(speedup_series(triton, threads, 64, 100, true));
+  series.push_back(single_process_series(triton, 32, 100, true));
+
+  std::printf("%5s", "cores");
+  for (const auto& s : series) std::printf(" %12s", s.label.c_str());
+  std::printf("\n");
+  for (int cores : {8, 16, 32, 64}) {
+    std::printf("%5d", cores);
+    for (const auto& s : series) {
+      bool found = false;
+      for (const auto& pt : s.points)
+        if (pt.cores == cores) {
+          std::printf(" %12.3f", pt.value);
+          found = true;
+          break;
+        }
+      if (!found) std::printf(" %12s", "-");
+    }
+    std::printf("\n");
+  }
+  raxh::bench::write_output("fig7_triton_efficiency.csv", series_csv(series));
+
+  const auto triton64 = best_run(triton, 64, 100);
+  const auto dash64 = best_run(dash, 64, 100);
+  std::printf("\nshape checks:\n");
+  std::printf("  optimal threads at 64 cores: %d  (paper: 32)\n",
+              triton64.config.threads);
+  std::printf("  Triton efficiency at 64c %.3f vs Dash %.3f  (paper: Triton "
+              "scales better at high core counts)\n",
+              triton64.efficiency, dash64.efficiency);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Microbenchmarks of the likelihood kernels (google-benchmark): per-pattern
+// cost of newview / evaluate / NR derivatives under CAT and GAMMA. These are
+// the calibration inputs behind the performance model's assumption that
+// search-unit cost is proportional to the pattern count.
+#include <benchmark/benchmark.h>
+
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace raxh;
+
+struct KernelFixture {
+  explicit KernelFixture(std::size_t patterns_target, bool gamma) {
+    SimConfig cfg;
+    cfg.taxa = 24;
+    cfg.distinct_sites = patterns_target;
+    cfg.total_sites = patterns_target;
+    cfg.seed = 99;
+    sim = simulate_alignment(cfg);
+    patterns = PatternAlignment::compress(sim.alignment);
+    GtrParams gtr;
+    gtr.freqs = patterns.empirical_frequencies();
+    engine = std::make_unique<LikelihoodEngine>(
+        patterns, gtr,
+        gamma ? RateModel::gamma(0.7)
+              : RateModel::cat(patterns.num_patterns()));
+    tree = std::make_unique<Tree>(
+        Tree::parse_newick(sim.true_tree_newick, patterns.names()));
+  }
+
+  SimResult sim;
+  PatternAlignment patterns;
+  std::unique_ptr<LikelihoodEngine> engine;
+  std::unique_ptr<Tree> tree;
+};
+
+void BM_EvaluateFull(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)),
+                  state.range(1) != 0);
+  for (auto _ : state) {
+    f.engine->invalidate_all();
+    benchmark::DoNotOptimize(f.engine->evaluate(*f.tree));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(f.patterns.num_patterns()) *
+                          static_cast<long>(f.patterns.num_taxa()));
+  state.counters["patterns"] =
+      static_cast<double>(f.patterns.num_patterns());
+}
+BENCHMARK(BM_EvaluateFull)
+    ->Args({256, 0})
+    ->Args({1024, 0})
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluateCached(benchmark::State& state) {
+  KernelFixture f(512, false);
+  f.engine->evaluate(*f.tree);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.engine->evaluate(*f.tree));
+  // Cached path recomputes nothing: measures evaluate kernel + validation.
+}
+BENCHMARK(BM_EvaluateCached)->Unit(benchmark::kMicrosecond);
+
+void BM_BranchOptimize(benchmark::State& state) {
+  KernelFixture f(512, state.range(0) != 0);
+  const int edge = f.tree->edges()[5];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.engine->optimize_branch(*f.tree, edge));
+}
+BENCHMARK(BM_BranchOptimize)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_PerPatternLnl(benchmark::State& state) {
+  KernelFixture f(1024, false);
+  std::vector<double> out(f.patterns.num_patterns());
+  for (auto _ : state) {
+    f.engine->per_pattern_lnl(*f.tree, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PerPatternLnl)->Unit(benchmark::kMicrosecond);
+
+void BM_CatRateOptimization(benchmark::State& state) {
+  KernelFixture f(256, false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.engine->optimize_cat_rates(*f.tree));
+}
+BENCHMARK(BM_CatRateOptimization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

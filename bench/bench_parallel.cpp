@@ -1,0 +1,74 @@
+// Microbenchmarks of the two parallel substrates (google-benchmark):
+// thread-crew dispatch overhead (the fine-grained sync cost the performance
+// model parameterizes) and minimpi collective latency (the paper's point
+// that its MPI pattern needs no fast interconnect).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "minimpi/comm.h"
+#include "parallel/workforce.h"
+
+namespace {
+
+using namespace raxh;
+
+void BM_CrewDispatch(benchmark::State& state) {
+  Workforce crew(static_cast<int>(state.range(0)));
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+    crew.run([&](int, int) { sink.fetch_add(1, std::memory_order_relaxed); });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CrewDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_CrewStripedSum(benchmark::State& state) {
+  Workforce crew(static_cast<int>(state.range(0)));
+  const std::size_t n = 1 << 16;
+  std::vector<double> data(n, 1.5);
+  for (auto _ : state) {
+    crew.run([&](int tid, int nthreads) {
+      const auto [b, e] = stripe(n, tid, nthreads);
+      double sum = 0.0;
+      for (std::size_t i = b; i < e; ++i) sum += data[i];
+      crew.reduction(tid) = sum;
+    });
+    benchmark::DoNotOptimize(crew.sum_reduction());
+  }
+}
+BENCHMARK(BM_CrewStripedSum)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_ThreadRanksBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::run_thread_ranks(ranks, [](mpi::Comm& comm) {
+      for (int i = 0; i < 8; ++i) comm.barrier();
+    });
+  }
+  state.counters["ranks"] = static_cast<double>(ranks);
+}
+BENCHMARK(BM_ThreadRanksBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ThreadRanksBcast(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mpi::run_thread_ranks(4, [payload_size](mpi::Comm& comm) {
+      std::string payload;
+      if (comm.rank() == 0) payload.assign(payload_size, 'x');
+      comm.bcast_string(payload, 0);
+      benchmark::DoNotOptimize(payload.size());
+    });
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(payload_size) * 3);
+}
+BENCHMARK(BM_ThreadRanksBcast)->Arg(1024)->Arg(1 << 20)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

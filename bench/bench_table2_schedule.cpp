@@ -1,0 +1,82 @@
+// Regenerates Table 2 of the paper ("Numbers of bootstraps and searches
+// versus number of processes") from the schedule law and verifies every cell
+// against the published values. This table is exact — it is pure algorithm,
+// no hardware involved.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_util.h"
+#include "core/schedule.h"
+
+namespace {
+
+struct PaperRow {
+  int processes, specified;
+  int bootstraps, fast, slow, thorough;
+  int bs_pp, fast_pp, slow_pp, thorough_pp;
+};
+
+constexpr PaperRow kPaperTable2[] = {
+    {1, 100, 100, 20, 10, 1, 100, 20, 10, 1},
+    {2, 100, 100, 20, 10, 2, 50, 10, 5, 1},
+    {4, 100, 100, 20, 12, 4, 25, 5, 3, 1},
+    {5, 100, 100, 20, 10, 5, 20, 4, 2, 1},
+    {8, 100, 104, 24, 16, 8, 13, 3, 2, 1},
+    {10, 100, 100, 20, 10, 10, 10, 2, 1, 1},
+    {16, 100, 112, 32, 16, 16, 7, 2, 1, 1},
+    {20, 100, 100, 20, 20, 20, 5, 1, 1, 1},
+    {10, 500, 500, 100, 10, 10, 50, 10, 1, 1},
+    {20, 500, 500, 100, 20, 20, 25, 5, 1, 1},
+};
+
+}  // namespace
+
+int main() {
+  using raxh::make_schedule;
+  raxh::bench::print_header(
+      "TABLE 2 - bootstraps and searches versus number of processes",
+      "Pfeiffer & Stamatakis 2010, Table 2 (exact reproduction)");
+
+  std::printf("%5s %5s | %5s %5s %5s %5s | %6s %7s %7s %7s | %s\n", "procs",
+              "N", "BS", "fast", "slow", "thor", "BS/p", "fast/p", "slow/p",
+              "thor/p", "check");
+  std::ostringstream csv;
+  csv << "processes,specified,bootstraps,fast,slow,thorough,bs_per_proc,"
+         "fast_per_proc,slow_per_proc,thorough_per_proc\n";
+
+  int mismatches = 0;
+  for (const auto& row : kPaperTable2) {
+    const auto s = make_schedule(row.specified, row.processes);
+    const auto totals = s.totals();
+    const bool ok = totals.bootstraps == row.bootstraps &&
+                    totals.fast_searches == row.fast &&
+                    totals.slow_searches == row.slow &&
+                    totals.thorough_searches == row.thorough &&
+                    s.per_rank.bootstraps == row.bs_pp &&
+                    s.per_rank.fast_searches == row.fast_pp &&
+                    s.per_rank.slow_searches == row.slow_pp &&
+                    s.per_rank.thorough_searches == row.thorough_pp;
+    if (!ok) ++mismatches;
+    std::printf("%5d %5d | %5d %5d %5d %5d | %6d %7d %7d %7d | %s\n",
+                row.processes, row.specified, totals.bootstraps,
+                totals.fast_searches, totals.slow_searches,
+                totals.thorough_searches, s.per_rank.bootstraps,
+                s.per_rank.fast_searches, s.per_rank.slow_searches,
+                s.per_rank.thorough_searches, ok ? "ok" : "MISMATCH");
+    csv << row.processes << ',' << row.specified << ',' << totals.bootstraps
+        << ',' << totals.fast_searches << ',' << totals.slow_searches << ','
+        << totals.thorough_searches << ',' << s.per_rank.bootstraps << ','
+        << s.per_rank.fast_searches << ',' << s.per_rank.slow_searches << ','
+        << s.per_rank.thorough_searches << '\n';
+  }
+
+  raxh::bench::write_output("table2_schedule.csv", csv.str());
+  if (mismatches != 0) {
+    std::printf("FAILED: %d rows diverge from the paper\n", mismatches);
+    return EXIT_FAILURE;
+  }
+  std::printf("all %zu rows match the paper exactly\n",
+              std::size(kPaperTable2));
+  return EXIT_SUCCESS;
+}

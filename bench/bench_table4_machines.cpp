@@ -1,0 +1,35 @@
+// Regenerates Table 4 ("benchmark computers") together with the calibrated
+// performance-model parameters each machine carries in this reproduction.
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.h"
+#include "simsched/machines.h"
+
+int main() {
+  using namespace raxh::sim;
+  raxh::bench::print_header(
+      "TABLE 4 - benchmark computers",
+      "Pfeiffer & Stamatakis 2010, Table 4 + model parameters (DESIGN.md)");
+
+  std::printf("%-12s %-28s %6s %10s | %10s %10s %10s %9s\n", "computer",
+              "processor", "GHz", "cores/node", "core speed", "mem cont.",
+              "cache boost", "sync cost");
+  std::ostringstream csv;
+  csv << "name,processor,clock_ghz,cores_per_node,core_speed,mem_contention,"
+         "cache_boost,sync_cost\n";
+  for (const auto& m : paper_machines()) {
+    std::printf("%-12s %-28s %6.2f %10d | %10.3f %10.3f %10.2f %9.1f\n",
+                m.name.c_str(), m.processor.c_str(), m.clock_ghz,
+                m.cores_per_node, m.core_speed, m.mem_contention,
+                m.cache_boost, m.sync_cost);
+    csv << m.name << ',' << m.processor << ',' << m.clock_ghz << ','
+        << m.cores_per_node << ',' << m.core_speed << ',' << m.mem_contention
+        << ',' << m.cache_boost << ',' << m.sync_cost << '\n';
+  }
+  raxh::bench::write_output("table4_machines.csv", csv.str());
+  std::printf(
+      "core speeds calibrated from the paper's serial anchors (Dash/Triton)\n"
+      "and processor-generation ratios; see EXPERIMENTS.md.\n");
+  return 0;
+}

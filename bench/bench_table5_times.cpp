@@ -1,0 +1,117 @@
+// Regenerates Table 5 ("fastest times for each data set"): for every
+// (data set, machine, core count) cell the model sweeps all whole-node
+// (processes x threads) splits, reports the fastest time and its thread
+// count, and prints the paper's measured value next to it. Absolute seconds
+// come from the paper's own serial anchors; everything else — who wins,
+// optimal threads, speedups — is model output.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "simsched/sweeps.h"
+
+namespace {
+
+using raxh::sim::BestRun;
+using raxh::sim::PerfModel;
+
+struct PaperCell {
+  double seconds;
+  int threads;
+  double speedup;
+};
+
+struct PaperRow {
+  std::size_t patterns;
+  const char* machine;
+  int bootstraps;
+  double serial;
+  PaperCell cells[4];  // 8c, 16c, 40c, 80c (Triton: 8, 16, 32, 64)
+};
+
+// Table 5 as published (upper: 100 bootstraps; lower: recommended counts).
+const std::vector<PaperRow>& paper_rows() {
+  static const std::vector<PaperRow> rows = {
+      {348, "Dash", 100, 1980,
+       {{432, 2, 4.58}, {307, 2, 6.45}, {168, 4, 11.79}, {130, 4, 15.23}}},
+      {1130, "Dash", 100, 2325,
+       {{456, 4, 5.10}, {283, 4, 8.22}, {139, 4, 16.73}, {95, 8, 24.47}}},
+      {1846, "Dash", 100, 9630,
+       {{1370, 4, 7.03}, {846, 4, 11.38}, {430, 8, 22.40}, {271, 8, 35.54}}},
+      {7429, "Dash", 100, 72866,
+       {{9494, 4, 7.67}, {5497, 8, 13.26}, {2830, 8, 25.75}, {1828, 8, 39.86}}},
+      {19436, "Dash", 100, 22970,
+       {{3018, 8, 7.61}, {2006, 8, 11.45}, {1314, 8, 17.48}, {1092, 8, 21.03}}},
+      {19436, "Triton PDAF", 100, 32627,
+       {{3844, 8, 8.49}, {2179, 16, 14.97}, {1351, 32, 24.15}, {847, 32, 38.52}}},
+      // Lower part: recommended bootstrap counts (WC test, Table 3).
+      {348, "Dash", 1200, 15703,
+       {{2286, 1, 6.87}, {1287, 1, 12.20}, {702, 2, 22.37}, {443, 2, 35.45}}},
+      {1130, "Dash", 650, 10566,
+       {{1714, 2, 6.16}, {980, 2, 10.78}, {473, 2, 22.34}, {290, 4, 36.43}}},
+      {1846, "Dash", 550, 33738,
+       {{5184, 2, 6.51}, {2778, 2, 12.14}, {1290, 4, 26.15}, {845, 4, 39.93}}},
+      {7429, "Dash", 700, 355724,
+       {{45851, 4, 7.76}, {25454, 4, 13.98}, {11229, 4, 31.68},
+        {6270, 8, 56.73}}},
+  };
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  using namespace raxh::sim;
+  raxh::bench::print_header(
+      "TABLE 5 - fastest times for each data set (model vs paper)",
+      "Pfeiffer & Stamatakis 2010, Table 5 (upper: N=100; lower: recommended N)");
+
+  std::ostringstream csv;
+  csv << "patterns,machine,bootstraps,cores,model_seconds,model_threads,"
+         "model_speedup,paper_seconds,paper_threads,paper_speedup\n";
+
+  int section = 0;
+  for (const auto& row : paper_rows()) {
+    if (section == 0 && row.bootstraps == 100) {
+      std::printf("\n--- results for 100 bootstraps specified ---\n");
+      section = 1;
+    } else if (section == 1 && row.bootstraps != 100) {
+      std::printf("\n--- results for recommended (>100) bootstraps ---\n");
+      section = 2;
+    }
+    const auto& machine = machine_by_name(row.machine);
+    PerfModel model(machine, paper_shape(row.patterns));
+
+    const bool triton = std::string(row.machine) == "Triton PDAF";
+    const int cores_list[4] = {8, 16, triton ? 32 : 40, triton ? 64 : 80};
+
+    std::printf("\n%zu patterns on %s, N=%d (serial: model %.0fs, paper %.0fs)\n",
+                row.patterns, row.machine, row.bootstraps,
+                model.serial_time(row.bootstraps), row.serial);
+    std::printf("  %5s | %18s | %18s\n", "cores", "model  time/thr  S",
+                "paper  time/thr  S");
+    for (int i = 0; i < 4; ++i) {
+      const int cores = cores_list[i];
+      const BestRun best = best_run(model, cores, row.bootstraps);
+      const PaperCell& paper = row.cells[i];
+      std::printf("  %5d | %8.0fs /%2d %6.2f | %8.0fs /%2d %6.2f\n", cores,
+                  best.seconds, best.config.threads, best.speedup,
+                  paper.seconds, paper.threads, paper.speedup);
+      csv << row.patterns << ',' << row.machine << ',' << row.bootstraps << ','
+          << cores << ',' << best.seconds << ',' << best.config.threads << ','
+          << best.speedup << ',' << paper.seconds << ',' << paper.threads
+          << ',' << paper.speedup << '\n';
+    }
+  }
+
+  raxh::bench::write_output("table5_times.csv", csv.str());
+  std::printf(
+      "\nshape checks: optimal threads grow with patterns; 8 threads never\n"
+      "optimal for 348 patterns; Triton's 64-core run uses 32 threads and\n"
+      "beats Dash's 80-core run for the 19,436-pattern set; recommended-N\n"
+      "runs scale better with fewer threads. See EXPERIMENTS.md for the\n"
+      "cell-by-cell deviation table.\n");
+  return 0;
+}

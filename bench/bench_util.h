@@ -1,0 +1,27 @@
+// Shared helpers for the table/figure benches: formatted printing plus CSV
+// output under <build>/bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace raxh::bench {
+
+// Write `content` to bench_out/<name> (created next to the binary's CWD).
+inline void write_output(const std::string& name, const std::string& content) {
+  std::filesystem::create_directories("bench_out");
+  std::ofstream out("bench_out/" + name);
+  out << content;
+  std::printf("  [csv written to bench_out/%s]\n", name.c_str());
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace raxh::bench

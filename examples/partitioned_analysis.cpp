@@ -1,0 +1,105 @@
+// Partitioned (multi-gene) analysis: two genes share one topology but get
+// their own GTR + rate models; branch lengths are optimized jointly and the
+// SPR search climbs the summed likelihood (RAxML's "-q" analyses).
+//
+//   ./partitioned_analysis [alignment.phy partitions.txt]
+//
+// Without arguments, simulates a two-gene data set whose genes share a
+// topology but differ strongly in rate heterogeneity, and shows the
+// per-partition model fits diverging.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bio/io.h"
+#include "bio/partitions.h"
+#include "bio/seqsim.h"
+#include "likelihood/partitioned.h"
+#include "search/parsimony.h"
+#include "search/spr.h"
+#include "tree/bipartition.h"
+#include "util/prng.h"
+
+int main(int argc, char** argv) {
+  using namespace raxh;
+
+  Alignment alignment({}, {});
+  PartitionScheme scheme = PartitionScheme::single(1);
+  std::string true_newick;
+
+  if (argc >= 3) {
+    alignment = read_phylip_file(argv[1]);
+    std::ifstream part_in(argv[2]);
+    std::stringstream buffer;
+    buffer << part_in.rdbuf();
+    scheme = PartitionScheme::parse(buffer.str(), alignment.num_sites());
+  } else {
+    std::printf("no inputs given; simulating a two-gene demo (shared "
+                "topology, different processes)\n");
+    SimConfig gene1;
+    gene1.taxa = 14;
+    gene1.distinct_sites = 300;
+    gene1.total_sites = 300;
+    gene1.seed = 99;
+    gene1.gamma_alpha = 0.35;  // strong heterogeneity
+    const SimResult a = simulate_alignment(gene1);
+    true_newick = a.true_tree_newick;
+
+    SimConfig gene2 = gene1;
+    gene2.distinct_sites = 250;
+    gene2.total_sites = 250;
+    gene2.seed = 100;
+    gene2.gamma_alpha = 5.0;  // nearly homogeneous
+    gene2.tree_newick = a.true_tree_newick;  // same history
+    const SimResult b = simulate_alignment(gene2);
+
+    std::vector<std::vector<DnaState>> rows(gene1.taxa);
+    for (std::size_t t = 0; t < gene1.taxa; ++t) {
+      rows[t].assign(a.alignment.row(t).begin(), a.alignment.row(t).end());
+      rows[t].insert(rows[t].end(), b.alignment.row(t).begin(),
+                     b.alignment.row(t).end());
+    }
+    alignment = Alignment(a.alignment.names(), std::move(rows));
+    scheme = PartitionScheme::parse("DNA, gene1 = 1-300\nDNA, gene2 = 301-550\n",
+                                    550);
+  }
+
+  std::printf("%zu taxa, %zu sites, %zu partitions:\n", alignment.num_taxa(),
+              alignment.num_sites(), scheme.size());
+  for (const auto& part : scheme.partitions())
+    std::printf("  %-10s %zu sites\n", part.name.c_str(), part.num_sites());
+
+  PartitionedEngine engine(alignment, scheme,
+                           PartitionedEngine::RateScheme::kGamma);
+
+  // Parsimony start on the concatenated data, then a partitioned SPR search.
+  const auto concat = PatternAlignment::compress(alignment);
+  Lcg rng(12345);
+  Tree tree = randomized_stepwise_addition(concat, concat.weights(), rng);
+  std::printf("\nstarting lnL: %.4f\n", engine.evaluate(tree));
+
+  SearchSettings settings = slow_settings();
+  SprSearch search(engine, settings);
+  const double lnl = search.run(tree);
+  std::printf("after partitioned SPR search: lnL %.4f\n", lnl);
+
+  std::printf("\nper-partition fits:\n");
+  const auto per = engine.per_partition_lnl(tree);
+  for (std::size_t i = 0; i < engine.num_partitions(); ++i) {
+    std::printf("  %-10s lnL %12.4f  alpha %6.3f  (%zu patterns)\n",
+                scheme.partition(i).name.c_str(), per[i],
+                engine.engine(i).rates().alpha(),
+                engine.patterns(i).num_patterns());
+  }
+
+  if (!true_newick.empty()) {
+    const Tree truth = Tree::parse_newick(true_newick, engine.names());
+    std::printf("\nRF distance to the generating topology: %d (of max %d)\n",
+                rf_distance(tree, truth),
+                2 * (static_cast<int>(alignment.num_taxa()) - 3));
+  }
+  std::ofstream("partitioned_best.tre") << tree.to_newick(engine.names())
+                                        << '\n';
+  std::printf("(best tree written to partitioned_best.tre)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bio/alignment.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace raxh {
+
+Alignment::Alignment(std::vector<std::string> names,
+                     std::vector<std::vector<DnaState>> rows)
+    : names_(std::move(names)), rows_(std::move(rows)) {
+  RAXH_EXPECTS(names_.size() == rows_.size());
+  for (const auto& r : rows_) RAXH_EXPECTS(r.size() == rows_.front().size());
+}
+
+std::vector<DnaState> Alignment::column(std::size_t site) const {
+  RAXH_EXPECTS(site < num_sites());
+  std::vector<DnaState> col(num_taxa());
+  for (std::size_t t = 0; t < num_taxa(); ++t) col[t] = rows_[t][site];
+  return col;
+}
+
+long Alignment::find_taxon(const std::string& taxon_name) const {
+  for (std::size_t t = 0; t < names_.size(); ++t)
+    if (names_[t] == taxon_name) return static_cast<long>(t);
+  return -1;
+}
+
+std::array<double, 4> Alignment::empirical_frequencies() const {
+  std::array<double, 4> counts = {1.0, 1.0, 1.0, 1.0};  // pseudocounts
+  for (const auto& r : rows_) {
+    for (DnaState s : r) {
+      if (s == kStateGap) continue;  // uninformative; skip entirely
+      const int bits = std::popcount(static_cast<unsigned>(s));
+      const double mass = 1.0 / bits;
+      for (int i = 0; i < kNumDnaStates; ++i)
+        if (s & state_from_index(i)) counts[static_cast<std::size_t>(i)] += mass;
+    }
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  std::array<double, 4> freqs{};
+  for (std::size_t i = 0; i < 4; ++i) freqs[i] = counts[i] / total;
+  return freqs;
+}
+
+}  // namespace raxh

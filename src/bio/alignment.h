@@ -1,0 +1,55 @@
+// Multiple sequence alignment: a (taxa x sites) matrix of encoded DNA states
+// plus taxon names. Rows correspond to taxa, columns to character positions
+// (paper §3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/dna.h"
+
+namespace raxh {
+
+class Alignment {
+ public:
+  Alignment() = default;
+  Alignment(std::vector<std::string> names,
+            std::vector<std::vector<DnaState>> rows);
+
+  [[nodiscard]] std::size_t num_taxa() const { return names_.size(); }
+  [[nodiscard]] std::size_t num_sites() const {
+    return rows_.empty() ? 0 : rows_.front().size();
+  }
+
+  [[nodiscard]] const std::string& name(std::size_t taxon) const {
+    return names_[taxon];
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+  [[nodiscard]] std::span<const DnaState> row(std::size_t taxon) const {
+    return rows_[taxon];
+  }
+  [[nodiscard]] DnaState at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon][site];
+  }
+
+  // Column `site` as a taxa-length vector (used by pattern compression).
+  [[nodiscard]] std::vector<DnaState> column(std::size_t site) const;
+
+  // Index of the named taxon, or -1.
+  [[nodiscard]] long find_taxon(const std::string& taxon_name) const;
+
+  // Observed base frequencies (A,C,G,T); ambiguous states split their mass
+  // uniformly over the compatible bases. Never returns exact zeros (a small
+  // pseudocount keeps downstream models well-defined).
+  [[nodiscard]] std::array<double, 4> empirical_frequencies() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<DnaState>> rows_;
+};
+
+}  // namespace raxh

@@ -1,0 +1,65 @@
+#include "bio/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "util/check.h"
+
+namespace raxh {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"d354_348", 354, 460, 348, 1200},
+      {"d150_1130", 150, 1269, 1130, 650},
+      {"d218_1846", 218, 2294, 1846, 550},
+      {"d404_7429", 404, 13158, 7429, 700},
+      {"d125_19436", 125, 29149, 19436, 50},
+  };
+  return specs;
+}
+
+const DatasetSpec& paper_dataset_by_patterns(std::size_t patterns) {
+  for (const auto& spec : paper_datasets())
+    if (spec.patterns == patterns) return spec;
+  RAXH_EXPECTS(false && "unknown paper data set");
+  return paper_datasets().front();  // unreachable
+}
+
+Alignment generate_dataset(const DatasetSpec& spec, double scale,
+                           std::uint64_t seed) {
+  RAXH_EXPECTS(scale > 0.0 && scale <= 1.0);
+  SimConfig cfg;
+  cfg.taxa = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::lround(spec.taxa * scale)));
+  const auto target_patterns = std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::lround(spec.patterns * scale)));
+  cfg.distinct_sites = target_patterns;
+  cfg.total_sites = std::max(
+      cfg.distinct_sites,
+      static_cast<std::size_t>(std::lround(spec.characters * scale)));
+  cfg.seed = seed;
+  // Mildly non-uniform GTR, typical of empirical rRNA fits.
+  cfg.model.rates = {1.4, 3.9, 1.1, 0.9, 4.5, 1.0};
+  cfg.model.freqs = {0.26, 0.23, 0.27, 0.24};
+  cfg.gamma_alpha = 0.7;
+  cfg.prop_invariant = 0.12;
+
+  // Independently simulated columns can collide (few taxa at small scales),
+  // undershooting the target pattern count; inflate and retry once or twice.
+  Alignment best = simulate_alignment(cfg).alignment;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto achieved = PatternAlignment::compress(best).num_patterns();
+    if (achieved * 10 >= target_patterns * 9) break;  // within 10%
+    const double inflate = static_cast<double>(target_patterns) /
+                           static_cast<double>(std::max<std::size_t>(achieved, 1));
+    cfg.distinct_sites = std::min(
+        cfg.total_sites, static_cast<std::size_t>(std::lround(
+                             cfg.distinct_sites * inflate * 1.1)));
+    best = simulate_alignment(cfg).alignment;
+  }
+  return best;
+}
+
+}  // namespace raxh

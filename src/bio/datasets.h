@@ -1,0 +1,39 @@
+// The paper's five benchmark data sets (Table 3) plus generation of synthetic
+// stand-ins at a configurable scale. The real rRNA alignments are not
+// redistributable here; per DESIGN.md §2 we substitute simulated alignments
+// with the same taxa and pattern dimensions (scaled down where runs must be
+// wall-clock bounded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/alignment.h"
+
+namespace raxh {
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t taxa;
+  std::size_t characters;
+  std::size_t patterns;
+  int recommended_bootstraps;  // WC bootstopping recommendation, Table 3
+};
+
+// Table 3 of the paper, in its order (ascending by patterns).
+const std::vector<DatasetSpec>& paper_datasets();
+
+// Look up a paper data set by its pattern count (the identifier the paper's
+// figures use, e.g. "the 1,846-pattern set"). Aborts if absent.
+const DatasetSpec& paper_dataset_by_patterns(std::size_t patterns);
+
+// Generate a synthetic stand-in for `spec` at linear scale `scale` in both
+// taxa and characters (scale=1 reproduces the paper dimensions; benchmarks
+// use smaller scales). Deterministic in `seed`. The generator targets
+// round(scale*patterns) distinct columns; the achieved pattern count after
+// compression is within a few percent of the target.
+Alignment generate_dataset(const DatasetSpec& spec, double scale,
+                           std::uint64_t seed);
+
+}  // namespace raxh

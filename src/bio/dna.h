@@ -1,0 +1,71 @@
+// DNA state encoding. Like RAxML, each nucleotide is a 4-bit mask over
+// {A,C,G,T}; ambiguity codes set several bits and a gap/unknown sets all four.
+// The likelihood kernels consume these masks directly as tip vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace raxh {
+
+using DnaState = std::uint8_t;
+
+inline constexpr DnaState kStateA = 1;
+inline constexpr DnaState kStateC = 2;
+inline constexpr DnaState kStateG = 4;
+inline constexpr DnaState kStateT = 8;
+inline constexpr DnaState kStateGap = 15;
+inline constexpr int kNumDnaStates = 4;
+
+// Encode an IUPAC character ('A', 'c', 'N', '-', ...) to its bit mask.
+// Unrecognized characters encode as gap (all states possible).
+constexpr DnaState encode_dna(char c) {
+  switch (c) {
+    case 'A': case 'a': return kStateA;
+    case 'C': case 'c': return kStateC;
+    case 'G': case 'g': return kStateG;
+    case 'T': case 't': case 'U': case 'u': return kStateT;
+    case 'R': case 'r': return kStateA | kStateG;
+    case 'Y': case 'y': return kStateC | kStateT;
+    case 'S': case 's': return kStateC | kStateG;
+    case 'W': case 'w': return kStateA | kStateT;
+    case 'K': case 'k': return kStateG | kStateT;
+    case 'M': case 'm': return kStateA | kStateC;
+    case 'B': case 'b': return kStateC | kStateG | kStateT;
+    case 'D': case 'd': return kStateA | kStateG | kStateT;
+    case 'H': case 'h': return kStateA | kStateC | kStateT;
+    case 'V': case 'v': return kStateA | kStateC | kStateG;
+    default:  return kStateGap;  // N, -, ?, X, ...
+  }
+}
+
+// Decode a bit mask back to an IUPAC character (canonical uppercase).
+constexpr char decode_dna(DnaState s) {
+  constexpr std::array<char, 16> table = {
+      '-', 'A', 'C', 'M', 'G', 'R', 'S', 'V',
+      'T', 'W', 'Y', 'H', 'K', 'D', 'B', '-'};
+  return table[s & 15];
+}
+
+// True if the mask represents exactly one nucleotide.
+constexpr bool is_unambiguous(DnaState s) {
+  return s == kStateA || s == kStateC || s == kStateG || s == kStateT;
+}
+
+// Index 0..3 (A,C,G,T) of an unambiguous state.
+constexpr int state_index(DnaState s) {
+  switch (s) {
+    case kStateA: return 0;
+    case kStateC: return 1;
+    case kStateG: return 2;
+    case kStateT: return 3;
+    default: return -1;
+  }
+}
+
+// Mask with bit i set, i in 0..3.
+constexpr DnaState state_from_index(int i) {
+  return static_cast<DnaState>(1u << i);
+}
+
+}  // namespace raxh

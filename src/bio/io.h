@@ -1,0 +1,25 @@
+// Alignment readers/writers: relaxed (sequential) PHYLIP, the format RAxML
+// consumes, and FASTA. Parse errors throw std::runtime_error with a
+// line-numbered message; they are user-input failures, not contract bugs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bio/alignment.h"
+
+namespace raxh {
+
+// --- PHYLIP (relaxed sequential / interleaved autodetected) ---
+Alignment read_phylip(std::istream& in);
+Alignment read_phylip_file(const std::string& path);
+void write_phylip(std::ostream& out, const Alignment& alignment);
+void write_phylip_file(const std::string& path, const Alignment& alignment);
+
+// --- FASTA ---
+Alignment read_fasta(std::istream& in);
+Alignment read_fasta_file(const std::string& path);
+void write_fasta(std::ostream& out, const Alignment& alignment);
+void write_fasta_file(const std::string& path, const Alignment& alignment);
+
+}  // namespace raxh

@@ -1,0 +1,122 @@
+#include "bio/partitions.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+[[noreturn]] void scheme_error(const std::string& what) {
+  throw std::runtime_error("partition scheme: " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+PartitionScheme PartitionScheme::parse(const std::string& text,
+                                       std::size_t num_sites) {
+  PartitionScheme scheme;
+  scheme.num_sites_ = num_sites;
+  std::vector<bool> covered(num_sites, false);
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+
+    // "DNA, name = ranges"
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) scheme_error("missing ',' in: " + line);
+    std::string type = trim(line.substr(0, comma));
+    std::transform(type.begin(), type.end(), type.begin(), ::toupper);
+    if (type != "DNA")
+      scheme_error("unsupported data type '" + type + "' (DNA only)");
+
+    const auto eq = line.find('=', comma);
+    if (eq == std::string::npos) scheme_error("missing '=' in: " + line);
+    Partition part;
+    part.name = trim(line.substr(comma + 1, eq - comma - 1));
+    if (part.name.empty()) scheme_error("empty partition name in: " + line);
+
+    // Comma-separated ranges "a-b" or single columns "a" (1-based).
+    std::istringstream ranges(line.substr(eq + 1));
+    std::string token;
+    while (std::getline(ranges, token, ',')) {
+      token = trim(token);
+      if (token.empty()) scheme_error("empty range in: " + line);
+      std::size_t lo = 0, hi = 0;
+      const auto dash = token.find('-');
+      try {
+        if (dash == std::string::npos) {
+          lo = hi = std::stoul(token);
+        } else {
+          lo = std::stoul(trim(token.substr(0, dash)));
+          hi = std::stoul(trim(token.substr(dash + 1)));
+        }
+      } catch (const std::exception&) {
+        scheme_error("malformed range '" + token + "'");
+      }
+      if (lo < 1 || hi < lo || hi > num_sites)
+        scheme_error("range " + token + " out of bounds (alignment has " +
+                     std::to_string(num_sites) + " sites)");
+      for (std::size_t c = lo - 1; c < hi; ++c) {
+        if (covered[c])
+          scheme_error("column " + std::to_string(c + 1) +
+                       " assigned to two partitions");
+        covered[c] = true;
+      }
+      part.ranges.emplace_back(lo - 1, hi);
+    }
+    if (part.ranges.empty()) scheme_error("partition without ranges: " + line);
+    scheme.partitions_.push_back(std::move(part));
+  }
+
+  if (scheme.partitions_.empty()) scheme_error("no partitions defined");
+  for (std::size_t c = 0; c < num_sites; ++c)
+    if (!covered[c])
+      scheme_error("column " + std::to_string(c + 1) +
+                   " not covered by any partition");
+  return scheme;
+}
+
+PartitionScheme PartitionScheme::single(std::size_t num_sites,
+                                        std::string name) {
+  RAXH_EXPECTS(num_sites > 0);
+  PartitionScheme scheme;
+  scheme.num_sites_ = num_sites;
+  Partition part;
+  part.name = std::move(name);
+  part.ranges.emplace_back(0, num_sites);
+  scheme.partitions_.push_back(std::move(part));
+  return scheme;
+}
+
+std::vector<Alignment> PartitionScheme::split(const Alignment& alignment) const {
+  RAXH_EXPECTS(alignment.num_sites() == num_sites_);
+  std::vector<Alignment> out;
+  out.reserve(partitions_.size());
+  for (const auto& part : partitions_) {
+    std::vector<std::vector<DnaState>> rows(alignment.num_taxa());
+    for (std::size_t t = 0; t < alignment.num_taxa(); ++t) {
+      rows[t].reserve(part.num_sites());
+      for (const auto& [b, e] : part.ranges)
+        for (std::size_t c = b; c < e; ++c) rows[t].push_back(alignment.at(t, c));
+    }
+    out.emplace_back(alignment.names(), std::move(rows));
+  }
+  return out;
+}
+
+}  // namespace raxh

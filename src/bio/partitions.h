@@ -1,0 +1,60 @@
+// Partitioned alignments (multi-gene analyses, RAxML's "-q"): a partition
+// scheme names disjoint column ranges of one alignment; each partition gets
+// its own substitution model over a shared topology.
+//
+// Scheme text format (RAxML partition-file style, DNA only):
+//   DNA, gene1 = 1-500
+//   DNA, gene2 = 501-800, 950-1000
+// Ranges are 1-based inclusive, may not overlap, and must jointly cover
+// every column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/alignment.h"
+
+namespace raxh {
+
+struct Partition {
+  std::string name;
+  // 0-based half-open [begin, end) column ranges, in file order.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+
+  [[nodiscard]] std::size_t num_sites() const {
+    std::size_t n = 0;
+    for (const auto& [b, e] : ranges) n += e - b;
+    return n;
+  }
+};
+
+class PartitionScheme {
+ public:
+  // Parse scheme text for an alignment of `num_sites` columns. Throws
+  // std::runtime_error on syntax errors, overlaps, out-of-range or
+  // incomplete coverage.
+  static PartitionScheme parse(const std::string& text, std::size_t num_sites);
+
+  // Single partition spanning the whole alignment.
+  static PartitionScheme single(std::size_t num_sites,
+                                std::string name = "all");
+
+  [[nodiscard]] std::size_t size() const { return partitions_.size(); }
+  [[nodiscard]] const Partition& partition(std::size_t i) const {
+    return partitions_[i];
+  }
+  [[nodiscard]] const std::vector<Partition>& partitions() const {
+    return partitions_;
+  }
+  [[nodiscard]] std::size_t num_sites() const { return num_sites_; }
+
+  // Extract each partition's columns as its own alignment (taxon set and
+  // order preserved).
+  [[nodiscard]] std::vector<Alignment> split(const Alignment& alignment) const;
+
+ private:
+  std::vector<Partition> partitions_;
+  std::size_t num_sites_ = 0;
+};
+
+}  // namespace raxh

@@ -1,0 +1,27 @@
+#include "bio/resample.h"
+
+#include "util/check.h"
+
+namespace raxh {
+
+std::vector<int> bootstrap_weights(const PatternAlignment& patterns, Lcg& rng) {
+  return bootstrap_weights_sites(patterns, rng, nullptr);
+}
+
+std::vector<int> bootstrap_weights_sites(
+    const PatternAlignment& patterns, Lcg& rng,
+    std::vector<std::size_t>* sampled_sites) {
+  const auto site_to_pattern = patterns.site_to_pattern();
+  const auto num_sites = static_cast<std::int32_t>(site_to_pattern.size());
+  RAXH_EXPECTS(num_sites > 0);
+
+  std::vector<int> weights(patterns.num_patterns(), 0);
+  for (std::int32_t draw = 0; draw < num_sites; ++draw) {
+    const auto site = static_cast<std::size_t>(rng.next_below(num_sites));
+    weights[site_to_pattern[site]] += 1;
+    if (sampled_sites != nullptr) sampled_sites->push_back(site);
+  }
+  return weights;
+}
+
+}  // namespace raxh

@@ -1,0 +1,25 @@
+// Bootstrap resampling. A bootstrap replicate draws `num_sites` original
+// columns with replacement; because the likelihood works on compressed
+// patterns, a replicate is represented as a new per-pattern weight vector
+// (some weights grow, some drop to zero). This mirrors RAxML's rapid
+// bootstrap, where only the weight vector changes between replicates.
+#pragma once
+
+#include <vector>
+
+#include "bio/patterns.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+// Per-pattern weights of one bootstrap replicate drawn with `rng`.
+// The returned vector sums to patterns.total_weight() (= original site count).
+std::vector<int> bootstrap_weights(const PatternAlignment& patterns, Lcg& rng);
+
+// As above but for standard bootstrapping of explicit site lists (used by the
+// tests to cross-check the pattern-space implementation).
+std::vector<int> bootstrap_weights_sites(const PatternAlignment& patterns,
+                                         Lcg& rng,
+                                         std::vector<std::size_t>* sampled_sites);
+
+}  // namespace raxh

@@ -1,0 +1,259 @@
+#include "bio/seqsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "tree/tree.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+namespace {
+
+// Marsaglia-Tsang sampler for Gamma(shape, 1), shape > 0.
+double sample_gamma(Xoshiro256& rng, double shape) {
+  if (shape < 1.0) {
+    const double u = std::max(rng.next_double(), 1e-300);
+    return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0, v = 0.0;
+    do {
+      x = rng.next_gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = std::max(rng.next_double(), 1e-300);
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) return d * v;
+  }
+}
+
+struct SimNode {
+  int parent = -1;
+  int left = -1;
+  int right = -1;
+  double branch_length = 0.0;  // branch to parent
+  int tip_row = -1;            // alignment row if this node is a tip
+};
+
+// Pure-birth (Yule) topology: repeatedly split a uniformly chosen active
+// lineage until `taxa` lineages exist; the surviving lineages become tips.
+// Node 0 is the root; children are allocated on demand.
+std::vector<SimNode> build_yule_tree(std::size_t taxa, double mean_branch,
+                                     Xoshiro256& rng) {
+  RAXH_EXPECTS(taxa >= 3);
+  std::vector<SimNode> nodes(1);  // root
+  std::vector<int> active = {0};
+
+  while (active.size() < taxa) {
+    const std::size_t pick = rng.next_below(active.size());
+    const int node = active[pick];
+    const int left = static_cast<int>(nodes.size());
+    const int right = left + 1;
+    nodes.emplace_back();
+    nodes.emplace_back();
+    nodes[static_cast<std::size_t>(left)].parent = node;
+    nodes[static_cast<std::size_t>(right)].parent = node;
+    nodes[static_cast<std::size_t>(node)].left = left;
+    nodes[static_cast<std::size_t>(node)].right = right;
+    active[pick] = left;
+    active.push_back(right);
+  }
+
+  for (std::size_t i = 1; i < nodes.size(); ++i)
+    nodes[i].branch_length = mean_branch * rng.next_exponential() + 0.01;
+
+  int row = 0;
+  for (auto& n : nodes)
+    if (n.left < 0) n.tip_row = row++;
+  RAXH_ENSURES(static_cast<std::size_t>(row) == taxa);
+  return nodes;
+}
+
+void write_newick(const std::vector<SimNode>& nodes, int node,
+                  std::ostream& out) {
+  const auto& n = nodes[static_cast<std::size_t>(node)];
+  if (n.left < 0) {
+    out << "taxon" << (n.tip_row + 1);
+  } else {
+    out << '(';
+    write_newick(nodes, n.left, out);
+    out << ',';
+    write_newick(nodes, n.right, out);
+    out << ')';
+  }
+  if (n.parent >= 0) out << ':' << n.branch_length;
+}
+
+// Convert a (unrooted) Tree parsed from Newick into the rooted SimNode form:
+// root at tip 0's edge with a zero-length connector (reversibility makes the
+// rooting immaterial for the simulated distribution).
+std::vector<SimNode> tree_from_newick(const std::string& newick,
+                                      std::size_t taxa) {
+  std::vector<std::string> names(taxa);
+  for (std::size_t t = 0; t < taxa; ++t)
+    names[t] = "taxon" + std::to_string(t + 1);
+  const Tree tree = Tree::parse_newick(newick, names);
+
+  std::vector<SimNode> nodes(1);  // node 0 = synthetic root
+  // Child A: tip 0 with the full length of its edge.
+  auto add_subtree = [&](auto&& self, int rec, double branch) -> int {
+    // `rec` is a record whose back-side subtree we are adding; here we pass
+    // the record LOOKED AT (the node to add), i.e. a tip record or an
+    // internal record whose two other ring mates hang below.
+    const int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[static_cast<std::size_t>(id)].branch_length = branch;
+    if (tree.is_tip_record(rec)) {
+      nodes[static_cast<std::size_t>(id)].tip_row = tree.tip_id(rec);
+      return id;
+    }
+    const int c1_rec = tree.back(tree.next(rec));
+    const int c2_rec = tree.back(tree.next(tree.next(rec)));
+    const int left = self(self, c1_rec, tree.length(tree.next(rec)));
+    const int right =
+        self(self, c2_rec, tree.length(tree.next(tree.next(rec))));
+    nodes[static_cast<std::size_t>(id)].left = left;
+    nodes[static_cast<std::size_t>(id)].right = right;
+    nodes[static_cast<std::size_t>(left)].parent = id;
+    nodes[static_cast<std::size_t>(right)].parent = id;
+    return id;
+  };
+
+  const int tip0 = add_subtree(add_subtree, 0, tree.length(0));
+  const int rest = add_subtree(add_subtree, tree.back(0), 0.0);
+  nodes[0].left = tip0;
+  nodes[0].right = rest;
+  nodes[static_cast<std::size_t>(tip0)].parent = 0;
+  nodes[static_cast<std::size_t>(rest)].parent = 0;
+  return nodes;
+}
+
+int sample_state(const std::array<double, 16>& p, int from, Xoshiro256& rng) {
+  const double u = rng.next_double();
+  double acc = 0.0;
+  for (int j = 0; j < kStates; ++j) {
+    acc += p[static_cast<std::size_t>(from * kStates + j)];
+    if (u < acc) return j;
+  }
+  return kStates - 1;
+}
+
+}  // namespace
+
+SimResult simulate_alignment(const SimConfig& cfg) {
+  RAXH_EXPECTS(cfg.taxa >= 3);
+  RAXH_EXPECTS(cfg.distinct_sites > 0);
+  RAXH_EXPECTS(cfg.total_sites >= cfg.distinct_sites);
+  RAXH_EXPECTS(cfg.gamma_alpha > 0.0);
+  RAXH_EXPECTS(cfg.prop_invariant >= 0.0 && cfg.prop_invariant < 1.0);
+
+  Xoshiro256 rng(cfg.seed);
+  const GtrModel model(cfg.model);
+  const auto nodes =
+      cfg.tree_newick.empty()
+          ? build_yule_tree(cfg.taxa, cfg.mean_branch_length, rng)
+          : tree_from_newick(cfg.tree_newick, cfg.taxa);
+  const std::size_t total_nodes = nodes.size();
+  constexpr int kRoot = 0;
+
+  // Preorder traversal order (parents before children) for the evolve pass.
+  std::vector<int> preorder;
+  preorder.reserve(total_nodes);
+  {
+    std::vector<int> stack = {kRoot};
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
+      preorder.push_back(n);
+      const auto& nd = nodes[static_cast<std::size_t>(n)];
+      if (nd.left >= 0) {
+        stack.push_back(nd.left);
+        stack.push_back(nd.right);
+      }
+    }
+  }
+
+  std::vector<std::vector<DnaState>> rows(
+      cfg.taxa, std::vector<DnaState>(cfg.total_sites));
+  std::vector<int> state(total_nodes);
+  const auto& freqs = model.freqs();
+
+  // Final column layout: distinct columns first, then random duplicates,
+  // shuffled. Recreates the characters > patterns redundancy of real data.
+  std::vector<std::size_t> column_source;
+  column_source.reserve(cfg.total_sites);
+  for (std::size_t s = 0; s < cfg.total_sites; ++s)
+    column_source.push_back(s < cfg.distinct_sites
+                                ? s
+                                : rng.next_below(cfg.distinct_sites));
+  std::shuffle(column_source.begin(), column_source.end(), rng);
+
+  // Simulate each distinct column once.
+  std::vector<std::vector<DnaState>> distinct(cfg.distinct_sites);
+  for (std::size_t s = 0; s < cfg.distinct_sites; ++s) {
+    const bool invariant = rng.next_double() < cfg.prop_invariant;
+    const double rate =
+        invariant ? 0.0 : sample_gamma(rng, cfg.gamma_alpha) / cfg.gamma_alpha;
+
+    // Root state from the stationary distribution.
+    {
+      const double u = rng.next_double();
+      double acc = 0.0;
+      int st = kStates - 1;
+      for (int j = 0; j < kStates; ++j) {
+        acc += freqs[static_cast<std::size_t>(j)];
+        if (u < acc) {
+          st = j;
+          break;
+        }
+      }
+      state[kRoot] = st;
+    }
+
+    for (const int n : preorder) {
+      if (n == kRoot) continue;
+      const auto& nd = nodes[static_cast<std::size_t>(n)];
+      if (rate == 0.0) {
+        state[static_cast<std::size_t>(n)] =
+            state[static_cast<std::size_t>(nd.parent)];
+      } else {
+        const auto p = model.transition_matrix(nd.branch_length, rate);
+        state[static_cast<std::size_t>(n)] =
+            sample_state(p, state[static_cast<std::size_t>(nd.parent)], rng);
+      }
+    }
+
+    auto& col = distinct[s];
+    col.resize(cfg.taxa);
+    for (std::size_t n = 0; n < total_nodes; ++n) {
+      const int row = nodes[n].tip_row;
+      if (row >= 0)
+        col[static_cast<std::size_t>(row)] =
+            state_from_index(state[n]);
+    }
+  }
+
+  for (std::size_t s = 0; s < cfg.total_sites; ++s) {
+    const auto& col = distinct[column_source[s]];
+    for (std::size_t t = 0; t < cfg.taxa; ++t) rows[t][s] = col[t];
+  }
+
+  std::vector<std::string> names(cfg.taxa);
+  for (std::size_t t = 0; t < cfg.taxa; ++t)
+    names[t] = "taxon" + std::to_string(t + 1);
+
+  SimResult out{Alignment(std::move(names), std::move(rows)), ""};
+  std::ostringstream newick;
+  write_newick(nodes, kRoot, newick);
+  newick << ';';
+  out.true_tree_newick = newick.str();
+  return out;
+}
+
+}  // namespace raxh

@@ -1,0 +1,43 @@
+// Synthetic alignment generation: sequences evolved under GTR(+Gamma) along a
+// random Yule tree. Stands in for the paper's real rRNA data sets (which are
+// no longer hosted); the likelihood engine does identical work per pattern
+// either way, which is what the performance study depends on (paper §3: work
+// is roughly proportional to the number of patterns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bio/alignment.h"
+#include "model/gtr.h"
+
+namespace raxh {
+
+struct SimConfig {
+  std::size_t taxa = 16;
+  // Number of independently simulated (distinct-by-construction) columns.
+  std::size_t distinct_sites = 256;
+  // Final alignment length; extra columns are duplicates of simulated ones,
+  // which recreates the characters > patterns redundancy of real data.
+  std::size_t total_sites = 256;
+  std::uint64_t seed = 1;
+  // Evolve along this topology instead of a fresh Yule tree. Must be a
+  // Newick over taxa named "taxon1".."taxonN" (the simulator's own output
+  // format), e.g. a previous SimResult::true_tree_newick — this is how
+  // multi-gene data sets sharing one history are produced.
+  std::string tree_newick;
+  GtrParams model = GtrParams::jukes_cantor();
+  double gamma_alpha = 0.8;       // across-site rate heterogeneity shape
+  double prop_invariant = 0.15;   // fraction of strictly constant columns
+  double mean_branch_length = 0.12;
+};
+
+struct SimResult {
+  Alignment alignment;
+  std::string true_tree_newick;  // the generating topology with branch lengths
+};
+
+// Simulate an alignment; deterministic in cfg.seed.
+SimResult simulate_alignment(const SimConfig& cfg);
+
+}  // namespace raxh

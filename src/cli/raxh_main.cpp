@@ -1,0 +1,239 @@
+// raxh — the command-line front end, mirroring RAxML's main modes:
+//
+//   -f a   comprehensive analysis: rapid bootstraps + full ML search (default)
+//   -f d   multi-start ML searches from randomized stepwise-addition trees
+//   -f b   bootstrap-only run (replicates + majority-rule consensus)
+//   -f x   adaptive bootstrap: rounds of replicates until the FC
+//          bootstopping test converges (-N caps the total)
+//   -f e   evaluate/optimize a fixed topology (-t tree file required)
+//
+// Common options:
+//   -s <file>    PHYLIP alignment (required)
+//   -q <file>    partition scheme (only with -f e for now; see examples)
+//   -n <name>    output basename                      [raxh]
+//   -N <int>     bootstraps / searches                [100 / 10]
+//   -p <seed>    parsimony seed                       [12345]
+//   -x <seed>    rapid-bootstrap seed                 [12345]
+//   -np <int>    coarse-grained ranks (forked)        [1]
+//   -T <int>     fine-grained threads per rank        [1]
+//   -t <file>    input tree (for -f e)
+//   -m <model>   GTRCAT | GTRGAMMA (search model)     [GTRCAT-style default]
+//   -simd <on|off|auto>  vectorized kernels           [auto: on for >=300
+//                                                      patterns]
+//
+// Exit status 0 on success; messages go to stdout, errors to stderr.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "bio/io.h"
+#include "bio/patterns.h"
+#include "likelihood/kernels.h"
+#include "core/analyses.h"
+#include "core/evaluate_mode.h"
+#include "core/hybrid.h"
+#include "minimpi/comm.h"
+#include "tree/consensus.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace raxh;
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s -s alignment.phy [-f a|d|b|e] [-N n] [-p seed] [-x seed]\n"
+      "          [-np ranks] [-T threads] [-n name] [-t tree] [-m model]\n"
+      "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
+      "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
+      prog);
+}
+
+int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
+  HybridOptions options;
+  options.analysis.specified_bootstraps =
+      static_cast<int>(cli.int_or("N", 100));
+  options.analysis.parsimony_seed = cli.int_or("p", 12345);
+  options.analysis.bootstrap_seed = cli.int_or("x", 12345);
+  options.analysis.num_threads = static_cast<int>(cli.int_or("T", 1));
+  options.compute_support = true;
+  options.run_bootstopping = true;
+  const int ranks = static_cast<int>(cli.int_or("np", 1));
+  const std::string name = cli.value_or("n", "raxh");
+
+  WallTimer wall;
+  mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+    const auto result = run_hybrid_comprehensive(comm, patterns, options);
+    if (comm.rank() != 0) return;
+    std::printf("winner: rank %d, final GAMMA lnL %.6f\n", result.winner_rank,
+                result.best_lnl);
+    std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
+    std::ofstream(name + "_bipartitions.tre")
+        << result.support_tree_newick << '\n';
+    std::printf("wrote %s_bestTree.tre, %s_bipartitions.tre (%d replicates)\n",
+                name.c_str(), name.c_str(), result.total_bootstrap_trees);
+    if (result.bootstop.mean_correlation != 0.0)
+      std::printf("bootstopping (FC): %s (mean corr %.4f)\n",
+                  result.bootstop.converged ? "converged" : "not converged",
+                  result.bootstop.mean_correlation);
+  });
+  std::printf("wall time: %.2f s\n", wall.seconds());
+  return 0;
+}
+
+int run_multistart(const PatternAlignment& patterns, const CliParser& cli) {
+  MultistartOptions options;
+  options.searches = static_cast<int>(cli.int_or("N", 10));
+  options.parsimony_seed = cli.int_or("p", 12345);
+  options.num_threads = static_cast<int>(cli.int_or("T", 1));
+  const int ranks = static_cast<int>(cli.int_or("np", 1));
+  const std::string name = cli.value_or("n", "raxh");
+
+  mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+    const auto result = run_multistart_ml(comm, patterns, options);
+    if (comm.rank() != 0) return;
+    std::printf("best of %d searches: lnL %.6f (rank %d)\n", options.searches,
+                result.best_lnl, result.winner_rank);
+    std::printf("all searches:");
+    for (double l : result.all_lnls) std::printf(" %.4f", l);
+    std::printf("\n");
+    std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
+    std::printf("wrote %s_bestTree.tre\n", name.c_str());
+  });
+  return 0;
+}
+
+int run_bootstrap_only(const PatternAlignment& patterns, const CliParser& cli) {
+  BootstrapRunOptions options;
+  options.replicates = static_cast<int>(cli.int_or("N", 100));
+  options.parsimony_seed = cli.int_or("p", 12345);
+  options.bootstrap_seed = cli.int_or("x", 12345);
+  options.num_threads = static_cast<int>(cli.int_or("T", 1));
+  const int ranks = static_cast<int>(cli.int_or("np", 1));
+  const std::string name = cli.value_or("n", "raxh");
+
+  mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+    const auto result = run_bootstrap_analysis(comm, patterns, options);
+    if (comm.rank() != 0) return;
+    std::ofstream trees(name + "_bootstrap.tre");
+    for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
+    std::ofstream(name + "_consensus.tre") << result.consensus_newick << '\n';
+    std::printf("wrote %zu replicates to %s_bootstrap.tre and the "
+                "majority-rule consensus to %s_consensus.tre\n",
+                result.replicate_newicks.size(), name.c_str(), name.c_str());
+  });
+  return 0;
+}
+
+int run_adaptive(const PatternAlignment& patterns, const CliParser& cli) {
+  AdaptiveBootstrapOptions options;
+  options.max_replicates = std::max(2, static_cast<int>(cli.int_or("N", 200)));
+  options.min_replicates = std::min(options.min_replicates,
+                                    options.max_replicates);
+  options.parsimony_seed = cli.int_or("p", 12345);
+  options.bootstrap_seed = cli.int_or("x", 12345);
+  options.num_threads = static_cast<int>(cli.int_or("T", 1));
+  const int ranks = static_cast<int>(cli.int_or("np", 1));
+  const std::string name = cli.value_or("n", "raxh");
+
+  mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+    const auto result = run_adaptive_bootstrap(comm, patterns, options);
+    if (comm.rank() != 0) return;
+    std::printf("%s after %d replicates (%d rounds, mean FC correlation "
+                "%.4f)\n",
+                result.converged ? "bootstopping CONVERGED"
+                                 : "cap reached without convergence",
+                result.total_replicates, result.rounds,
+                result.final_correlation);
+    std::ofstream trees(name + "_bootstrap.tre");
+    for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
+    std::printf("wrote %zu replicates to %s_bootstrap.tre\n",
+                result.replicate_newicks.size(), name.c_str());
+  });
+  return 0;
+}
+
+int run_evaluate(const PatternAlignment& patterns, const CliParser& cli) {
+  // Also dumps per-site log likelihoods (<name>_sitelh.txt), RAxML's "-f g"
+  // style sitewise output, expanded from patterns to original site order.
+  const auto tree_path = cli.value("t");
+  if (!tree_path) {
+    std::fprintf(stderr, "error: -f e requires -t <treefile>\n");
+    return 2;
+  }
+  std::ifstream in(*tree_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", tree_path->c_str());
+    return 2;
+  }
+  std::string newick((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+  EvaluateOptions options;
+  options.use_gamma = cli.value_or("m", "GTRGAMMA") != "GTRCAT";
+  options.num_threads = static_cast<int>(cli.int_or("T", 1));
+  const auto result = evaluate_fixed_topology(patterns, newick, options);
+  std::printf("lnL %.6f", result.lnl);
+  if (options.use_gamma) std::printf("  alpha %.4f", result.alpha);
+  std::printf("\nGTR rates (AC AG AT CG CT GT):");
+  for (double r : result.gtr_rates) std::printf(" %.4f", r);
+  std::printf("\nbase frequencies:");
+  for (double f : result.frequencies) std::printf(" %.4f", f);
+  std::printf("\n");
+  const std::string name = cli.value_or("n", "raxh");
+  std::ofstream(name + "_evaluated.tre")
+      << result.optimized_tree_newick << '\n';
+  {
+    std::ofstream sitelh(name + "_sitelh.txt");
+    sitelh.precision(10);
+    const auto s2p = patterns.site_to_pattern();
+    for (std::size_t site = 0; site < s2p.size(); ++site)
+      sitelh << site + 1 << ' ' << result.per_pattern_lnl[s2p[site]] << '\n';
+  }
+  std::printf("wrote %s_evaluated.tre and %s_sitelh.txt\n", name.c_str(),
+              name.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  const auto alignment_path = cli.value("s");
+  if (!alignment_path || cli.has("h") || cli.has("-help")) {
+    usage(argv[0]);
+    return alignment_path ? 0 : 2;
+  }
+
+  try {
+    const Alignment alignment = read_phylip_file(*alignment_path);
+    const auto patterns = PatternAlignment::compress(alignment);
+    std::printf("raxh: %zu taxa, %zu sites, %zu patterns\n",
+                patterns.num_taxa(), patterns.num_sites(),
+                patterns.num_patterns());
+
+    const std::string simd = cli.value_or("simd", "auto");
+    const bool use_vector =
+        simd == "on" || (simd == "auto" && patterns.num_patterns() >= 300);
+    kern::set_kernel_mode(use_vector ? kern::KernelMode::kVector
+                                     : kern::KernelMode::kScalar);
+    if (use_vector) std::printf("raxh: vectorized kernels enabled\n");
+
+    const std::string mode = cli.value_or("f", "a");
+    if (mode == "a") return run_comprehensive(patterns, cli);
+    if (mode == "d") return run_multistart(patterns, cli);
+    if (mode == "b") return run_bootstrap_only(patterns, cli);
+    if (mode == "x") return run_adaptive(patterns, cli);
+    if (mode == "e") return run_evaluate(patterns, cli);
+    std::fprintf(stderr, "error: unknown mode -f %s\n", mode.c_str());
+    usage(argv[0]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

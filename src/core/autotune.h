@@ -1,0 +1,56 @@
+// Configuration helpers encoding the paper's tuning observations (§5, §8):
+// the useful number of MPI processes is bounded by the schedule law, and the
+// optimal number of Pthreads grows with the pattern count but is capped by
+// the cores per node.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/schedule.h"
+
+namespace raxh {
+
+// Patterns-per-thread sweet spot: below this, barrier overhead beats the
+// fine-grained speedup (empirically ~250-500 in the paper's Figs. 2/5/6,
+// where 1,846 patterns prefer 4-8 threads and 19,436 prefer 32).
+inline constexpr std::size_t kPatternsPerThread = 400;
+
+// Suggested crew width for a data set on a node with `cores_per_node` cores,
+// rounded up to a divisor of the node size (threads must pack into nodes).
+inline int suggest_threads(std::size_t num_patterns, int cores_per_node) {
+  const int by_patterns = static_cast<int>(
+      (num_patterns + kPatternsPerThread - 1) / kPatternsPerThread);
+  const int capped = std::clamp(by_patterns, 1, cores_per_node);
+  int threads = capped;
+  while (threads < cores_per_node && cores_per_node % threads != 0) ++threads;
+  return threads;
+}
+
+// Largest process count that still splits every MPI-parallel stage evenly
+// (beyond ~N/5 processes the fast-search stage stops scaling; beyond
+// kSerialSlowSearches the slow stage replicates work — paper §2.3).
+inline int suggest_max_processes(int specified_bootstraps) {
+  return std::max(kSerialSlowSearches,
+                  specified_bootstraps / kFastSearchDivisor / 5);
+}
+
+// Given a fixed core budget on one machine, pick (processes, threads):
+// processes that divide the schedule well, threads limited per node.
+struct HybridShape {
+  int processes = 1;
+  int threads = 1;
+};
+
+inline HybridShape suggest_shape(std::size_t num_patterns, int total_cores,
+                                 int cores_per_node, int specified_bootstraps) {
+  HybridShape shape;
+  shape.threads = std::min(suggest_threads(num_patterns, cores_per_node),
+                           total_cores);
+  shape.processes = std::max(1, total_cores / shape.threads);
+  shape.processes =
+      std::min(shape.processes, suggest_max_processes(specified_bootstraps));
+  return shape;
+}
+
+}  // namespace raxh

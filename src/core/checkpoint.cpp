@@ -1,0 +1,129 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+constexpr const char* kMagic = "raxh-bootstrap-checkpoint";
+constexpr int kVersion = 1;
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("checkpoint '" + path + "': " + what);
+}
+
+}  // namespace
+
+void save_bootstrap_checkpoint(const std::string& path,
+                               const BootstrapSnapshot& snapshot) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write checkpoint: " + tmp);
+    out << kMagic << ' ' << kVersion << '\n';
+    out << snapshot.next_replicate << ' ' << snapshot.bootstrap_rng_state
+        << ' ' << snapshot.parsimony_rng_state << '\n';
+    out.precision(17);
+    out << snapshot.current_tree.num_taxa << ' '
+        << snapshot.current_tree.inserted_tips << '\n';
+    out << snapshot.current_tree.back.size();
+    for (std::size_t i = 0; i < snapshot.current_tree.back.size(); ++i)
+      out << ' ' << snapshot.current_tree.back[i] << ' '
+          << snapshot.current_tree.length[i];
+    out << '\n';
+    out << snapshot.current_tree.internal_used.size();
+    for (auto u : snapshot.current_tree.internal_used)
+      out << ' ' << static_cast<int>(u);
+    out << '\n';
+    out << snapshot.cat_rates.size();
+    for (double r : snapshot.cat_rates) out << ' ' << r;
+    out << '\n';
+    out << snapshot.cat_categories.size();
+    for (int c : snapshot.cat_categories) out << ' ' << c;
+    out << '\n';
+    out << snapshot.replicate_newicks.size() << '\n';
+    for (std::size_t i = 0; i < snapshot.replicate_newicks.size(); ++i) {
+      out.precision(17);
+      out << snapshot.replicate_lnls[i] << ' '
+          << snapshot.replicate_newicks[i] << '\n';
+    }
+    if (!out) throw std::runtime_error("short write on checkpoint: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<BootstrapSnapshot> load_bootstrap_checkpoint(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic)
+    corrupt(path, "bad header");
+  if (version != kVersion)
+    corrupt(path, "unsupported version " + std::to_string(version));
+
+  BootstrapSnapshot snapshot;
+  if (!(in >> snapshot.next_replicate >> snapshot.bootstrap_rng_state >>
+        snapshot.parsimony_rng_state))
+    corrupt(path, "bad state line");
+  if (!(in >> snapshot.current_tree.num_taxa >>
+        snapshot.current_tree.inserted_tips))
+    corrupt(path, "missing carried-tree header");
+  std::size_t nrec = 0;
+  if (!(in >> nrec)) corrupt(path, "missing carried-tree record count");
+  snapshot.current_tree.back.resize(nrec);
+  snapshot.current_tree.length.resize(nrec);
+  for (std::size_t i = 0; i < nrec; ++i)
+    if (!(in >> snapshot.current_tree.back[i] >>
+          snapshot.current_tree.length[i]))
+      corrupt(path, "truncated carried-tree records");
+  std::size_t nused = 0;
+  if (!(in >> nused)) corrupt(path, "missing carried-tree ring count");
+  snapshot.current_tree.internal_used.resize(nused);
+  for (auto& u : snapshot.current_tree.internal_used) {
+    int v = 0;
+    if (!(in >> v)) corrupt(path, "truncated carried-tree rings");
+    u = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t nrates = 0;
+  if (!(in >> nrates)) corrupt(path, "missing CAT rate count");
+  snapshot.cat_rates.resize(nrates);
+  for (auto& r : snapshot.cat_rates)
+    if (!(in >> r)) corrupt(path, "truncated CAT rates");
+  std::size_t ncats = 0;
+  if (!(in >> ncats)) corrupt(path, "missing CAT category count");
+  snapshot.cat_categories.resize(ncats);
+  for (auto& c : snapshot.cat_categories)
+    if (!(in >> c)) corrupt(path, "truncated CAT categories");
+
+  std::size_t count = 0;
+  if (!(in >> count)) corrupt(path, "missing replicate count");
+  if (count != static_cast<std::size_t>(snapshot.next_replicate))
+    corrupt(path, "replicate count disagrees with progress counter");
+  for (std::size_t i = 0; i < count; ++i) {
+    double lnl = 0.0;
+    std::string newick;
+    if (!(in >> lnl >> newick)) corrupt(path, "truncated replicate list");
+    snapshot.replicate_lnls.push_back(lnl);
+    snapshot.replicate_newicks.push_back(std::move(newick));
+  }
+  return snapshot;
+}
+
+std::function<void(const BootstrapSnapshot&)> checkpoint_to(std::string path) {
+  return [path = std::move(path)](const BootstrapSnapshot& snapshot) {
+    save_bootstrap_checkpoint(path, snapshot);
+  };
+}
+
+}  // namespace raxh

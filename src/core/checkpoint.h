@@ -1,0 +1,29 @@
+// Checkpoint persistence for long bootstrap runs (RAxML grew an equivalent
+// facility for multi-day analyses). A checkpoint file stores a
+// BootstrapSnapshot — PRNG states, the carried tree, finished replicates —
+// in a line-oriented text format with a version header.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "search/bootstrap.h"
+
+namespace raxh {
+
+// Write `snapshot` to `path` atomically (write temp + rename). Throws
+// std::runtime_error on I/O failure.
+void save_bootstrap_checkpoint(const std::string& path,
+                               const BootstrapSnapshot& snapshot);
+
+// Read a checkpoint; nullopt if the file does not exist. Throws
+// std::runtime_error on a malformed or version-incompatible file.
+std::optional<BootstrapSnapshot> load_bootstrap_checkpoint(
+    const std::string& path);
+
+// Convenience: a persist callback for RapidBootstrap::run_resumable that
+// saves to `path` after every replicate.
+std::function<void(const BootstrapSnapshot&)> checkpoint_to(std::string path);
+
+}  // namespace raxh

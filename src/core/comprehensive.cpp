@@ -1,0 +1,159 @@
+#include "core/comprehensive.h"
+
+#include <algorithm>
+
+#include "likelihood/engine.h"
+#include "search/bootstrap.h"
+#include "search/parsimony.h"
+#include "tree/bipartition.h"
+#include "tree/tree.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace raxh {
+
+namespace {
+
+struct ScoredTree {
+  Tree tree;
+  double lnl;
+};
+
+}  // namespace
+
+RankReport run_comprehensive_rank(
+    const PatternAlignment& patterns, const ComprehensiveOptions& options,
+    int rank, int nranks, Workforce* crew,
+    const std::function<void()>& after_bootstraps,
+    const std::function<bool(double)>& select_thorough) {
+  RAXH_EXPECTS(rank >= 0 && rank < nranks);
+
+  RankReport report;
+  report.rank = rank;
+  const HybridSchedule schedule =
+      make_schedule(options.specified_bootstraps, nranks);
+  report.counts = schedule.per_rank;
+
+  const RankSeeds seeds =
+      seeds_for_rank(options.parsimony_seed, options.bootstrap_seed, rank);
+
+  // Model setup: empirical base frequencies, unit exchangeabilities; the
+  // searches optimize from there. The search engine uses CAT (as the paper's
+  // "-m GTRCAT" runs do); the final evaluation uses GAMMA.
+  GtrParams gtr;
+  gtr.freqs = patterns.empirical_frequencies();
+  LikelihoodEngine cat_engine(patterns, gtr,
+                              RateModel::cat(patterns.num_patterns()), crew);
+
+  PhaseTimer timer;
+
+  // --- Stage 1: rapid bootstraps ---
+  timer.start("bootstrap");
+  RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
+                              seeds.parsimony_seed);
+  std::vector<BootstrapReplicate> replicates =
+      bootstrapper.run(report.counts.bootstraps);
+  timer.stop();
+  for (const auto& rep : replicates)
+    report.bootstrap_newicks.push_back(rep.tree.to_newick(patterns.names()));
+
+  if (after_bootstraps) after_bootstraps();
+
+  // --- Stage 2: fast ML searches from the best bootstrap trees ---
+  timer.start("fast");
+  std::vector<ScoredTree> fast_results;
+  {
+    // Rank replicates by their (bootstrap-weighted) lnL and take the local
+    // best as starting points — the local, communication-free selection of
+    // paper §2.2.
+    std::vector<std::size_t> order(replicates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return replicates[a].lnl > replicates[b].lnl;
+    });
+    const auto nfast = static_cast<std::size_t>(report.counts.fast_searches);
+    cat_engine.reset_weights();
+    for (std::size_t i = 0; i < nfast && i < order.size(); ++i) {
+      Tree tree = replicates[order[i]].tree;
+      cat_engine.optimize_cat_rates(tree);
+      SprSearch search(cat_engine, options.fast);
+      const double lnl = search.run(tree);
+      fast_results.push_back(ScoredTree{std::move(tree), lnl});
+    }
+  }
+  timer.stop();
+
+  // --- Stage 3: slow ML searches on the locally best fast trees ---
+  timer.start("slow");
+  std::vector<ScoredTree> slow_results;
+  {
+    std::sort(fast_results.begin(), fast_results.end(),
+              [](const ScoredTree& a, const ScoredTree& b) {
+                return a.lnl > b.lnl;
+              });
+    const auto nslow = static_cast<std::size_t>(report.counts.slow_searches);
+    for (std::size_t i = 0; i < nslow && i < fast_results.size(); ++i) {
+      Tree tree = fast_results[i].tree;
+      SprSearch search(cat_engine, options.slow);
+      const double lnl = search.run(tree);
+      slow_results.push_back(ScoredTree{std::move(tree), lnl});
+    }
+  }
+  timer.stop();
+
+  // --- Stage 4: one thorough search from the local best slow tree ---
+  timer.start("thorough");
+  {
+    RAXH_ASSERT(!slow_results.empty());
+    const auto best_it = std::max_element(
+        slow_results.begin(), slow_results.end(),
+        [](const ScoredTree& a, const ScoredTree& b) { return a.lnl < b.lnl; });
+    const Tree slow_best = best_it->tree;
+    Tree searched = slow_best;
+    const bool run_thorough =
+        !select_thorough || select_thorough(best_it->lnl);
+    if (run_thorough) {
+      SprSearch search(cat_engine, options.thorough);
+      report.cat_lnl = search.run(searched);
+    } else {
+      report.cat_lnl = best_it->lnl;
+    }
+
+    // Final model + branch-length evaluation under GAMMA, as "-f a" reports.
+    // The CAT-driven thorough search can (rarely, on degenerate data)
+    // regress the GAMMA score; score both candidates under the final
+    // criterion and keep the better one.
+    LikelihoodEngine gamma_engine(patterns, cat_engine.gtr(),
+                                  RateModel::gamma(options.initial_alpha),
+                                  crew);
+    auto gamma_score = [&](Tree& tree) {
+      // Full model re-optimization under GAMMA (branches, GTR, alpha) to
+      // convergence, so the final score depends only on the topology — not
+      // on whatever model state the CAT stages left behind.
+      return gamma_engine.optimize_all(tree, 0.02, 5);
+    };
+    const double searched_lnl = gamma_score(searched);
+    report.best_lnl = searched_lnl;
+    report.best_tree_newick = searched.to_newick(patterns.names());
+    if (run_thorough) {
+      Tree fallback = slow_best;
+      const double fallback_lnl = gamma_score(fallback);
+      if (fallback_lnl > searched_lnl) {
+        report.best_lnl = fallback_lnl;
+        report.best_tree_newick = fallback.to_newick(patterns.names());
+      }
+    }
+  }
+  timer.stop();
+
+  report.times.bootstrap = timer.total("bootstrap");
+  report.times.fast = timer.total("fast");
+  report.times.slow = timer.total("slow");
+  report.times.thorough = timer.total("thorough");
+
+  log_debug("rank %d/%d done: lnL=%.4f (CAT %.4f)", rank, nranks,
+            report.best_lnl, report.cat_lnl);
+  return report;
+}
+
+}  // namespace raxh

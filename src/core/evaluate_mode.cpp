@@ -1,0 +1,37 @@
+#include "core/evaluate_mode.h"
+
+#include "likelihood/engine.h"
+#include "tree/tree.h"
+#include "util/check.h"
+
+namespace raxh {
+
+EvaluateResult evaluate_fixed_topology(const PatternAlignment& patterns,
+                                       const std::string& newick,
+                                       const EvaluateOptions& options) {
+  Tree tree = Tree::parse_newick(newick, patterns.names());
+
+  Workforce crew(options.num_threads);
+  Workforce* crew_ptr = options.num_threads > 1 ? &crew : nullptr;
+
+  GtrParams gtr;
+  gtr.freqs = patterns.empirical_frequencies();
+  LikelihoodEngine engine(
+      patterns, gtr,
+      options.use_gamma ? RateModel::gamma(options.initial_alpha)
+                        : RateModel::cat(patterns.num_patterns()),
+      crew_ptr);
+
+  EvaluateResult result;
+  result.lnl = engine.optimize_all(tree, options.epsilon, options.max_rounds);
+  result.alpha =
+      options.use_gamma ? engine.rates().alpha() : 0.0;
+  result.gtr_rates = engine.gtr().rates;
+  result.frequencies = engine.gtr().freqs;
+  result.optimized_tree_newick = tree.to_newick(patterns.names());
+  result.per_pattern_lnl.resize(patterns.num_patterns());
+  engine.per_pattern_lnl(tree, result.per_pattern_lnl);
+  return result;
+}
+
+}  // namespace raxh

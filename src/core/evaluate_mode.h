@@ -1,0 +1,39 @@
+// Tree evaluation mode (RAxML "-f e"): optimize model parameters and branch
+// lengths on a FIXED topology and report the likelihood — used for comparing
+// candidate topologies under identical model treatment, and by the quality
+// experiments (Table 6 uses GAMMA-evaluated final trees).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bio/patterns.h"
+#include "parallel/workforce.h"
+
+namespace raxh {
+
+struct EvaluateOptions {
+  bool use_gamma = true;   // GAMMA (4 cat) if true, CAT otherwise
+  double initial_alpha = 0.5;
+  double epsilon = 0.05;   // lnL convergence threshold per round
+  int max_rounds = 8;
+  int num_threads = 1;
+};
+
+struct EvaluateResult {
+  double lnl = 0.0;
+  double alpha = 0.0;  // fitted GAMMA shape (0 for CAT)
+  std::array<double, 6> gtr_rates{};
+  std::array<double, 4> frequencies{};
+  std::string optimized_tree_newick;  // with fitted branch lengths
+  std::vector<double> per_pattern_lnl;
+};
+
+// Optimize everything except the topology of `newick` and evaluate it.
+// Throws std::runtime_error if the newick does not cover the alignment.
+EvaluateResult evaluate_fixed_topology(const PatternAlignment& patterns,
+                                       const std::string& newick,
+                                       const EvaluateOptions& options = {});
+
+}  // namespace raxh

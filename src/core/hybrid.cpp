@@ -1,0 +1,90 @@
+#include "core/hybrid.h"
+
+#include "likelihood/engine.h"
+#include "tree/consensus.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace raxh {
+
+HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
+                                      const PatternAlignment& patterns,
+                                      const HybridOptions& options) {
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  Logger::instance().set_rank(nranks > 1 ? rank : -1);
+
+  Workforce crew(options.analysis.num_threads);
+  Workforce* crew_ptr =
+      options.analysis.num_threads > 1 ? &crew : nullptr;
+
+  // The paper's mid-run synchronization: MPI_Barrier after the bootstraps.
+  RankReport report = run_comprehensive_rank(
+      patterns, options.analysis, rank, nranks, crew_ptr,
+      [&comm] { comm.barrier(); });
+
+  HybridResult result;
+
+  // Select the global winner (MPI_MAXLOC) and broadcast its tree — the
+  // paper's "call to MPI_Bcast" that ends the run.
+  const auto best = comm.allreduce_maxloc(report.best_lnl);
+  result.best_lnl = best.value;
+  result.winner_rank = best.rank;
+  result.best_tree_newick = report.best_tree_newick;
+  comm.bcast_string(result.best_tree_newick, best.rank);
+
+  // Report-only gathers (outside the paper's hot path): stage times, per-rank
+  // final likelihoods, and the bootstrap replicates for support values.
+  const std::vector<double> my_times = {report.times.bootstrap,
+                                        report.times.fast, report.times.slow,
+                                        report.times.thorough};
+  const auto all_times = comm.gather_doubles(my_times, 0);
+  const auto all_lnls = comm.gather_doubles({report.best_lnl}, 0);
+
+  std::string my_bootstraps;
+  for (const auto& nwk : report.bootstrap_newicks) {
+    my_bootstraps += nwk;
+    my_bootstraps += '\n';
+  }
+  const auto all_bootstraps = comm.gather_strings(my_bootstraps, 0);
+
+  if (rank == 0) {
+    for (const auto& t : all_times) {
+      RAXH_ASSERT(t.size() == 4);
+      result.rank_times.push_back(StageTimes{t[0], t[1], t[2], t[3]});
+    }
+    for (const auto& l : all_lnls) result.rank_lnls.push_back(l.at(0));
+
+    // Parse every rank's replicates; fill the bipartition table.
+    std::vector<Tree> replicate_trees;
+    for (const auto& blob : all_bootstraps) {
+      std::size_t pos = 0;
+      while (pos < blob.size()) {
+        const std::size_t end = blob.find('\n', pos);
+        const std::string line = blob.substr(pos, end - pos);
+        if (!line.empty())
+          replicate_trees.push_back(Tree::parse_newick(line, patterns.names()));
+        if (end == std::string::npos) break;
+        pos = end + 1;
+      }
+    }
+    result.total_bootstrap_trees = static_cast<int>(replicate_trees.size());
+
+    if (options.compute_support && !replicate_trees.empty()) {
+      BipartitionTable table;
+      for (const auto& t : replicate_trees) table.add_tree(t);
+      const Tree best_tree =
+          Tree::parse_newick(result.best_tree_newick, patterns.names());
+      result.support_tree_newick =
+          annotate_support(best_tree, patterns.names(), table);
+    }
+    if (options.run_bootstopping && replicate_trees.size() >= 2) {
+      result.bootstop = frequency_criterion(replicate_trees);
+    }
+  }
+
+  Logger::instance().set_rank(-1);
+  return result;
+}
+
+}  // namespace raxh

@@ -1,0 +1,44 @@
+// The hybrid MPI/Pthreads driver: binds one minimpi rank to one thread crew
+// and runs the comprehensive analysis with the paper's communication pattern —
+// a Barrier after the bootstrap stage and a Bcast of the winning tree at the
+// end are the only noteworthy communications (§2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/patterns.h"
+#include "core/comprehensive.h"
+#include "minimpi/comm.h"
+#include "tree/bootstopping.h"
+
+namespace raxh {
+
+struct HybridResult {
+  // Valid on every rank (Bcast):
+  std::string best_tree_newick;
+  double best_lnl = 0.0;
+  int winner_rank = 0;
+
+  // Valid on rank 0 only (Gather; report-only data, not part of the paper's
+  // minimal communication pattern):
+  std::vector<StageTimes> rank_times;
+  std::vector<double> rank_lnls;
+  std::string support_tree_newick;  // best tree with bootstrap support values
+  int total_bootstrap_trees = 0;
+  BootstopResult bootstop;  // FC test over all replicates (extension)
+};
+
+struct HybridOptions {
+  ComprehensiveOptions analysis;
+  bool compute_support = true;   // build the BS-annotated best tree on rank 0
+  bool run_bootstopping = false;  // run the FC convergence test on rank 0
+};
+
+// Collective: every rank of `comm` must call. Each rank creates its own
+// `analysis.num_threads`-wide crew.
+HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
+                                      const PatternAlignment& patterns,
+                                      const HybridOptions& options);
+
+}  // namespace raxh

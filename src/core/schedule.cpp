@@ -1,0 +1,30 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace raxh {
+
+HybridSchedule make_schedule(int specified_bootstraps, int processes) {
+  RAXH_EXPECTS(specified_bootstraps >= 1);
+  RAXH_EXPECTS(processes >= 1);
+
+  HybridSchedule s;
+  s.processes = processes;
+  s.specified_bootstraps = specified_bootstraps;
+
+  auto& pr = s.per_rank;
+  pr.bootstraps = ceil_div(specified_bootstraps, processes);
+  pr.fast_searches = ceil_div(pr.bootstraps, kFastSearchDivisor);
+  pr.slow_searches = ceil_div(kSerialSlowSearches, processes);
+  pr.thorough_searches = 1;
+
+  // Guard degenerate tiny-N cases (not reachable from Table 2's inputs):
+  // can't select more trees than the previous stage produced.
+  pr.fast_searches = std::min(pr.fast_searches, pr.bootstraps);
+  pr.slow_searches = std::clamp(pr.slow_searches, 1, pr.fast_searches);
+  return s;
+}
+
+}  // namespace raxh

@@ -1,0 +1,45 @@
+// The coarse-grained work-partitioning law of the hybrid comprehensive
+// analysis (paper Table 2 + §2.3). Each rank receives an equal share:
+//
+//   bootstraps_per_rank = ceil(N / p)           (total can exceed N)
+//   fast_per_rank       = ceil(bootstraps_per_rank / 5)
+//   slow_per_rank       = ceil(10 / p)          (10 = serial slow-search count)
+//   thorough_per_rank   = 1                     (=> no MPI speedup in stage 4)
+//
+// This law reproduces every row of Table 2 exactly; bench_table2_schedule
+// asserts that.
+#pragma once
+
+namespace raxh {
+
+inline constexpr int kFastSearchDivisor = 5;   // fast searches = bootstraps/5
+inline constexpr int kSerialSlowSearches = 10;  // slow searches in serial code
+
+struct StageCounts {
+  int bootstraps = 0;
+  int fast_searches = 0;
+  int slow_searches = 0;
+  int thorough_searches = 0;
+};
+
+struct HybridSchedule {
+  int processes = 1;
+  int specified_bootstraps = 100;
+  StageCounts per_rank;
+
+  [[nodiscard]] StageCounts totals() const {
+    return StageCounts{per_rank.bootstraps * processes,
+                       per_rank.fast_searches * processes,
+                       per_rank.slow_searches * processes,
+                       per_rank.thorough_searches * processes};
+  }
+};
+
+// Compute the schedule for `specified_bootstraps` over `processes` ranks.
+// Degenerate inputs (very small N) clamp so that fast >= slow >= 1 holds.
+HybridSchedule make_schedule(int specified_bootstraps, int processes);
+
+// Ceiling division helper used throughout the scheduling code.
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace raxh

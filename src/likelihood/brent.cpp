@@ -1,0 +1,89 @@
+#include "likelihood/brent.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace raxh {
+
+BrentResult brent_maximize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol, int max_iter) {
+  RAXH_EXPECTS(lo < hi);
+  RAXH_EXPECTS(tol > 0.0);
+  constexpr double kGolden = 0.3819660112501051;
+
+  auto neg = [&](double x) { return -f(x); };
+
+  double a = lo, b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = neg(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = tol * std::fabs(x) + 1e-12;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) break;
+
+    bool parabolic = false;
+    if (std::fabs(e) > tol1) {
+      // Attempt parabolic interpolation through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (m > x) ? tol1 : -tol1;
+        parabolic = true;
+      }
+    }
+    if (!parabolic) {
+      e = (x < m) ? b - x : a - x;
+      d = kGolden * e;
+    }
+
+    const double u =
+        (std::fabs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = neg(u);
+
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return BrentResult{x, -fx};
+}
+
+}  // namespace raxh

@@ -1,0 +1,18 @@
+// Brent's derivative-free 1-D optimization, used for GTR exchangeabilities
+// and the GAMMA shape parameter (as in RAxML's brentGeneric).
+#pragma once
+
+#include <functional>
+
+namespace raxh {
+
+struct BrentResult {
+  double x;   // arg max
+  double fx;  // maximum value
+};
+
+// Maximize f on [lo, hi] to absolute x-tolerance `tol`.
+BrentResult brent_maximize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol = 1e-4, int max_iter = 64);
+
+}  // namespace raxh

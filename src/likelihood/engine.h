@@ -1,0 +1,156 @@
+// The phylogenetic likelihood engine: conditional likelihood vectors over a
+// Tree, lazily recomputed and striped across the thread crew. This is the
+// substrate both the serial and the fine-grained parallel code paths of the
+// reproduction share — with a crew of T threads it is RAxML's Pthreads mode,
+// with T=1 it is the serial code.
+//
+// CLV validity is *self-checking*: each internal node slot remembers which
+// directed record it is oriented to, which children (and branch lengths, and
+// content versions) it was computed from, and the model epoch. ensure-time
+// validation recomputes exactly the stale subset, so callers never issue
+// explicit invalidations after SPR moves or branch-length changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bio/patterns.h"
+#include "likelihood/kernels.h"
+#include "model/gtr.h"
+#include "model/rates.h"
+#include "parallel/workforce.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+class LikelihoodEngine {
+ public:
+  // `patterns` must outlive the engine. `crew` may be nullptr (serial) and
+  // must outlive the engine if given.
+  LikelihoodEngine(const PatternAlignment& patterns, const GtrParams& gtr,
+                   RateModel rates, Workforce* crew = nullptr);
+
+  [[nodiscard]] std::size_t num_patterns() const {
+    return patterns_->num_patterns();
+  }
+  [[nodiscard]] const RateModel& rates() const { return rates_; }
+  [[nodiscard]] const GtrParams& gtr() const { return model_.params(); }
+  [[nodiscard]] Workforce* crew() const { return crew_; }
+
+  // --- weights (bootstrap replicates swap these) ---
+  void set_weights(std::span<const int> weights);
+  void reset_weights();  // back to the alignment's pattern multiplicities
+  [[nodiscard]] std::span<const int> weights() const { return weights_; }
+
+  // --- model mutation (each bumps the model epoch; CLVs revalidate lazily) ---
+  void set_gtr(const GtrParams& params);
+  void set_alpha(double alpha);  // GAMMA only
+  void set_cat_assignment(std::vector<double> category_rates,
+                          std::vector<int> pattern_categories);  // CAT only
+
+  // --- evaluation ---
+
+  // Log-likelihood at the edge (rec, back(rec)).
+  double evaluate(const Tree& tree, int rec);
+  // Log-likelihood at the canonical edge (tip 0's edge).
+  double evaluate(const Tree& tree) { return evaluate(tree, 0); }
+  // Per-pattern site log-likelihoods at the canonical edge.
+  void per_pattern_lnl(const Tree& tree, std::span<double> out);
+
+  // --- optimization ---
+
+  // Newton-Raphson on one branch; leaves the optimized length in the tree
+  // and returns it.
+  double optimize_branch(Tree& tree, int rec);
+  // Optimize every branch `passes` times; returns final lnL.
+  double smooth_branches(Tree& tree, int passes = 1);
+  // Cycle Brent over the five free GTR exchangeabilities; returns final lnL.
+  double optimize_gtr(Tree& tree, double epsilon = 0.1);
+  // Brent on the GAMMA shape; returns final lnL. GAMMA only.
+  double optimize_alpha(Tree& tree, double epsilon = 0.01);
+  // Re-estimate per-pattern rates over a log-spaced grid, recluster into
+  // categories (RAxML's optimizeRateCategories). CAT only. Returns final lnL.
+  double optimize_cat_rates(Tree& tree);
+  // Full round-robin (branches + model) until the lnL gain per round drops
+  // below epsilon. Returns final lnL.
+  double optimize_all(Tree& tree, double epsilon = 0.1, int max_rounds = 10);
+
+  // --- low-level branch-optimization API ---
+  // Used by PartitionedEngine to sum Newton-Raphson derivatives across
+  // partitions: prepare_branch builds the edge sumtable, branch_derivatives
+  // evaluates (lnl, d1, d2) at a candidate branch length. The prepared state
+  // stays valid until the next engine operation that touches the scratch
+  // buffers (any evaluate/newview), so call them back-to-back.
+  void prepare_branch(const Tree& tree, int rec);
+  kern::Derivatives branch_derivatives(double t);
+
+  // Force full recomputation (tests / defensive use).
+  void invalidate_all() { ++model_epoch_; }
+
+  // Number of newview kernel invocations so far (calibration + tests).
+  [[nodiscard]] std::uint64_t newview_count() const { return newview_count_; }
+
+ private:
+  struct SlotMeta {
+    int oriented_rec = -1;
+    std::uint64_t model_epoch = 0;
+    int child_rec1 = -1, child_rec2 = -1;
+    double child_len1 = -1.0, child_len2 = -1.0;
+    std::uint64_t child_ver1 = 0, child_ver2 = 0;
+    std::uint64_t version = 0;  // bumped on every recompute
+  };
+
+  [[nodiscard]] int clv_cats() const;
+  [[nodiscard]] kern::RateLayout layout() const;
+  [[nodiscard]] double* clv(int slot);
+  [[nodiscard]] int* scale(int slot);
+  [[nodiscard]] std::uint64_t content_version(const Tree& tree, int rec) const;
+
+  // Make CLV(rec) valid (recursing into children); no-op for tips.
+  void ensure_clv(const Tree& tree, int rec);
+  void compute_clv(const Tree& tree, int rec);
+
+  // Fill pmats (ncat_model * 16) for branch length t.
+  void fill_pmats(double t, std::vector<double>& pmats) const;
+
+  // Striped dispatch helper: runs fn(begin, end, tid) over patterns.
+  template <typename Fn>
+  void dispatch(Fn&& fn);
+  // Striped dispatch with double-sum reduction of fn's return value.
+  template <typename Fn>
+  double dispatch_sum(Fn&& fn);
+
+  double evaluate_edge(const Tree& tree, int rec, double* per_pattern);
+  void build_sumtable(const Tree& tree, int rec);
+
+  const PatternAlignment* patterns_;
+  GtrModel model_;
+  RateModel rates_;
+  Workforce* crew_;
+
+  std::vector<int> weights_;
+  std::vector<double> cat_weights_;  // GAMMA: 1/ncat each
+
+  std::size_t clv_stride_ = 0;  // doubles per slot
+  std::vector<double> clvs_;
+  std::vector<int> scales_;
+  std::vector<SlotMeta> slots_;
+  std::uint64_t model_epoch_ = 1;
+  std::uint64_t version_counter_ = 1;
+  std::uint64_t newview_count_ = 0;
+
+  // Scratch (master-filled, crew-read).
+  std::vector<double> pmat_a_, pmat_b_;
+  std::vector<double> lookup_a_, lookup_b_;
+  std::vector<double> sumtable_;
+  std::vector<double> per_pattern_scratch_;
+};
+
+// Safeguarded Newton-Raphson on a branch length: `derivatives(t)` supplies
+// (lnl, d1, d2); returns the converged length in [kMin, kMax]BranchLength.
+double newton_branch_length(
+    const std::function<kern::Derivatives(double)>& derivatives, double t0);
+
+}  // namespace raxh

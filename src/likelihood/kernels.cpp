@@ -1,0 +1,372 @@
+#include "likelihood/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+namespace raxh::kern {
+
+namespace {
+
+constexpr double kMinLikelihood = 1e-300;
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kScalar};
+
+#if defined(__GNUC__)
+// GCC notes that passing/returning 256-bit vectors changes ABI without AVX;
+// every such function here is internal to this TU and inlined, so the note
+// is irrelevant.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+// 4-wide double vector over the state dimension; aligned(8) permits loads
+// from arbitrarily-aligned CLV storage.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+
+inline v4df load4(const double* p) {
+  v4df v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store4(double* p, v4df v) { std::memcpy(p, &v, sizeof(v)); }
+inline v4df splat(double x) { return v4df{x, x, x, x}; }
+
+// Transpose one row-major 4x4 P matrix so its columns are contiguous.
+inline void transpose16(const double* p, double* pt) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) pt[j * 4 + i] = p[i * 4 + j];
+}
+
+// x[i] = sum_j P[i][j] y[j] via P's columns: same add order as the scalar
+// j-loop, so results are bitwise identical per lane.
+inline v4df pdotvec_v(const double* pt, const double* y) {
+  const v4df c0 = load4(pt + 0);
+  const v4df c1 = load4(pt + 4);
+  const v4df c2 = load4(pt + 8);
+  const v4df c3 = load4(pt + 12);
+  return ((c0 * splat(y[0]) + c1 * splat(y[1])) + c2 * splat(y[2])) +
+         c3 * splat(y[3]);
+}
+#endif  // __GNUC__
+
+// Rescale the clv_cats*4 values of pattern p if they all dropped below the
+// threshold; returns 1 if a scaling event happened.
+inline int maybe_rescale(double* v, int n) {
+  double vmax = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double a = v[i] < 0.0 ? -v[i] : v[i];
+    if (a > vmax) vmax = a;
+  }
+  if (vmax >= kScaleThreshold || vmax == 0.0) return 0;
+  for (int i = 0; i < n; ++i) v[i] *= kScaleFactor;
+  return 1;
+}
+
+// x[i] = sum_{j in mask} P[i][j] for a full 4x4 row-major P.
+inline void pdotmask(const double* p, DnaState mask, double* x) {
+  x[0] = x[1] = x[2] = x[3] = 0.0;
+  for (int j = 0; j < 4; ++j) {
+    if ((mask >> j) & 1) {
+      x[0] += p[0 * 4 + j];
+      x[1] += p[1 * 4 + j];
+      x[2] += p[2 * 4 + j];
+      x[3] += p[3 * 4 + j];
+    }
+  }
+}
+
+inline void pdotvec(const double* p, const double* y, double* x) {
+  for (int i = 0; i < 4; ++i) {
+    x[i] = p[i * 4 + 0] * y[0] + p[i * 4 + 1] * y[1] + p[i * 4 + 2] * y[2] +
+           p[i * 4 + 3] * y[3];
+  }
+}
+
+}  // namespace
+
+void set_kernel_mode(KernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode kernel_mode() {
+#if defined(__GNUC__)
+  return g_kernel_mode.load(std::memory_order_relaxed);
+#else
+  return KernelMode::kScalar;  // vector path needs GCC/Clang extensions
+#endif
+}
+
+void build_tip_lookup(const double* pmats, int ncat, double* lookup) {
+  for (int c = 0; c < ncat; ++c) {
+    const double* p = pmats + c * 16;
+    for (int mask = 0; mask < 16; ++mask) {
+      pdotmask(p, static_cast<DnaState>(mask), lookup + c * 64 + mask * 4);
+    }
+  }
+}
+
+void newview_tip_tip(const RateLayout& layout, std::size_t begin,
+                     std::size_t end, const DnaState* tip_left,
+                     const DnaState* tip_right, const double* lookup_left,
+                     const double* lookup_right, double* clv, int* scale) {
+  const int cc = layout.clv_cats;
+  for (std::size_t p = begin; p < end; ++p) {
+    double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      const double* tl = lookup_left + mc * 64 + tip_left[p] * 4;
+      const double* tr = lookup_right + mc * 64 + tip_right[p] * 4;
+      for (int i = 0; i < 4; ++i) out[c * 4 + i] = tl[i] * tr[i];
+    }
+    scale[p] = maybe_rescale(out, cc * 4);
+  }
+}
+
+void newview_tip_inner(const RateLayout& layout, std::size_t begin,
+                       std::size_t end, const DnaState* tip_left,
+                       const double* lookup_left, const double* clv_right,
+                       const int* scale_right, const double* pmat_right,
+                       double* clv, int* scale) {
+  const int cc = layout.clv_cats;
+#if defined(__GNUC__)
+  if (kernel_mode() == KernelMode::kVector &&
+      layout.ncat_model <= kMaxCatMatrices) {
+    double pt_right[kMaxCatMatrices * 16];
+    for (int c = 0; c < layout.ncat_model; ++c)
+      transpose16(pmat_right + c * 16, pt_right + c * 16);
+    for (std::size_t p = begin; p < end; ++p) {
+      double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = layout.model_cat(p, c);
+        const v4df tl = load4(lookup_left + mc * 64 + tip_left[p] * 4);
+        const v4df xr = pdotvec_v(pt_right + mc * 16, in_r + c * 4);
+        store4(out + c * 4, tl * xr);
+      }
+      scale[p] = scale_right[p] + maybe_rescale(out, cc * 4);
+    }
+    return;
+  }
+#endif
+  for (std::size_t p = begin; p < end; ++p) {
+    double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+    const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      const double* tl = lookup_left + mc * 64 + tip_left[p] * 4;
+      double xr[4];
+      pdotvec(pmat_right + mc * 16, in_r + c * 4, xr);
+      for (int i = 0; i < 4; ++i) out[c * 4 + i] = tl[i] * xr[i];
+    }
+    scale[p] = scale_right[p] + maybe_rescale(out, cc * 4);
+  }
+}
+
+void newview_inner_inner(const RateLayout& layout, std::size_t begin,
+                         std::size_t end, const double* clv_left,
+                         const int* scale_left, const double* pmat_left,
+                         const double* clv_right, const int* scale_right,
+                         const double* pmat_right, double* clv, int* scale) {
+  const int cc = layout.clv_cats;
+#if defined(__GNUC__)
+  if (kernel_mode() == KernelMode::kVector &&
+      layout.ncat_model <= kMaxCatMatrices) {
+    double pt_left[kMaxCatMatrices * 16];
+    double pt_right[kMaxCatMatrices * 16];
+    for (int c = 0; c < layout.ncat_model; ++c) {
+      transpose16(pmat_left + c * 16, pt_left + c * 16);
+      transpose16(pmat_right + c * 16, pt_right + c * 16);
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_l = clv_left + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = layout.model_cat(p, c);
+        const v4df xl = pdotvec_v(pt_left + mc * 16, in_l + c * 4);
+        const v4df xr = pdotvec_v(pt_right + mc * 16, in_r + c * 4);
+        store4(out + c * 4, xl * xr);
+      }
+      scale[p] = scale_left[p] + scale_right[p] + maybe_rescale(out, cc * 4);
+    }
+    return;
+  }
+#endif
+  for (std::size_t p = begin; p < end; ++p) {
+    double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+    const double* in_l = clv_left + (p * static_cast<std::size_t>(cc)) * 4;
+    const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      double xl[4], xr[4];
+      pdotvec(pmat_left + mc * 16, in_l + c * 4, xl);
+      pdotvec(pmat_right + mc * 16, in_r + c * 4, xr);
+      for (int i = 0; i < 4; ++i) out[c * 4 + i] = xl[i] * xr[i];
+    }
+    scale[p] = scale_left[p] + scale_right[p] + maybe_rescale(out, cc * 4);
+  }
+}
+
+double evaluate_tip_inner(const RateLayout& layout, std::size_t begin,
+                          std::size_t end, const double* freqs,
+                          const DnaState* tip_x, const double* lookup_x,
+                          const double* clv_y, const int* scale_y,
+                          const int* weights, double* per_pattern) {
+  const int cc = layout.clv_cats;
+  double lnl = 0.0;
+  for (std::size_t p = begin; p < end; ++p) {
+    const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+    double total = 0.0;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      // lookup_x rows are P(t) * tip-indicator, i.e. sum_j P_ij x_j; the edge
+      // likelihood sums pi_i * y_i * (P x)_i.
+      const double* tx = lookup_x + mc * 64 + tip_x[p] * 4;
+      double cat = 0.0;
+      for (int i = 0; i < 4; ++i) cat += freqs[i] * tx[i] * y[c * 4 + i];
+      total += layout.weight(c) * cat;
+    }
+    if (total < kMinLikelihood) total = kMinLikelihood;
+    const double site_lnl = std::log(total) - scale_y[p] * kLogScaleFactor;
+    lnl += weights[p] * site_lnl;
+    if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+  }
+  return lnl;
+}
+
+double evaluate_inner_inner(const RateLayout& layout, std::size_t begin,
+                            std::size_t end, const double* freqs,
+                            const double* clv_x, const int* scale_x,
+                            const double* pmat, const double* clv_y,
+                            const int* scale_y, const int* weights,
+                            double* per_pattern) {
+  const int cc = layout.clv_cats;
+#if defined(__GNUC__)
+  if (kernel_mode() == KernelMode::kVector &&
+      layout.ncat_model <= kMaxCatMatrices) {
+    double pt[kMaxCatMatrices * 16];
+    for (int c = 0; c < layout.ncat_model; ++c)
+      transpose16(pmat + c * 16, pt + c * 16);
+    const v4df fv = load4(freqs);
+    double lnl = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* x = clv_x + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+      double total = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = layout.model_cat(p, c);
+        const v4df py = pdotvec_v(pt + mc * 16, y + c * 4);
+        const v4df terms = fv * load4(x + c * 4) * py;
+        // Same add order as the scalar i-loop.
+        const double cat = ((terms[0] + terms[1]) + terms[2]) + terms[3];
+        total += layout.weight(c) * cat;
+      }
+      if (total < kMinLikelihood) total = kMinLikelihood;
+      const double site_lnl =
+          std::log(total) - (scale_x[p] + scale_y[p]) * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+    return lnl;
+  }
+#endif
+  double lnl = 0.0;
+  for (std::size_t p = begin; p < end; ++p) {
+    const double* x = clv_x + (p * static_cast<std::size_t>(cc)) * 4;
+    const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+    double total = 0.0;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      double py[4];
+      pdotvec(pmat + mc * 16, y + c * 4, py);
+      double cat = 0.0;
+      for (int i = 0; i < 4; ++i) cat += freqs[i] * x[c * 4 + i] * py[i];
+      total += layout.weight(c) * cat;
+    }
+    if (total < kMinLikelihood) total = kMinLikelihood;
+    const double site_lnl =
+        std::log(total) - (scale_x[p] + scale_y[p]) * kLogScaleFactor;
+    lnl += weights[p] * site_lnl;
+    if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+  }
+  return lnl;
+}
+
+void edge_sumtable_tip_inner(const RateLayout& layout, std::size_t begin,
+                             std::size_t end, const double* freqs,
+                             const double* vmat, const double* vinv,
+                             const DnaState* tip_x, const double* clv_y,
+                             double* sumtable) {
+  const int cc = layout.clv_cats;
+  for (std::size_t p = begin; p < end; ++p) {
+    const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+    double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+    double x[4];
+    for (int i = 0; i < 4; ++i) x[i] = (tip_x[p] >> i) & 1 ? 1.0 : 0.0;
+    for (int c = 0; c < cc; ++c) {
+      for (int k = 0; k < 4; ++k) {
+        double u = 0.0, w = 0.0;
+        for (int i = 0; i < 4; ++i) {
+          u += freqs[i] * x[i] * vmat[i * 4 + k];
+          w += vinv[k * 4 + i] * y[c * 4 + i];
+        }
+        st[c * 4 + k] = u * w;
+      }
+    }
+  }
+}
+
+void edge_sumtable_inner_inner(const RateLayout& layout, std::size_t begin,
+                               std::size_t end, const double* freqs,
+                               const double* vmat, const double* vinv,
+                               const double* clv_x, const double* clv_y,
+                               double* sumtable) {
+  const int cc = layout.clv_cats;
+  for (std::size_t p = begin; p < end; ++p) {
+    const double* x = clv_x + (p * static_cast<std::size_t>(cc)) * 4;
+    const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+    double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+    for (int c = 0; c < cc; ++c) {
+      for (int k = 0; k < 4; ++k) {
+        double u = 0.0, w = 0.0;
+        for (int i = 0; i < 4; ++i) {
+          u += freqs[i] * x[c * 4 + i] * vmat[i * 4 + k];
+          w += vinv[k * 4 + i] * y[c * 4 + i];
+        }
+        st[c * 4 + k] = u * w;
+      }
+    }
+  }
+}
+
+Derivatives nr_derivatives(const RateLayout& layout, std::size_t begin,
+                           std::size_t end, const double* sumtable,
+                           const double* eigenvalues, const double* cat_rates,
+                           double t, const int* weights) {
+  const int cc = layout.clv_cats;
+  Derivatives out;
+  for (std::size_t p = begin; p < end; ++p) {
+    const double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+    double a = 0.0, a1 = 0.0, a2 = 0.0;
+    for (int c = 0; c < cc; ++c) {
+      const int mc = layout.model_cat(p, c);
+      const double r = cat_rates[mc];
+      const double wc = layout.weight(c);
+      for (int k = 0; k < 4; ++k) {
+        const double lr = eigenvalues[k] * r;
+        const double term = st[c * 4 + k] * std::exp(lr * t);
+        a += wc * term;
+        a1 += wc * lr * term;
+        a2 += wc * lr * lr * term;
+      }
+    }
+    if (a < kMinLikelihood) a = kMinLikelihood;
+    const double w = weights[p];
+    out.lnl += w * std::log(a);
+    const double inv = 1.0 / a;
+    out.d1 += w * a1 * inv;
+    out.d2 += w * (a2 * inv - (a1 * inv) * (a1 * inv));
+  }
+  return out;
+}
+
+}  // namespace raxh::kern

@@ -1,0 +1,133 @@
+// Raw per-pattern-range likelihood kernels (the "newview / evaluate /
+// derivative" trio of RAxML). All functions operate on a contiguous pattern
+// range [begin, end), which is the unit the thread crew stripes across
+// workers. No kernel allocates or synchronizes; the engine owns buffers and
+// dispatch.
+//
+// Conventions:
+//  * CLVs are pattern-major: clv[((p * clv_cats) + c) * 4 + state], scaled by
+//    2^(256 * scale[p]) to dodge underflow.
+//  * Tip data are 4-bit IUPAC masks; tip "CLV" entries are 0/1 indicators.
+//  * `RateLayout` abstracts GAMMA (all categories per pattern) vs CAT (one
+//    category per pattern, chosen by pattern_cat).
+#pragma once
+
+#include <cstddef>
+
+#include "bio/dna.h"
+
+namespace raxh::kern {
+
+inline constexpr double kScaleThreshold = 1.0 / 1.329227995784916e+36 /
+                                          1.329227995784916e+36 /
+                                          1.329227995784916e+36 /
+                                          1.329227995784916e+36;  // 2^-480
+inline constexpr double kScaleFactor = 1.329227995784916e+36 *
+                                       1.329227995784916e+36 *
+                                       1.329227995784916e+36 *
+                                       1.329227995784916e+36;  // 2^480
+// log(kScaleFactor): each scale count contributes -480*ln2 to the true lnL.
+inline constexpr double kLogScaleFactor = 332.7106466687737;
+
+// Kernel implementation selection. kVector uses GCC vector extensions over
+// the 4-state dimension (the analogue of the paper's SSE3/SSE4.2 builds,
+// which bought ~10% on 2009 hardware); it computes BITWISE-identical results
+// to kScalar (same operation order per lane) — asserted by the tests and
+// measured by bench_ablation_simd. Process-wide; not meant to be toggled
+// concurrently with running kernels.
+enum class KernelMode { kScalar, kVector };
+
+// Upper bound on per-category P matrices the vector paths stage on the
+// stack; layouts with more categories fall back to the scalar path.
+inline constexpr int kMaxCatMatrices = 32;
+void set_kernel_mode(KernelMode mode);
+KernelMode kernel_mode();
+
+struct RateLayout {
+  int ncat_model = 1;   // number of per-category P matrices / rates
+  int clv_cats = 1;     // categories stored per pattern (GAMMA: ncat, CAT: 1)
+  const int* pattern_cat = nullptr;  // CAT: pattern -> model category
+  const double* cat_weights = nullptr;  // GAMMA: per-category weights
+
+  // Model category of storage category c for pattern p.
+  [[nodiscard]] int model_cat(std::size_t p, int c) const {
+    return pattern_cat != nullptr ? pattern_cat[p] : c;
+  }
+  [[nodiscard]] double weight(int c) const {
+    return cat_weights != nullptr ? cat_weights[c] : 1.0;
+  }
+};
+
+// Precomputed P * tip-indicator products: lookup[cat*64 + mask*4 + i] =
+// sum_{j in mask} P_cat[i][j]. Built once per (edge length, model) by the
+// engine; kernels index it by the tip's 4-bit mask.
+void build_tip_lookup(const double* pmats, int ncat, double* lookup);
+
+// --- newview: fill the CLV at a node from its two children ---
+
+void newview_tip_tip(const RateLayout& layout, std::size_t begin,
+                     std::size_t end, const DnaState* tip_left,
+                     const DnaState* tip_right, const double* lookup_left,
+                     const double* lookup_right, double* clv, int* scale);
+
+void newview_tip_inner(const RateLayout& layout, std::size_t begin,
+                       std::size_t end, const DnaState* tip_left,
+                       const double* lookup_left, const double* clv_right,
+                       const int* scale_right, const double* pmat_right,
+                       double* clv, int* scale);
+
+void newview_inner_inner(const RateLayout& layout, std::size_t begin,
+                         std::size_t end, const double* clv_left,
+                         const int* scale_left, const double* pmat_left,
+                         const double* clv_right, const int* scale_right,
+                         const double* pmat_right, double* clv, int* scale);
+
+// --- evaluate: log-likelihood across an edge ---
+
+// x side is a tip (mask + lookup built from the edge P matrices); y side is a
+// CLV. Returns the weighted lnL of the range; if per_pattern != nullptr also
+// writes each pattern's unweighted lnL.
+double evaluate_tip_inner(const RateLayout& layout, std::size_t begin,
+                          std::size_t end, const double* freqs,
+                          const DnaState* tip_x, const double* lookup_x,
+                          const double* clv_y, const int* scale_y,
+                          const int* weights, double* per_pattern);
+
+// Both sides are CLVs; the edge P matrices multiply the y side.
+double evaluate_inner_inner(const RateLayout& layout, std::size_t begin,
+                            std::size_t end, const double* freqs,
+                            const double* clv_x, const int* scale_x,
+                            const double* pmat, const double* clv_y,
+                            const int* scale_y, const int* weights,
+                            double* per_pattern);
+
+// --- Newton-Raphson support across an edge ---
+
+// sumtable[p][c][k] = (sum_i pi_i x_i V_ik) * (sum_j Vinv_kj y_j): the edge
+// likelihood becomes L(t) = sum_k sumtable_k * exp(lambda_k * r_c * t),
+// making the branch-length derivatives analytic.
+void edge_sumtable_tip_inner(const RateLayout& layout, std::size_t begin,
+                             std::size_t end, const double* freqs,
+                             const double* vmat, const double* vinv,
+                             const DnaState* tip_x, const double* clv_y,
+                             double* sumtable);
+
+void edge_sumtable_inner_inner(const RateLayout& layout, std::size_t begin,
+                               std::size_t end, const double* freqs,
+                               const double* vmat, const double* vinv,
+                               const double* clv_x, const double* clv_y,
+                               double* sumtable);
+
+// First and second derivative of the range's weighted lnL with respect to the
+// branch length t, plus the (scale-ignoring) lnL value itself.
+struct Derivatives {
+  double lnl = 0.0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+};
+Derivatives nr_derivatives(const RateLayout& layout, std::size_t begin,
+                           std::size_t end, const double* sumtable,
+                           const double* eigenvalues, const double* cat_rates,
+                           double t, const int* weights);
+
+}  // namespace raxh::kern

@@ -1,0 +1,66 @@
+// Partitioned likelihood: one LikelihoodEngine per partition over a SHARED
+// topology with joint branch lengths. The total lnL is the sum over
+// partitions; branch-length optimization sums the Newton-Raphson derivatives
+// across partitions (a branch has one length, but every partition's data
+// weighs in); model parameters are optimized per partition independently.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bio/partitions.h"
+#include "bio/patterns.h"
+#include "likelihood/engine.h"
+#include "likelihood/evaluator.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+class PartitionedEngine final : public Evaluator {
+ public:
+  enum class RateScheme { kCat, kGamma };
+
+  // Build from an alignment + scheme. Each partition gets its own GTR with
+  // empirical frequencies and its own rate model. `crew` (optional) is
+  // shared across partitions.
+  PartitionedEngine(const Alignment& alignment, const PartitionScheme& scheme,
+                    RateScheme rates = RateScheme::kCat,
+                    Workforce* crew = nullptr);
+
+  [[nodiscard]] std::size_t num_partitions() const { return engines_.size(); }
+  [[nodiscard]] std::size_t num_taxa() const {
+    return patterns_.front().num_taxa();
+  }
+  [[nodiscard]] const PatternAlignment& patterns(std::size_t i) const {
+    return patterns_[i];
+  }
+  [[nodiscard]] LikelihoodEngine& engine(std::size_t i) {
+    return *engines_[i];
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return patterns_.front().names();
+  }
+
+  // --- Evaluator interface ---
+  double evaluate(const Tree& tree, int rec) override;
+  using Evaluator::evaluate;
+  double optimize_branch(Tree& tree, int rec) override;
+  double smooth_branches(Tree& tree, int passes) override;
+  // Per-partition GTR + rate-model optimization; returns total lnL.
+  double optimize_model(Tree& tree) override;
+
+  // Per-partition lnL at the canonical edge (diagnostics, tests).
+  [[nodiscard]] std::vector<double> per_partition_lnl(const Tree& tree);
+
+  // Bootstrap support: resample within each partition (columns never cross
+  // partitions, as in RAxML's partitioned bootstrapping).
+  void set_bootstrap_weights(Lcg& rng);
+  void reset_weights();
+
+ private:
+  std::vector<PatternAlignment> patterns_;  // owned; engines point into these
+  std::vector<std::unique_ptr<LikelihoodEngine>> engines_;
+  RateScheme rate_scheme_;
+};
+
+}  // namespace raxh

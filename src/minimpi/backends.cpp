@@ -1,0 +1,239 @@
+// The two Comm backends: in-process threads (testing) and forked processes
+// over a socketpair mesh (deployment).
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "minimpi/comm.h"
+#include "util/check.h"
+
+namespace raxh::mpi {
+
+namespace {
+
+// ---------- thread backend ----------
+
+struct Message {
+  int tag;
+  Bytes payload;
+};
+
+// One FIFO channel per ordered (src, dst) pair.
+struct Channel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct ThreadHub {
+  explicit ThreadHub(int n) : nranks(n), channels(static_cast<std::size_t>(n) * n) {}
+  int nranks;
+  std::vector<std::unique_ptr<Channel>> channels;  // [src * n + dst]
+
+  Channel& channel(int src, int dst) {
+    auto& slot = channels[static_cast<std::size_t>(src) * nranks + dst];
+    return *slot;
+  }
+};
+
+class ThreadComm final : public Comm {
+ public:
+  ThreadComm(ThreadHub* hub, int my_rank) : hub_(hub), rank_(my_rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return hub_->nranks; }
+
+  void send(int dest, int tag, const Bytes& payload) override {
+    RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
+    Channel& ch = hub_->channel(rank_, dest);
+    {
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      ch.queue.push_back(Message{tag, payload});
+    }
+    ch.cv.notify_one();
+  }
+
+  Bytes recv(int src, int tag) override {
+    RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
+    Channel& ch = hub_->channel(src, rank_);
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    Message m = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    // Deterministic protocols receive in send order; a tag mismatch is a
+    // protocol bug, not a runtime condition.
+    RAXH_ASSERT(m.tag == tag);
+    return std::move(m.payload);
+  }
+
+ private:
+  ThreadHub* hub_;
+  int rank_;
+};
+
+// ---------- process backend ----------
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      std::perror("minimpi write");
+      std::abort();
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      std::perror("minimpi read (peer gone?)");
+      std::abort();
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+class ProcessComm final : public Comm {
+ public:
+  // fds[r] = this rank's socket to rank r (-1 for self).
+  ProcessComm(int my_rank, std::vector<int> fds)
+      : rank_(my_rank), fds_(std::move(fds)) {}
+
+  ~ProcessComm() override {
+    for (int fd : fds_)
+      if (fd >= 0) ::close(fd);
+  }
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override {
+    return static_cast<int>(fds_.size());
+  }
+
+  void send(int dest, int tag, const Bytes& payload) override {
+    RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
+    const int fd = fds_[static_cast<std::size_t>(dest)];
+    std::uint64_t header[2] = {static_cast<std::uint64_t>(tag),
+                               payload.size()};
+    write_all(fd, header, sizeof(header));
+    if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+  }
+
+  Bytes recv(int src, int tag) override {
+    RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
+    const int fd = fds_[static_cast<std::size_t>(src)];
+    std::uint64_t header[2];
+    read_all(fd, header, sizeof(header));
+    RAXH_ASSERT(static_cast<int>(header[0]) == tag);
+    Bytes payload(static_cast<std::size_t>(header[1]));
+    if (!payload.empty()) read_all(fd, payload.data(), payload.size());
+    return payload;
+  }
+
+ private:
+  int rank_;
+  std::vector<int> fds_;
+};
+
+}  // namespace
+
+void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  RAXH_EXPECTS(nranks >= 1);
+  ThreadHub hub(nranks);
+  for (int s = 0; s < nranks; ++s)
+    for (int d = 0; d < nranks; ++d)
+      hub.channels[static_cast<std::size_t>(s) * nranks + d] =
+          std::make_unique<Channel>();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&hub, &fn, r] {
+      ThreadComm comm(&hub, r);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  RAXH_EXPECTS(nranks >= 1);
+  if (nranks == 1) {
+    ProcessComm comm(0, {-1});
+    fn(comm);
+    return;
+  }
+
+  // mesh[i][j]: fd owned by rank i talking to rank j.
+  std::vector<std::vector<int>> mesh(
+      static_cast<std::size_t>(nranks),
+      std::vector<int>(static_cast<std::size_t>(nranks), -1));
+  for (int i = 0; i < nranks; ++i) {
+    for (int j = i + 1; j < nranks; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        std::perror("minimpi socketpair");
+        std::abort();
+      }
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sv[0];
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
+    }
+  }
+
+  auto close_all_except = [&](int keep_rank) {
+    for (int i = 0; i < nranks; ++i)
+      for (int j = 0; j < nranks; ++j)
+        if (i != keep_rank && mesh[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)] >= 0)
+          ::close(mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+  };
+
+  std::vector<pid_t> children;
+  for (int r = 1; r < nranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("minimpi fork");
+      std::abort();
+    }
+    if (pid == 0) {
+      close_all_except(r);
+      {
+        ProcessComm comm(r, std::move(mesh[static_cast<std::size_t>(r)]));
+        fn(comm);
+      }
+      std::_Exit(0);
+    }
+    children.push_back(pid);
+  }
+
+  close_all_except(0);
+  {
+    ProcessComm comm(0, std::move(mesh[0]));
+    fn(comm);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "[minimpi] child rank exited abnormally\n");
+      std::abort();
+    }
+  }
+}
+
+}  // namespace raxh::mpi

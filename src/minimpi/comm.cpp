@@ -1,0 +1,198 @@
+#include "minimpi/comm.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace raxh::mpi {
+
+void Comm::barrier() {
+  // Central coordinator: everyone checks in with rank 0, rank 0 releases.
+  const Bytes empty;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, kTagBarrier);
+    for (int r = 1; r < size(); ++r) send(r, kTagBarrier, empty);
+  } else {
+    send(0, kTagBarrier, empty);
+    recv(0, kTagBarrier);
+  }
+}
+
+void Comm::bcast(Bytes& data, int root) {
+  RAXH_EXPECTS(root >= 0 && root < size());
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kTagBcast, data);
+  } else {
+    data = recv(root, kTagBcast);
+  }
+}
+
+void Comm::bcast_string(std::string& data, int root) {
+  Bytes bytes(data.begin(), data.end());
+  bcast(bytes, root);
+  data.assign(bytes.begin(), bytes.end());
+}
+
+Comm::MaxLoc Comm::allreduce_maxloc(double value) {
+  Packer p;
+  p.put(value);
+  Bytes mine = p.take();
+  MaxLoc best{value, rank()};
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const Bytes b = recv(r, kTagReduce);
+      Unpacker u(b);
+      const double v = u.get<double>();
+      if (v > best.value) best = MaxLoc{v, r};
+    }
+  } else {
+    send(0, kTagReduce, mine);
+  }
+  Packer out;
+  out.put(best.value);
+  out.put(best.rank);
+  Bytes result = out.take();
+  bcast(result, 0);
+  Unpacker u(result);
+  best.value = u.get<double>();
+  best.rank = u.get<int>();
+  return best;
+}
+
+double Comm::allreduce_sum(double value) {
+  double total = value;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const Bytes b = recv(r, kTagReduce);
+      Unpacker u(b);
+      total += u.get<double>();
+    }
+  } else {
+    Packer p;
+    p.put(value);
+    send(0, kTagReduce, p.bytes());
+  }
+  Packer out;
+  out.put(total);
+  Bytes result = out.take();
+  bcast(result, 0);
+  Unpacker u(result);
+  return u.get<double>();
+}
+
+double Comm::allreduce_max(double value) {
+  double best = value;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const Bytes b = recv(r, kTagReduce);
+      Unpacker u(b);
+      best = std::max(best, u.get<double>());
+    }
+  } else {
+    Packer p;
+    p.put(value);
+    send(0, kTagReduce, p.bytes());
+  }
+  Packer out;
+  out.put(best);
+  Bytes result = out.take();
+  bcast(result, 0);
+  Unpacker u(result);
+  return u.get<double>();
+}
+
+long Comm::allreduce_sum_long(long value) {
+  long total = value;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const Bytes b = recv(r, kTagReduce);
+      Unpacker u(b);
+      total += u.get<long>();
+    }
+  } else {
+    Packer p;
+    p.put(value);
+    send(0, kTagReduce, p.bytes());
+  }
+  Packer out;
+  out.put(total);
+  Bytes result = out.take();
+  bcast(result, 0);
+  Unpacker u(result);
+  return u.get<long>();
+}
+
+std::vector<std::vector<double>> Comm::gather_doubles(
+    const std::vector<double>& mine, int root) {
+  std::vector<std::vector<double>> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = mine;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Bytes b = recv(r, kTagGather);
+      Unpacker u(b);
+      out[static_cast<std::size_t>(r)] = u.get_doubles();
+    }
+  } else {
+    Packer p;
+    p.put_doubles(mine);
+    send(root, kTagGather, p.bytes());
+  }
+  return out;
+}
+
+std::vector<std::string> Comm::gather_strings(const std::string& mine,
+                                              int root) {
+  std::vector<std::string> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = mine;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Bytes b = recv(r, kTagGather);
+      Unpacker u(b);
+      out[static_cast<std::size_t>(r)] = u.get_string();
+    }
+  } else {
+    Packer p;
+    p.put_string(mine);
+    send(root, kTagGather, p.bytes());
+  }
+  return out;
+}
+
+void Packer::put_string(const std::string& s) {
+  put(static_cast<std::uint64_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  data_.insert(data_.end(), p, p + s.size());
+}
+
+void Packer::put_doubles(const std::vector<double>& v) {
+  put(static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  data_.insert(data_.end(), p, p + v.size() * sizeof(double));
+}
+
+void Unpacker::read(std::uint8_t* out, std::size_t n) {
+  RAXH_EXPECTS(offset_ + n <= data_->size());
+  std::memcpy(out, data_->data() + offset_, n);
+  offset_ += n;
+}
+
+std::string Unpacker::get_string() {
+  const auto n = static_cast<std::size_t>(get<std::uint64_t>());
+  std::string s(n, '\0');
+  read(reinterpret_cast<std::uint8_t*>(s.data()), n);
+  return s;
+}
+
+std::vector<double> Unpacker::get_doubles() {
+  const auto n = static_cast<std::size_t>(get<std::uint64_t>());
+  std::vector<double> v(n);
+  read(reinterpret_cast<std::uint8_t*>(v.data()), n * sizeof(double));
+  return v;
+}
+
+}  // namespace raxh::mpi

@@ -1,0 +1,116 @@
+// minimpi: the message-passing runtime hosting the coarse-grained level of
+// the hybrid parallelization. The paper's MPI usage is deliberately minimal —
+// per-rank independent work, one barrier after the bootstrap stage, one
+// broadcast of the winning tree at the end — so this runtime implements
+// exactly that contract: blocking tagged point-to-point plus the collectives
+// Barrier / Bcast / Allreduce / Gather built on top of it.
+//
+// Two backends share the Comm interface:
+//  * ProcessComm — ranks are forked OS processes wired by a full mesh of
+//    Unix socketpairs (no shared memory; the real coarse-grained deployment).
+//  * ThreadComm  — ranks are threads with in-process channels (deterministic
+//    unit testing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace raxh::mpi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  // Blocking tagged point-to-point. recv blocks until a message with the
+  // exact (src, tag) arrives; messages from one src preserve send order.
+  virtual void send(int dest, int tag, const Bytes& payload) = 0;
+  virtual Bytes recv(int src, int tag) = 0;
+
+  // --- collectives (implemented over send/recv; every rank must call) ---
+  void barrier();
+  void bcast(Bytes& data, int root);
+  void bcast_string(std::string& data, int root);
+
+  // Max over all ranks, plus the lowest rank attaining it (MPI_MAXLOC).
+  struct MaxLoc {
+    double value;
+    int rank;
+  };
+  MaxLoc allreduce_maxloc(double value);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  long allreduce_sum_long(long value);
+
+  // Root receives every rank's vector (in rank order); others get {}.
+  std::vector<std::vector<double>> gather_doubles(
+      const std::vector<double>& mine, int root);
+  std::vector<std::string> gather_strings(const std::string& mine, int root);
+
+ protected:
+  static constexpr int kTagBarrier = 1000000;
+  static constexpr int kTagBcast = 1000001;
+  static constexpr int kTagReduce = 1000002;
+  static constexpr int kTagGather = 1000003;
+};
+
+// --- serialization helpers for payloads ---
+
+class Packer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+  void put_string(const std::string& s);
+  void put_doubles(const std::vector<double>& v);
+
+  [[nodiscard]] const Bytes& bytes() const { return data_; }
+  Bytes take() { return std::move(data_); }
+
+ private:
+  Bytes data_;
+};
+
+class Unpacker {
+ public:
+  explicit Unpacker(const Bytes& data) : data_(&data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read(reinterpret_cast<std::uint8_t*>(&value), sizeof(T));
+    return value;
+  }
+  std::string get_string();
+  std::vector<double> get_doubles();
+
+  [[nodiscard]] bool exhausted() const { return offset_ == data_->size(); }
+
+ private:
+  void read(std::uint8_t* out, std::size_t n);
+
+  const Bytes* data_;
+  std::size_t offset_ = 0;
+};
+
+// Run `fn(comm)` on `nranks` thread-backed ranks; returns when all finish.
+// Exceptions escaping a rank abort the program (as an MPI error would).
+void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+// Run `fn(comm)` on `nranks` process-backed ranks. The calling process
+// becomes rank 0 (its fn return is the caller's); ranks 1.. are forked
+// children that _exit after fn. Call before creating any threads.
+void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace raxh::mpi

@@ -1,0 +1,81 @@
+#include "model/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace raxh {
+
+SymmetricEigen jacobi_eigen(const std::vector<double>& a, std::size_t n) {
+  RAXH_EXPECTS(a.size() == n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      RAXH_EXPECTS(std::fabs(a[i * n + j] - a[j * n + i]) < 1e-9);
+
+  std::vector<double> m = a;          // working copy, becomes diagonal
+  std::vector<double> v(n * n, 0.0);  // accumulated rotations
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diag_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += m[i * n + j] * m[i * n + j];
+    return s;
+  };
+
+  for (int sweep = 0; sweep < 100 && off_diag_norm() > 1e-24; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m[x * n + x] < m[y * n + y];
+  });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = m[order[j] * n + order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      out.vectors[i * n + j] = v[i * n + order[j]];
+  }
+  return out;
+}
+
+}  // namespace raxh

@@ -1,0 +1,21 @@
+// Cyclic Jacobi eigendecomposition for small dense symmetric matrices.
+// Sufficient for the 4x4 symmetrized GTR rate matrix; no external linear
+// algebra dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raxh {
+
+struct SymmetricEigen {
+  // Column j of `vectors` is the eigenvector for `values[j]`.
+  std::vector<double> values;   // n
+  std::vector<double> vectors;  // n*n, row-major
+};
+
+// Decompose the symmetric n x n row-major matrix `a`. Requires symmetry up to
+// round-off (asserted). Eigenvalues are returned in ascending order.
+SymmetricEigen jacobi_eigen(const std::vector<double>& a, std::size_t n);
+
+}  // namespace raxh

@@ -1,0 +1,120 @@
+#include "model/rates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math_ext.h"
+
+namespace raxh {
+
+RateModel RateModel::uniform() {
+  RateModel m;
+  m.kind_ = RateKind::kUniform;
+  m.rates_ = {1.0};
+  return m;
+}
+
+RateModel RateModel::gamma(double alpha, int ncat) {
+  RAXH_EXPECTS(alpha > 0.0);
+  RAXH_EXPECTS(ncat >= 1);
+  RateModel m;
+  m.kind_ = RateKind::kGamma;
+  m.alpha_ = alpha;
+  m.rates_ = discrete_gamma_rates(alpha, ncat);
+  return m;
+}
+
+RateModel RateModel::cat(std::size_t num_patterns) {
+  RAXH_EXPECTS(num_patterns > 0);
+  RateModel m;
+  m.kind_ = RateKind::kCat;
+  m.rates_ = {1.0};
+  m.pattern_category_.assign(num_patterns, 0);
+  return m;
+}
+
+void RateModel::set_alpha(double alpha) {
+  RAXH_EXPECTS(kind_ == RateKind::kGamma);
+  RAXH_EXPECTS(alpha > 0.0);
+  alpha_ = alpha;
+  rates_ = discrete_gamma_rates(alpha, static_cast<int>(rates_.size()));
+}
+
+void RateModel::set_categories(std::vector<double> category_rates,
+                               std::vector<int> categories) {
+  RAXH_EXPECTS(kind_ == RateKind::kCat);
+  RAXH_EXPECTS(!category_rates.empty());
+  RAXH_EXPECTS(categories.size() == pattern_category_.size());
+  for (double r : category_rates) RAXH_EXPECTS(r > 0.0);
+  for (int c : categories)
+    RAXH_EXPECTS(c >= 0 && c < static_cast<int>(category_rates.size()));
+  rates_ = std::move(category_rates);
+  pattern_category_ = std::move(categories);
+}
+
+void RateModel::assign_categories_from_rates(
+    std::span<const double> pattern_rates, std::span<const int> pattern_weights,
+    int max_categories) {
+  RAXH_EXPECTS(kind_ == RateKind::kCat);
+  RAXH_EXPECTS(pattern_rates.size() == pattern_category_.size());
+  RAXH_EXPECTS(pattern_weights.size() == pattern_rates.size());
+  RAXH_EXPECTS(max_categories >= 1);
+
+  const std::size_t npat = pattern_rates.size();
+
+  // Sort patterns by estimated rate.
+  std::vector<std::size_t> order(npat);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pattern_rates[a] < pattern_rates[b];
+  });
+
+  long total_weight = 0;
+  for (int w : pattern_weights) total_weight += w;
+  RAXH_EXPECTS(total_weight > 0);
+
+  // Quantile clustering: walk patterns in rate order, open a new category
+  // every total/K sites of cumulative weight.
+  const int ncat = std::min<int>(max_categories, static_cast<int>(npat));
+  std::vector<int> categories(npat, 0);
+  std::vector<double> cat_rate_sum(static_cast<std::size_t>(ncat), 0.0);
+  std::vector<long> cat_weight(static_cast<std::size_t>(ncat), 0);
+
+  long cumulative = 0;
+  for (std::size_t rank = 0; rank < npat; ++rank) {
+    const std::size_t p = order[rank];
+    int cat = static_cast<int>((cumulative * ncat) / total_weight);
+    cat = std::min(cat, ncat - 1);
+    categories[p] = cat;
+    cat_rate_sum[static_cast<std::size_t>(cat)] +=
+        pattern_rates[p] * pattern_weights[p];
+    cat_weight[static_cast<std::size_t>(cat)] += pattern_weights[p];
+    cumulative += pattern_weights[p];
+  }
+
+  std::vector<double> cat_rates(static_cast<std::size_t>(ncat), 1.0);
+  for (int c = 0; c < ncat; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    cat_rates[cs] = cat_weight[cs] > 0
+                        ? cat_rate_sum[cs] / static_cast<double>(cat_weight[cs])
+                        : 1.0;
+    cat_rates[cs] = std::max(cat_rates[cs], 1e-4);
+  }
+
+  // Normalize so the site-weighted mean rate is exactly 1 (keeps branch
+  // lengths in expected-substitutions units).
+  double mean = 0.0;
+  for (std::size_t p = 0; p < npat; ++p)
+    mean += cat_rates[static_cast<std::size_t>(categories[p])] *
+            pattern_weights[p];
+  mean /= static_cast<double>(total_weight);
+  RAXH_ASSERT(mean > 0.0);
+  for (double& r : cat_rates) r /= mean;
+
+  rates_ = std::move(cat_rates);
+  pattern_category_ = std::move(categories);
+}
+
+}  // namespace raxh

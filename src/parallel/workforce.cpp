@@ -1,0 +1,99 @@
+#include "parallel/workforce.h"
+
+#include "util/check.h"
+
+namespace raxh {
+
+Stripe stripe(std::size_t total, int tid, int nthreads) {
+  RAXH_EXPECTS(nthreads >= 1);
+  RAXH_EXPECTS(tid >= 0 && tid < nthreads);
+  const auto t = static_cast<std::size_t>(tid);
+  const auto n = static_cast<std::size_t>(nthreads);
+  return Stripe{total * t / n, total * (t + 1) / n};
+}
+
+Workforce::Workforce(int num_threads) : num_threads_(num_threads) {
+  RAXH_EXPECTS(num_threads >= 1);
+  resize_reduction(1);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int tid = 1; tid < num_threads; ++tid)
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+Workforce::~Workforce() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Workforce::run(const std::function<void(int, int)>& job) {
+  if (num_threads_ == 1) {
+    job(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    running_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  job(0, num_threads_);  // master participates
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void Workforce::worker_loop(int tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(tid, num_threads_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void Workforce::resize_reduction(std::size_t slots_per_thread) {
+  reduction_slots_ = slots_per_thread;
+  const std::size_t padded =
+      (slots_per_thread + kPadDoubles - 1) / kPadDoubles * kPadDoubles +
+      kPadDoubles;
+  reduction_.assign(static_cast<std::size_t>(num_threads_) * padded, 0.0);
+}
+
+double& Workforce::reduction(int tid, std::size_t slot) {
+  RAXH_EXPECTS(slot < reduction_slots_);
+  const std::size_t padded =
+      (reduction_slots_ + kPadDoubles - 1) / kPadDoubles * kPadDoubles +
+      kPadDoubles;
+  return reduction_[static_cast<std::size_t>(tid) * padded + slot];
+}
+
+double Workforce::sum_reduction(std::size_t slot) const {
+  const std::size_t padded =
+      (reduction_slots_ + kPadDoubles - 1) / kPadDoubles * kPadDoubles +
+      kPadDoubles;
+  double sum = 0.0;
+  for (int t = 0; t < num_threads_; ++t)
+    sum += reduction_[static_cast<std::size_t>(t) * padded + slot];
+  return sum;
+}
+
+}  // namespace raxh

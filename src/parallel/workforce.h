@@ -1,0 +1,71 @@
+// The fine-grained thread crew: the std::thread analogue of RAxML's Pthreads
+// master/worker parallelization. One crew is created per coarse-grained rank;
+// the likelihood engine dispatches per-pattern kernel jobs to it.
+//
+// Design follows RAxML's scheme: the master thread participates in every job,
+// workers persist across jobs (no per-job thread spawn), and a barrier
+// separates job issue from job completion. Work is split by striping the
+// pattern range contiguously across threads (see stripe()).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raxh {
+
+// Contiguous sub-range [begin, end) of `total` items for thread `tid` of
+// `nthreads` (balanced to within one item).
+struct Stripe {
+  std::size_t begin;
+  std::size_t end;
+};
+Stripe stripe(std::size_t total, int tid, int nthreads);
+
+class Workforce {
+ public:
+  // `num_threads` >= 1; one of them is the calling (master) thread, so
+  // num_threads-1 workers are spawned.
+  explicit Workforce(int num_threads);
+  ~Workforce();
+
+  Workforce(const Workforce&) = delete;
+  Workforce& operator=(const Workforce&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  // Execute job(tid, num_threads) on every thread (master runs tid 0) and
+  // wait until all have finished. Must be called from the thread that
+  // constructed the crew; jobs must not call run() reentrantly.
+  void run(const std::function<void(int tid, int nthreads)>& job);
+
+  // Cache-line-padded per-thread accumulator block for reductions.
+  // reduction(i) is thread i's slot; sum_reduction() adds them up.
+  void resize_reduction(std::size_t slots_per_thread);
+  double& reduction(int tid, std::size_t slot = 0);
+  [[nodiscard]] double sum_reduction(std::size_t slot = 0) const;
+
+ private:
+  void worker_loop(int tid);
+
+  static constexpr std::size_t kPadDoubles = 8;  // 64-byte lines
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per job; workers wait on it
+  int running_ = 0;               // workers still executing current job
+  bool shutdown_ = false;
+
+  std::size_t reduction_slots_ = 1;
+  std::vector<double> reduction_;  // [thread][slot] padded
+};
+
+}  // namespace raxh

@@ -1,0 +1,119 @@
+#include "search/bootstrap.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace raxh {
+
+RapidBootstrap::RapidBootstrap(LikelihoodEngine& engine,
+                               const PatternAlignment& patterns,
+                               std::int64_t bootstrap_seed,
+                               std::int64_t parsimony_seed)
+    : engine_(&engine),
+      patterns_(&patterns),
+      bootstrap_rng_(bootstrap_seed),
+      parsimony_rng_(parsimony_seed) {
+  RAXH_EXPECTS(engine.rates().kind() == RateKind::kCat);
+}
+
+std::vector<BootstrapReplicate> RapidBootstrap::run(int count) {
+  BootstrapSnapshot snapshot;
+  return run_resumable(count, snapshot);
+}
+
+std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
+    int count, BootstrapSnapshot& snapshot,
+    const std::function<void(const BootstrapSnapshot&)>& persist) {
+  RAXH_EXPECTS(count >= 1);
+  RAXH_EXPECTS(snapshot.next_replicate <= count);
+  RAXH_EXPECTS(snapshot.replicate_newicks.size() ==
+               static_cast<std::size_t>(snapshot.next_replicate));
+  RAXH_EXPECTS(snapshot.replicate_lnls.size() ==
+               snapshot.replicate_newicks.size());
+
+  std::vector<BootstrapReplicate> out;
+  out.reserve(static_cast<std::size_t>(count));
+
+  Tree current(patterns_->num_taxa());
+  if (snapshot.started()) {
+    // Resume: restore PRNG streams and the carried tree; rehydrate finished
+    // replicates from the snapshot.
+    bootstrap_rng_ = Lcg(snapshot.bootstrap_rng_state);
+    parsimony_rng_ = Lcg(snapshot.parsimony_rng_state);
+    if (snapshot.has_tree()) current = Tree::import_raw(snapshot.current_tree);
+    // Restore the engine's exact CAT state so the continuation is
+    // bit-identical to an uninterrupted run.
+    if (!snapshot.cat_rates.empty())
+      engine_->set_cat_assignment(snapshot.cat_rates,
+                                  snapshot.cat_categories);
+    for (std::size_t i = 0; i < snapshot.replicate_newicks.size(); ++i) {
+      out.push_back(BootstrapReplicate{
+          Tree::parse_newick(snapshot.replicate_newicks[i],
+                             patterns_->names()),
+          snapshot.replicate_lnls[i]});
+    }
+  }
+
+  for (int rep = snapshot.next_replicate; rep < count; ++rep) {
+    const std::vector<int> weights =
+        bootstrap_weights(*patterns_, bootstrap_rng_);
+    engine_->set_weights(weights);
+
+    if (rep % kRestartInterval == 0) {
+      // Fresh randomized stepwise-addition start under the replicate's
+      // weights, then a CAT rate re-fit for the new weighting.
+      current = randomized_stepwise_addition(*patterns_, weights,
+                                             parsimony_rng_);
+      engine_->optimize_cat_rates(current);
+    }
+
+    SprSearch search(*engine_, bootstrap_settings());
+    const double lnl = search.run(current);
+    out.push_back(BootstrapReplicate{current, lnl});
+
+    snapshot.next_replicate = rep + 1;
+    snapshot.bootstrap_rng_state = bootstrap_rng_.state();
+    snapshot.parsimony_rng_state = parsimony_rng_.state();
+    snapshot.current_tree = current.export_raw();
+    snapshot.cat_rates.assign(engine_->rates().rates().begin(),
+                              engine_->rates().rates().end());
+    snapshot.cat_categories.assign(
+        engine_->rates().pattern_categories().begin(),
+        engine_->rates().pattern_categories().end());
+    snapshot.replicate_newicks.push_back(
+        current.to_newick(patterns_->names()));
+    snapshot.replicate_lnls.push_back(lnl);
+    if (persist) persist(snapshot);
+  }
+
+  engine_->reset_weights();
+  return out;
+}
+
+std::vector<BootstrapReplicate> standard_bootstrap(
+    LikelihoodEngine& engine, const PatternAlignment& patterns, int count,
+    std::int64_t bootstrap_seed, std::int64_t parsimony_seed,
+    const SearchSettings& settings) {
+  RAXH_EXPECTS(count >= 1);
+  RAXH_EXPECTS(engine.rates().kind() == RateKind::kCat);
+  Lcg bootstrap_rng(bootstrap_seed);
+  Lcg parsimony_rng(parsimony_seed);
+
+  std::vector<BootstrapReplicate> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int rep = 0; rep < count; ++rep) {
+    const std::vector<int> weights = bootstrap_weights(patterns, bootstrap_rng);
+    engine.set_weights(weights);
+    Tree tree =
+        randomized_stepwise_addition(patterns, weights, parsimony_rng);
+    engine.optimize_cat_rates(tree);
+    SprSearch search(engine, settings);
+    const double lnl = search.run(tree);
+    out.push_back(BootstrapReplicate{std::move(tree), lnl});
+  }
+  engine.reset_weights();
+  return out;
+}
+
+}  // namespace raxh

@@ -1,0 +1,80 @@
+// The rapid bootstrap algorithm (Stamatakis, Hoover & Rougemont 2008 — ref
+// [12] of the paper): each replicate re-weights the patterns by resampling
+// and runs a quick CAT-based SPR search. Every `kRestartInterval` replicates
+// the search restarts from a fresh randomized-stepwise-addition tree;
+// otherwise it continues from the previous replicate's tree, which is what
+// makes the procedure "rapid".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bio/patterns.h"
+#include "bio/resample.h"
+#include "likelihood/engine.h"
+#include "search/parsimony.h"
+#include "search/spr.h"
+#include "tree/tree.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+inline constexpr int kRestartInterval = 10;
+
+struct BootstrapReplicate {
+  Tree tree;
+  double lnl;  // under the replicate's weights (CAT)
+};
+
+// Resumable progress of a bootstrap run: the PRNG states plus the carried
+// search tree are everything needed to continue a run bit-identically
+// (core/checkpoint.h persists this to disk).
+struct BootstrapSnapshot {
+  int next_replicate = 0;
+  std::int64_t bootstrap_rng_state = 0;
+  std::int64_t parsimony_rng_state = 0;
+  Tree::RawTopology current_tree;  // exact record layout of the carried tree
+  std::vector<double> cat_rates;       // engine CAT category rates
+  std::vector<int> cat_categories;     // engine per-pattern categories
+  std::vector<std::string> replicate_newicks;
+  std::vector<double> replicate_lnls;
+
+  [[nodiscard]] bool started() const { return next_replicate > 0; }
+  [[nodiscard]] bool has_tree() const { return current_tree.num_taxa > 0; }
+};
+
+class RapidBootstrap {
+ public:
+  // `engine` must be CAT-based over `patterns`; seeds follow the paper's
+  // reproducibility scheme (already rank-shifted by the caller).
+  RapidBootstrap(LikelihoodEngine& engine, const PatternAlignment& patterns,
+                 std::int64_t bootstrap_seed, std::int64_t parsimony_seed);
+
+  // Run `count` replicates; restores the original weights afterwards.
+  std::vector<BootstrapReplicate> run(int count);
+
+  // Checkpointable variant: resumes from `snapshot` if it has progress and
+  // keeps it current after every replicate (call `persist` to flush it, e.g.
+  // via save_bootstrap_checkpoint). Returns all `count` replicates,
+  // including those restored from the snapshot.
+  std::vector<BootstrapReplicate> run_resumable(
+      int count, BootstrapSnapshot& snapshot,
+      const std::function<void(const BootstrapSnapshot&)>& persist = {});
+
+ private:
+  LikelihoodEngine* engine_;
+  const PatternAlignment* patterns_;
+  Lcg bootstrap_rng_;
+  Lcg parsimony_rng_;
+};
+
+// Standard (non-rapid) bootstrapping, RAxML's "-b": every replicate starts
+// from a fresh randomized stepwise-addition tree and runs a full search at
+// `settings` intensity. Slower but replicates are fully independent.
+std::vector<BootstrapReplicate> standard_bootstrap(
+    LikelihoodEngine& engine, const PatternAlignment& patterns, int count,
+    std::int64_t bootstrap_seed, std::int64_t parsimony_seed,
+    const SearchSettings& settings = fast_settings());
+
+}  // namespace raxh

@@ -1,0 +1,160 @@
+#include "search/nj.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+constexpr double kSaturatedDistance = 5.0;
+
+double jc_correct(double p_distance) {
+  // JC69: d = -3/4 ln(1 - 4p/3); saturates as p -> 3/4.
+  if (p_distance >= 0.70) return kSaturatedDistance;
+  return std::min(kSaturatedDistance,
+                  -0.75 * std::log(1.0 - 4.0 * p_distance / 3.0));
+}
+
+}  // namespace
+
+std::vector<double> jc_distance_matrix(const PatternAlignment& patterns) {
+  const std::size_t n = patterns.num_taxa();
+  const std::size_t npat = patterns.num_patterns();
+  const auto weights = patterns.weights();
+  std::vector<double> d(n * n, 0.0);
+
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto row_a = patterns.row(a);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const auto row_b = patterns.row(b);
+      long valid = 0, diff = 0;
+      for (std::size_t p = 0; p < npat; ++p) {
+        const DnaState sa = row_a[p];
+        const DnaState sb = row_b[p];
+        if (sa == kStateGap || sb == kStateGap) continue;
+        valid += weights[p];
+        // Incompatible state sets = observed difference.
+        if ((sa & sb) == 0) diff += weights[p];
+      }
+      const double dist =
+          valid == 0 ? kSaturatedDistance
+                     : jc_correct(static_cast<double>(diff) /
+                                  static_cast<double>(valid));
+      d[a * n + b] = dist;
+      d[b * n + a] = dist;
+    }
+  }
+  return d;
+}
+
+Tree neighbor_joining(const std::vector<double>& distances,
+                      std::size_t num_taxa) {
+  RAXH_EXPECTS(num_taxa >= 3);
+  RAXH_EXPECTS(distances.size() == num_taxa * num_taxa);
+  const std::size_t n = num_taxa;
+
+  // Active clusters: their pending Newick fragment and row in the (shrinking
+  // logical) distance matrix, which we keep full-size and mask.
+  struct Cluster {
+    std::string newick;  // subtree without the trailing ":length"
+    std::size_t row;
+  };
+  std::vector<Cluster> active;
+  for (std::size_t t = 0; t < n; ++t) {
+    active.push_back({"@" + std::to_string(t), t});
+  }
+
+  // Working distance matrix grows by one row per join.
+  const std::size_t capacity = 2 * n;
+  std::vector<double> d(capacity * capacity, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d[i * capacity + j] = distances[i * n + j];
+  std::size_t next_row = n;
+
+  auto dist = [&](std::size_t i, std::size_t j) -> double& {
+    return d[i * capacity + j];
+  };
+
+  while (active.size() > 3) {
+    const std::size_t m = active.size();
+    // Row sums over active clusters.
+    std::vector<double> r(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        if (i != j) r[i] += dist(active[i].row, active[j].row);
+
+    // Minimize Q(i,j) = (m-2) d(i,j) - r_i - r_j.
+    double best_q = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double q = (static_cast<double>(m) - 2.0) *
+                             dist(active[i].row, active[j].row) -
+                         r[i] - r[j];
+        if (q < best_q) {
+          best_q = q;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    const double dij = dist(active[bi].row, active[bj].row);
+    double li = 0.5 * dij + (r[bi] - r[bj]) /
+                                (2.0 * (static_cast<double>(m) - 2.0));
+    double lj = dij - li;
+    li = std::clamp(li, kMinBranchLength, kMaxBranchLength);
+    lj = std::clamp(lj, kMinBranchLength, kMaxBranchLength);
+
+    // New cluster's distances: d(u,k) = (d(i,k) + d(j,k) - d(i,j)) / 2.
+    RAXH_ASSERT(next_row < capacity);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == bi || k == bj) continue;
+      const double duk = 0.5 * (dist(active[bi].row, active[k].row) +
+                                dist(active[bj].row, active[k].row) - dij);
+      dist(next_row, active[k].row) = duk;
+      dist(active[k].row, next_row) = duk;
+    }
+
+    std::ostringstream merged;
+    merged.precision(10);
+    merged << '(' << active[bi].newick << ':' << li << ','
+           << active[bj].newick << ':' << lj << ')';
+    // Replace cluster bi, erase bj.
+    active[bi] = Cluster{merged.str(), next_row};
+    active.erase(active.begin() + static_cast<long>(bj));
+    ++next_row;
+  }
+
+  // Final trifurcation: branch lengths from the three-point formulas.
+  const double dab = dist(active[0].row, active[1].row);
+  const double dac = dist(active[0].row, active[2].row);
+  const double dbc = dist(active[1].row, active[2].row);
+  const double la = std::clamp(0.5 * (dab + dac - dbc), kMinBranchLength,
+                               kMaxBranchLength);
+  const double lb = std::clamp(0.5 * (dab + dbc - dac), kMinBranchLength,
+                               kMaxBranchLength);
+  const double lc = std::clamp(0.5 * (dac + dbc - dab), kMinBranchLength,
+                               kMaxBranchLength);
+  std::ostringstream full;
+  full.precision(10);
+  full << '(' << active[0].newick << ':' << la << ',' << active[1].newick
+       << ':' << lb << ',' << active[2].newick << ':' << lc << ");";
+
+  // Tip placeholders "@k" map to synthetic names for the parser.
+  std::vector<std::string> placeholder_names(n);
+  for (std::size_t t = 0; t < n; ++t)
+    placeholder_names[t] = "@" + std::to_string(t);
+  return Tree::parse_newick(full.str(), placeholder_names);
+}
+
+Tree neighbor_joining_tree(const PatternAlignment& patterns) {
+  return neighbor_joining(jc_distance_matrix(patterns), patterns.num_taxa());
+}
+
+}  // namespace raxh

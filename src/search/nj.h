@@ -1,0 +1,29 @@
+// Neighbor joining (Saitou & Nei 1987) over pairwise Jukes-Cantor distances:
+// an alternative deterministic starting tree (RAxML historically offered
+// distance-based starters next to randomized stepwise addition). Useful when
+// a reproducible, seed-free starting topology is wanted, and as an
+// independent cross-check of the search code in tests.
+#pragma once
+
+#include <vector>
+
+#include "bio/patterns.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+// Pairwise Jukes-Cantor distance matrix (row-major, taxa x taxa) from the
+// weighted patterns. Sites where either taxon is fully ambiguous are
+// skipped; saturated pairs (p-distance >= 0.74) are clamped to a large
+// finite distance.
+std::vector<double> jc_distance_matrix(const PatternAlignment& patterns);
+
+// Neighbor-joining tree from a distance matrix. Negative branch-length
+// estimates are clamped to the tree's minimum branch length.
+Tree neighbor_joining(const std::vector<double>& distances,
+                      std::size_t num_taxa);
+
+// Convenience: NJ starting tree straight from an alignment.
+Tree neighbor_joining_tree(const PatternAlignment& patterns);
+
+}  // namespace raxh

@@ -1,0 +1,57 @@
+// Nearest-neighbor interchange (NNI): the cheapest topology move — swap two
+// subtrees across an internal edge. Complements SPR as a fast local
+// refinement pass (RAxML uses NNI-like moves in its fastest search modes);
+// also useful in tests as an independent rearrangement primitive.
+#pragma once
+
+#include <memory>
+
+#include "likelihood/engine.h"
+#include "likelihood/evaluator.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+// Apply one of the two NNIs across the internal edge (edge_rec,
+// back(edge_rec)); both endpoints must be internal. `variant` is 1 or 2.
+// Applying the same variant again restores the original topology (the swap
+// is an involution); branch lengths travel with their subtrees.
+void apply_nni(Tree& tree, int edge_rec, int variant);
+
+// True if the edge joins two internal nodes (i.e. supports NNIs).
+bool is_internal_edge(const Tree& tree, int edge_rec);
+
+struct NniStats {
+  int rounds = 0;
+  long moves_tried = 0;
+  long moves_accepted = 0;
+};
+
+// Hill-climb with NNI sweeps until no move improves the likelihood by more
+// than `epsilon` (or `max_rounds` is hit). Returns the final lnL.
+class NniSearch {
+ public:
+  explicit NniSearch(Evaluator& evaluator, double epsilon = 1e-4,
+                     int max_rounds = 10)
+      : evaluator_(&evaluator), epsilon_(epsilon), max_rounds_(max_rounds) {}
+
+  explicit NniSearch(LikelihoodEngine& engine, double epsilon = 1e-4,
+                     int max_rounds = 10)
+      : owned_(std::make_unique<EngineEvaluator>(engine)),
+        evaluator_(owned_.get()),
+        epsilon_(epsilon),
+        max_rounds_(max_rounds) {}
+
+  double run(Tree& tree);
+
+  [[nodiscard]] const NniStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<EngineEvaluator> owned_;
+  Evaluator* evaluator_;
+  double epsilon_;
+  int max_rounds_;
+  NniStats stats_;
+};
+
+}  // namespace raxh

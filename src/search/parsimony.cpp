@@ -1,0 +1,149 @@
+#include "search/parsimony.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+// Lazily memoized Fitch state sets per directed record ("the subtree on this
+// record's side of its edge"). One instance lives per stepwise-addition step.
+class FitchSets {
+ public:
+  FitchSets(const Tree& tree, const PatternAlignment& patterns,
+            std::span<const int> weights)
+      : tree_(tree),
+        patterns_(patterns),
+        weights_(weights),
+        npat_(patterns.num_patterns()),
+        memo_(tree.num_taxa() + 3 * (tree.num_taxa() - 2)),
+        ready_(memo_.size(), false) {}
+
+  // State set of the subtree behind `rec`; score increments accumulate.
+  std::span<const DnaState> get(int rec) {
+    if (tree_.is_tip_record(rec))
+      return patterns_.row(static_cast<std::size_t>(rec));
+    const auto i = static_cast<std::size_t>(rec);
+    if (ready_[i]) return memo_[i];
+    const auto [c1, c2] = tree_.children(rec);
+    const auto a = get(c1);
+    const auto b = get(c2);
+    auto& out = memo_[i];
+    out.resize(npat_);
+    for (std::size_t p = 0; p < npat_; ++p) {
+      const DnaState inter = a[p] & b[p];
+      if (inter != 0) {
+        out[p] = inter;
+      } else {
+        out[p] = a[p] | b[p];
+        score_ += weights_[p];
+      }
+    }
+    ready_[i] = true;
+    return out;
+  }
+
+  [[nodiscard]] long score() const { return score_; }
+
+ private:
+  const Tree& tree_;
+  const PatternAlignment& patterns_;
+  std::span<const int> weights_;
+  std::size_t npat_;
+  std::vector<std::vector<DnaState>> memo_;
+  std::vector<bool> ready_;
+  long score_ = 0;
+};
+
+void lcg_shuffle(std::vector<int>& values, Lcg& rng) {
+  for (std::size_t i = values.size(); i > 1; --i)
+    std::swap(values[i - 1],
+              values[static_cast<std::size_t>(rng.next_below(
+                  static_cast<std::int32_t>(i)))]);
+}
+
+}  // namespace
+
+long parsimony_score(const Tree& tree, const PatternAlignment& patterns,
+                     std::span<const int> weights) {
+  RAXH_EXPECTS(tree.is_complete());
+  RAXH_EXPECTS(weights.size() == patterns.num_patterns());
+  FitchSets sets(tree, patterns, weights);
+  // Root at tip 0's edge: combine the tip with the rest-of-tree set.
+  const auto rest = sets.get(tree.back(0));
+  const auto tip = patterns.row(0);
+  long score = sets.score();
+  for (std::size_t p = 0; p < patterns.num_patterns(); ++p)
+    if ((tip[p] & rest[p]) == 0) score += weights[p];
+  return score;
+}
+
+Tree randomized_stepwise_addition(const PatternAlignment& patterns,
+                                  std::span<const int> weights, Lcg& rng) {
+  const std::size_t n = patterns.num_taxa();
+  RAXH_EXPECTS(n >= 3);
+  RAXH_EXPECTS(weights.size() == patterns.num_patterns());
+  const std::size_t npat = patterns.num_patterns();
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  lcg_shuffle(order, rng);
+
+  Tree tree(n);
+  tree.make_triplet(order[0], order[1], order[2]);
+
+  for (std::size_t k = 3; k < n; ++k) {
+    const int tip = order[k];
+    const auto tip_row = patterns.row(static_cast<std::size_t>(tip));
+    FitchSets sets(tree, patterns, weights);
+
+    long best_cost = std::numeric_limits<long>::max();
+    int best_edge = -1;
+    for (const int e : tree.edges()) {
+      const auto side_a = sets.get(e);
+      const auto side_b = sets.get(tree.back(e));
+      long cost = 0;
+      for (std::size_t p = 0; p < npat; ++p) {
+        // Fitch-combine the two edge sides (intersection first), then count a
+        // change if the tip is incompatible with the combined set. Using the
+        // plain union here cannot tell good placements from bad ones.
+        const DnaState inter = side_a[p] & side_b[p];
+        const DnaState combined =
+            inter != 0 ? inter : static_cast<DnaState>(side_a[p] | side_b[p]);
+        if ((tip_row[p] & combined) == 0) cost += weights[p];
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_edge = e;
+      }
+    }
+    RAXH_ASSERT(best_edge >= 0);
+    tree.insert_tip(tip, best_edge);
+  }
+  tree.check_invariants();
+  return tree;
+}
+
+Tree random_topology(std::size_t num_taxa, Lcg& rng) {
+  RAXH_EXPECTS(num_taxa >= 3);
+  std::vector<int> order(num_taxa);
+  std::iota(order.begin(), order.end(), 0);
+  lcg_shuffle(order, rng);
+
+  Tree tree(num_taxa);
+  tree.make_triplet(order[0], order[1], order[2]);
+  for (std::size_t k = 3; k < num_taxa; ++k) {
+    const auto edges = tree.edges();
+    const auto pick = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::int32_t>(edges.size())));
+    tree.insert_tip(order[k], edges[pick]);
+  }
+  tree.check_invariants();
+  return tree;
+}
+
+}  // namespace raxh

@@ -1,0 +1,33 @@
+// Fitch parsimony over 4-bit DNA state sets, and randomized stepwise-addition
+// starting trees — RAxML's mechanism for generating the distinct starting
+// points that the coarse-grained MPI level parallelizes over.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/patterns.h"
+#include "tree/tree.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+// Weighted Fitch parsimony score of a complete tree (number of state changes,
+// counting each pattern `weights[p]` times). Pass the engine's active weight
+// vector to score under a bootstrap replicate.
+long parsimony_score(const Tree& tree, const PatternAlignment& patterns,
+                     std::span<const int> weights);
+
+// Build a starting tree by inserting taxa in random order, each at the
+// position of minimum parsimony-cost increase (randomized stepwise
+// addition). Deterministic in `rng`'s state; distinct seeds give the distinct
+// starting trees the coarse-grained searches diversify over.
+Tree randomized_stepwise_addition(const PatternAlignment& patterns,
+                                  std::span<const int> weights, Lcg& rng);
+
+// Completely random topology (taxa joined in random order at random edges);
+// used by tests as a deliberately poor starting point.
+Tree random_topology(std::size_t num_taxa, Lcg& rng);
+
+}  // namespace raxh

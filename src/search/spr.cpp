@@ -1,0 +1,184 @@
+#include "search/spr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace raxh {
+
+SearchSettings bootstrap_settings() {
+  SearchSettings s;
+  s.spr_radius = 5;
+  s.max_rounds = 1;
+  s.optimize_model = false;
+  s.smooth_passes = 1;
+  return s;
+}
+
+SearchSettings fast_settings() {
+  SearchSettings s;
+  s.spr_radius = 5;
+  s.max_rounds = 2;
+  s.optimize_model = false;
+  s.smooth_passes = 1;
+  return s;
+}
+
+SearchSettings slow_settings() {
+  SearchSettings s;
+  s.spr_radius = 10;
+  s.max_rounds = 4;
+  s.optimize_model = true;
+  s.smooth_passes = 1;
+  return s;
+}
+
+SearchSettings thorough_settings() {
+  SearchSettings s;
+  s.spr_radius = 15;
+  s.max_rounds = 8;
+  s.optimize_model = true;
+  s.epsilon = 0.01;
+  s.smooth_passes = 2;
+  return s;
+}
+
+int determine_spr_radius(Evaluator& evaluator, const Tree& tree,
+                         int min_radius, int max_radius, int step) {
+  RAXH_EXPECTS(min_radius >= 1);
+  RAXH_EXPECTS(max_radius >= min_radius);
+  RAXH_EXPECTS(step >= 1);
+
+  Tree baseline = tree;
+  const double base_lnl = evaluator.smooth_branches(baseline, 1);
+
+  int best_radius = min_radius;
+  double best_gain = -1.0;
+  std::vector<std::pair<int, double>> gains;
+  for (int radius = min_radius; radius <= max_radius; radius += step) {
+    Tree scratch = baseline;
+    SearchSettings probe;
+    probe.spr_radius = radius;
+    probe.max_rounds = 1;
+    probe.optimize_model = false;
+    SprSearch sweep(evaluator, probe);
+    const double gain = sweep.run(scratch) - base_lnl;
+    gains.emplace_back(radius, gain);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_radius = radius;
+    }
+  }
+  // Smallest radius achieving >= 95% of the best gain.
+  for (const auto& [radius, gain] : gains) {
+    if (best_gain <= 0.0) return min_radius;
+    if (gain >= 0.95 * best_gain) return radius;
+  }
+  return best_radius;
+}
+
+std::vector<int> SprSearch::candidate_edges(const Tree& tree,
+                                            const Tree::SprMove& move) const {
+  // Breadth-first over edges starting at the (merged) q-r edge; distance 1 =
+  // the edges adjacent to the original pruning position.
+  std::vector<int> out;
+  std::vector<std::pair<int, int>> frontier;  // (record, depth)
+  std::vector<bool> seen_edge(tree.num_taxa() + 3 * (tree.num_taxa() - 2),
+                              false);
+
+  auto canonical = [&](int rec) { return std::min(rec, tree.back(rec)); };
+  // The merged edge itself is the no-op regraft; mark seen, don't emit.
+  seen_edge[static_cast<std::size_t>(canonical(move.q))] = true;
+
+  auto expand = [&](int rec, int depth) {
+    // Edges adjacent to `rec`'s endpoint node.
+    if (tree.is_tip_record(rec)) return;
+    for (int adj : {tree.next(rec), tree.next(tree.next(rec))})
+      frontier.emplace_back(adj, depth);
+  };
+  expand(move.q, 1);
+  expand(move.r, 1);
+
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const auto [rec, depth] = frontier[i];
+    const int canon = canonical(rec);
+    if (seen_edge[static_cast<std::size_t>(canon)]) continue;
+    seen_edge[static_cast<std::size_t>(canon)] = true;
+    out.push_back(rec);
+    if (depth < settings_.spr_radius) expand(tree.back(rec), depth + 1);
+  }
+  return out;
+}
+
+double SprSearch::sweep(Tree& tree, double current_lnl, bool& improved) {
+  improved = false;
+  // Prunable subtrees: one per directed internal record (the subtree behind
+  // it). Snapshot the list; the loop mutates the tree but every iteration
+  // restores it or applies an accepted (still valid) topology.
+  const std::vector<int> prunable = tree.internal_records();
+
+  for (const int p : prunable) {
+    // Skip degenerate prunes: if back(p) is everything but two leaves the
+    // regraft set is empty anyway; prune() handles all valid cases.
+    Tree::SprMove move = tree.prune(p);
+    const std::vector<int> candidates = candidate_edges(tree, move);
+    if (candidates.empty()) {
+      tree.undo(move);
+      continue;
+    }
+
+    int best_edge = -1;
+    double best_lnl = current_lnl + settings_.accept_epsilon;
+    for (const int s : candidates) {
+      tree.regraft(move, s);
+      ++stats_.moves_tried;
+      // Lazy evaluation: assess the insertion with one Newton pass on the
+      // subtree branch only (RAxML's lazy SPR analogue), full smoothing
+      // happens only for the accepted move.
+      evaluator_->optimize_branch(tree, move.p);
+      const double lnl = evaluator_->evaluate(tree, move.p);
+      if (lnl > best_lnl) {
+        best_lnl = lnl;
+        best_edge = s;
+      }
+      tree.undo_regraft(move);
+    }
+
+    if (best_edge >= 0) {
+      tree.regraft(move, best_edge);
+      // Re-optimize the three branches created by the insertion.
+      evaluator_->optimize_branch(tree, move.p);
+      evaluator_->optimize_branch(tree, tree.next(move.p));
+      evaluator_->optimize_branch(tree, tree.next(tree.next(move.p)));
+      current_lnl = evaluator_->evaluate(tree, move.p);
+      ++stats_.moves_accepted;
+      improved = true;
+    } else {
+      tree.undo(move);
+    }
+  }
+  return current_lnl;
+}
+
+double SprSearch::run(Tree& tree) {
+  RAXH_EXPECTS(tree.is_complete());
+  double lnl = evaluator_->smooth_branches(tree, settings_.smooth_passes);
+  stats_.initial_lnl = lnl;
+
+  for (int round = 0; round < settings_.max_rounds; ++round) {
+    ++stats_.rounds;
+    bool improved = false;
+    double next = sweep(tree, lnl, improved);
+    next = evaluator_->smooth_branches(tree, settings_.smooth_passes);
+    if (settings_.optimize_model) {
+      next = evaluator_->optimize_model(tree);
+    }
+    const bool converged = next - lnl < settings_.epsilon;
+    lnl = next;
+    if (!improved || converged) break;
+  }
+  stats_.final_lnl = lnl;
+  return lnl;
+}
+
+}  // namespace raxh

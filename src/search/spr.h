@@ -1,0 +1,84 @@
+// Lazy-SPR hill climbing, the tree search at the heart of every stage of the
+// comprehensive analysis. Three intensity presets mirror the paper's stages:
+// rapid-bootstrap/fast searches use a small rearrangement radius and few
+// rounds; slow and thorough searches widen the radius, add model
+// re-optimization, and iterate to convergence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "likelihood/engine.h"
+#include "likelihood/evaluator.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+struct SearchSettings {
+  int spr_radius = 5;         // max edge distance from the pruning point
+  int max_rounds = 2;         // full SPR sweeps
+  bool optimize_model = false;  // re-optimize model params between rounds
+  double epsilon = 0.1;       // minimum lnL gain to keep iterating
+  double accept_epsilon = 1e-5;  // minimum gain to accept a single move
+  int smooth_passes = 1;      // branch-smoothing passes between rounds
+};
+
+// Presets for the four stages of the comprehensive analysis (paper §2):
+// bootstrap and fast searches are quick/local; slow and thorough searches are
+// progressively more exhaustive.
+SearchSettings bootstrap_settings();
+SearchSettings fast_settings();
+SearchSettings slow_settings();
+SearchSettings thorough_settings();
+
+// RAxML-style automatic rearrangement-radius determination: probe one SPR
+// sweep per radius (min, min+step, ..., max) on scratch copies of `tree` and
+// return the smallest radius whose lnL gain is within 5% of the best gain —
+// larger radii only cost time after that. The input tree is not modified.
+int determine_spr_radius(Evaluator& evaluator, const Tree& tree,
+                         int min_radius = 5, int max_radius = 25,
+                         int step = 5);
+
+// Statistics of one search run (used by tests and the calibration bench).
+struct SearchStats {
+  int rounds = 0;
+  long moves_tried = 0;
+  long moves_accepted = 0;
+  double initial_lnl = 0.0;
+  double final_lnl = 0.0;
+};
+
+class SprSearch {
+ public:
+  // Search against any Evaluator (single engine or partitioned model).
+  SprSearch(Evaluator& evaluator, SearchSettings settings)
+      : evaluator_(&evaluator), settings_(settings) {}
+
+  // Convenience: wrap a bare LikelihoodEngine.
+  SprSearch(LikelihoodEngine& engine, SearchSettings settings)
+      : owned_(std::make_unique<EngineEvaluator>(engine)),
+        evaluator_(owned_.get()),
+        settings_(settings) {}
+
+  // Hill-climb `tree` in place; returns the final log-likelihood.
+  double run(Tree& tree);
+
+  [[nodiscard]] const SearchStats& stats() const { return stats_; }
+
+ private:
+  // One full sweep over all prunable subtrees; returns the lnL after the
+  // sweep and sets `improved` if any move was accepted.
+  double sweep(Tree& tree, double current_lnl, bool& improved);
+
+  // Regraft candidate edges within settings_.spr_radius of the pruning
+  // point, given the tree with the subtree already pruned.
+  [[nodiscard]] std::vector<int> candidate_edges(const Tree& tree,
+                                                 const Tree::SprMove& move) const;
+
+  std::unique_ptr<EngineEvaluator> owned_;
+  Evaluator* evaluator_;
+  SearchSettings settings_;
+  SearchStats stats_;
+};
+
+}  // namespace raxh

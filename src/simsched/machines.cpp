@@ -1,0 +1,30 @@
+#include "simsched/machines.h"
+
+#include "util/check.h"
+
+namespace raxh::sim {
+
+const std::vector<Machine>& paper_machines() {
+  // core_speed calibration: Dash/Abe from the paper's observation that Dash
+  // is fastest per core up to 16 cores (Nehalem vs Clovertown, ~1.4x);
+  // Triton from the two measured serial times of the 19,436-pattern set
+  // (22,970 s on Dash vs 32,627 s on Triton -> 1.40 * 22970/32627 = 0.985);
+  // Ranger slightly below Abe-class per-core (2.3 GHz Barcelona).
+  static const std::vector<Machine> machines = {
+      {"Abe", "2.33-GHz Intel Clovertown", 2.33, 8, 1.00, 0.050, 0.22, 12.0},
+      {"Dash", "2.4-GHz Intel Nehalem", 2.40, 8, 1.40, 0.012, 0.00, 7.0},
+      {"Ranger", "2.3-GHz AMD Barcelona", 2.30, 16, 0.95, 0.012, 0.28, 8.0},
+      {"Triton PDAF", "2.5-GHz AMD Shanghai", 2.50, 32, 0.985, 0.004, 0.28,
+       5.0},
+  };
+  return machines;
+}
+
+const Machine& machine_by_name(const std::string& name) {
+  for (const auto& m : paper_machines())
+    if (m.name == name) return m;
+  RAXH_EXPECTS(false && "unknown machine");
+  return paper_machines().front();  // unreachable
+}
+
+}  // namespace raxh::sim

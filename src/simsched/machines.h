@@ -1,0 +1,34 @@
+// The paper's four benchmark clusters (Table 4) as performance-model
+// parameters. Per-core speeds are relative to Abe's Clovertown; the
+// fine-grained parameters shape each machine's thread-scaling curve:
+//
+//  * mem_contention  — per-extra-thread slowdown of the pattern loops
+//                      (bus-based Clovertown is worst, Nehalem best);
+//  * cache_boost     — superlinear speedup from aggregate cache growth at
+//                      low thread counts (Fig. 8's rising speed-per-core on
+//                      Abe/Ranger/Triton; Dash's larger caches show none);
+//  * sync_cost       — per-extra-thread barrier/sync overhead, expressed in
+//                      pattern-equivalents per kernel invocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace raxh::sim {
+
+struct Machine {
+  std::string name;
+  std::string processor;
+  double clock_ghz;
+  int cores_per_node;
+  double core_speed;      // relative serial speed (Abe = 1.0)
+  double mem_contention;  // beta: time factor 1 + beta*(T-1)
+  double cache_boost;     // superlinear low-T boost amplitude
+  double sync_cost;       // gamma: pattern-equivalents per extra thread
+};
+
+// Table 4, in the paper's order.
+const std::vector<Machine>& paper_machines();
+const Machine& machine_by_name(const std::string& name);
+
+}  // namespace raxh::sim

@@ -1,0 +1,104 @@
+// Analytical performance model of the hybrid comprehensive analysis.
+//
+// Structure (everything the paper's evaluation hinges on is mechanistic, not
+// fitted): per-rank work counts come from the real Table 2 schedule law;
+// stage 4 gets no MPI speedup because every rank runs exactly one thorough
+// search; fine-grained speedup follows a thread-efficiency curve whose
+// parallel fraction grows with the pattern count.
+//
+// Calibration (documented in EXPERIMENTS.md): per-(machine, data set) serial
+// anchor times are taken from the paper's own 1-core measurements (Table 5)
+// since the 2009 hardware cannot be re-measured; stage cost ratios are fixed
+// constants except the thorough-search weight, which grows with
+// patterns/taxon (the paper's §5.1 observation for the 19,436-pattern set).
+#pragma once
+
+#include "core/schedule.h"
+#include "simsched/machines.h"
+
+namespace raxh::sim {
+
+struct DataShape {
+  std::size_t taxa = 0;
+  std::size_t patterns = 0;
+};
+
+enum class Stage { kBootstrap, kFast, kSlow, kThorough };
+
+struct StageBreakdown {
+  double bootstrap = 0.0;
+  double fast = 0.0;
+  double slow = 0.0;
+  double thorough = 0.0;
+  [[nodiscard]] double total() const {
+    return bootstrap + fast + slow + thorough;
+  }
+};
+
+struct RunConfig {
+  int processes = 1;
+  int threads = 1;  // per process
+  int bootstraps = 100;
+  // True for runs using the hybrid/MPI binary even at p=1 (the paper found
+  // >10% single-process MPI overhead on small data; pthreads-only runs and
+  // the serial code avoid it).
+  bool mpi_code_path = true;
+};
+
+class PerfModel {
+ public:
+  PerfModel(const Machine& machine, const DataShape& shape);
+
+  // Time multiplier of one search unit at T threads relative to 1 thread
+  // (h(T) < 1 is speedup; includes sync overhead, memory contention, cache
+  // boost, and the serial fraction).
+  [[nodiscard]] double thread_factor(int threads) const;
+
+  // Seconds for one search unit of `stage` on `threads` threads.
+  [[nodiscard]] double unit_time(Stage stage, int threads) const;
+
+  // Serial comprehensive-analysis time (serial code path, no MPI tax).
+  [[nodiscard]] double serial_time(int bootstraps) const;
+
+  // Per-stage wall time of a full hybrid run (the slowest rank's view, with
+  // the paper's mild load imbalance for unbarriered stages).
+  [[nodiscard]] StageBreakdown run_breakdown(const RunConfig& config) const;
+
+  [[nodiscard]] double total_time(const RunConfig& config) const {
+    return run_breakdown(config).total();
+  }
+
+  // Speedup relative to the serial code on one core of the same machine.
+  [[nodiscard]] double speedup(const RunConfig& config) const {
+    return serial_time(config.bootstraps) / total_time(config);
+  }
+
+  // Parallel efficiency = speedup / cores, cores = processes * threads.
+  [[nodiscard]] double efficiency(const RunConfig& config) const {
+    return speedup(config) / (config.processes * config.threads);
+  }
+
+  // Override the serial anchor (seconds for the 100-bootstrap serial run on
+  // this machine). Defaults come from Table 5 where the paper measured them.
+  void set_serial_anchor(double seconds_100_bootstraps);
+
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] const DataShape& shape() const { return shape_; }
+
+  // Relative stage-unit weights (bootstrap == 1).
+  [[nodiscard]] double stage_weight(Stage stage) const;
+
+ private:
+  Machine machine_;
+  DataShape shape_;
+  double anchor_seconds_ = 0.0;  // serial 100-bootstrap comprehensive run
+};
+
+// The paper's Table 5 serial (1-core) anchor in seconds for a machine/data
+// combination; falls back to scaling the Dash anchor by relative core speed.
+double serial_anchor_seconds(const Machine& machine, const DataShape& shape);
+
+// Data shapes of the five paper data sets (taxa, patterns).
+DataShape paper_shape(std::size_t patterns);
+
+}  // namespace raxh::sim

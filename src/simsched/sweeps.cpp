@@ -1,0 +1,99 @@
+#include "simsched/sweeps.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace raxh::sim {
+
+double run_seconds(const PerfModel& model, int processes, int threads,
+                   int bootstraps) {
+  RunConfig config;
+  config.processes = processes;
+  config.threads = threads;
+  config.bootstraps = bootstraps;
+  // p == 1 runs use the Pthreads-only (or serial) binary, avoiding the MPI
+  // overhead, exactly as the paper's measurements did (§5.1).
+  config.mpi_code_path = processes > 1;
+  return model.total_time(config);
+}
+
+BestRun best_run(const PerfModel& model, int cores, int bootstraps) {
+  RAXH_EXPECTS(cores >= 1);
+  BestRun best;
+  best.seconds = -1.0;
+  for (int threads = 1;
+       threads <= std::min(cores, model.machine().cores_per_node); ++threads) {
+    if (cores % threads != 0) continue;
+    // Threads per process must pack into whole nodes (the paper's clusters
+    // charge whole nodes; fractional-node thread counts are not used).
+    if (model.machine().cores_per_node % threads != 0) continue;
+    const int processes = cores / threads;
+    const double seconds = run_seconds(model, processes, threads, bootstraps);
+    if (best.seconds < 0.0 || seconds < best.seconds) {
+      best.seconds = seconds;
+      best.config = RunConfig{processes, threads, bootstraps, processes > 1};
+    }
+  }
+  RAXH_ASSERT(best.seconds > 0.0);
+  best.speedup = model.serial_time(bootstraps) / best.seconds;
+  best.efficiency = best.speedup / cores;
+  return best;
+}
+
+Series speedup_series(const PerfModel& model, int threads, int max_cores,
+                      int bootstraps, bool efficiency) {
+  Series out;
+  out.label = std::to_string(threads) + " threads";
+  const double serial = model.serial_time(bootstraps);
+  for (int processes = 1; processes * threads <= max_cores; ++processes) {
+    const int cores = processes * threads;
+    const double seconds = run_seconds(model, processes, threads, bootstraps);
+    const double value = serial / seconds / (efficiency ? cores : 1);
+    out.points.push_back(SeriesPoint{cores, value});
+  }
+  return out;
+}
+
+Series single_process_series(const PerfModel& model, int max_threads,
+                             int bootstraps, bool efficiency) {
+  Series out;
+  out.label = "1 process";
+  const double serial = model.serial_time(bootstraps);
+  const int limit = std::min(max_threads, model.machine().cores_per_node);
+  for (int threads = 1; threads <= limit; ++threads) {
+    const double seconds = run_seconds(model, 1, threads, bootstraps);
+    const double value = serial / seconds / (efficiency ? threads : 1);
+    out.points.push_back(SeriesPoint{threads, value});
+  }
+  return out;
+}
+
+std::string series_csv(const std::vector<Series>& series) {
+  // Union of core counts, ascending.
+  std::map<int, std::vector<std::optional<double>>> rows;
+  for (std::size_t s = 0; s < series.size(); ++s)
+    for (const auto& pt : series[s].points) {
+      auto& row = rows[pt.cores];
+      row.resize(series.size());
+      row[s] = pt.value;
+    }
+
+  std::ostringstream out;
+  out << "cores";
+  for (const auto& s : series) out << ',' << s.label;
+  out << '\n';
+  for (const auto& [cores, row] : rows) {
+    out << cores;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      out << ',';
+      if (s < row.size() && row[s]) out << *row[s];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace raxh::sim

@@ -1,0 +1,54 @@
+// Sweep helpers over the performance model: pick the fastest (processes,
+// threads) split of a core budget, and generate the series the paper's
+// figures plot.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simsched/perfmodel.h"
+
+namespace raxh::sim {
+
+struct BestRun {
+  RunConfig config;
+  double seconds = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+// Fastest configuration using exactly `cores` cores (threads <= cores/node,
+// processes * threads == cores). Runs with processes == 1 use the
+// Pthreads-only code path (no MPI tax), matching the paper's methodology;
+// cores == 1 is the serial code.
+BestRun best_run(const PerfModel& model, int cores, int bootstraps);
+
+// Time of a specific (p, T); p == 1 uses the Pthreads-only code path and
+// T == 1 (with p > 1) the MPI-only code, as in the paper's Fig. 1.
+double run_seconds(const PerfModel& model, int processes, int threads,
+                   int bootstraps);
+
+// A point series for the figures.
+struct SeriesPoint {
+  int cores;
+  double value;
+};
+struct Series {
+  std::string label;
+  std::vector<SeriesPoint> points;
+};
+
+// Fig. 1/2-style series: speedup (or efficiency) vs. cores at a fixed thread
+// count. Core counts are multiples of `threads`.
+Series speedup_series(const PerfModel& model, int threads, int max_cores,
+                      int bootstraps, bool efficiency);
+
+// Fig. 1's "1 process" series: Pthreads-only, cores = threads.
+Series single_process_series(const PerfModel& model, int max_threads,
+                             int bootstraps, bool efficiency);
+
+// Render a list of series as CSV (header: cores,<label1>,<label2>,...).
+std::string series_csv(const std::vector<Series>& series);
+
+}  // namespace raxh::sim

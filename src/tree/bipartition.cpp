@@ -1,0 +1,161 @@
+#include "tree/bipartition.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace raxh {
+
+Bipartition::Bipartition(std::size_t num_taxa)
+    : num_taxa_(num_taxa), bits_((num_taxa + 63) / 64, 0) {
+  RAXH_EXPECTS(num_taxa >= 4);
+}
+
+void Bipartition::set(int taxon) {
+  RAXH_EXPECTS(taxon >= 0 && static_cast<std::size_t>(taxon) < num_taxa_);
+  bits_[static_cast<std::size_t>(taxon) / 64] |=
+      (std::uint64_t{1} << (static_cast<std::size_t>(taxon) % 64));
+}
+
+bool Bipartition::test(int taxon) const {
+  RAXH_EXPECTS(taxon >= 0 && static_cast<std::size_t>(taxon) < num_taxa_);
+  return (bits_[static_cast<std::size_t>(taxon) / 64] >>
+          (static_cast<std::size_t>(taxon) % 64)) &
+         1;
+}
+
+void Bipartition::unite(const Bipartition& other) {
+  RAXH_EXPECTS(num_taxa_ == other.num_taxa_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+void Bipartition::normalize() {
+  if (!test(0)) return;
+  for (auto& word : bits_) word = ~word;
+  // Clear padding bits past num_taxa_.
+  const std::size_t tail = num_taxa_ % 64;
+  if (tail != 0) bits_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+int Bipartition::popcount() const {
+  int count = 0;
+  for (auto word : bits_) count += std::popcount(word);
+  return count;
+}
+
+bool Bipartition::is_trivial() const {
+  const int pc = popcount();
+  return pc < 2 || pc > static_cast<int>(num_taxa_) - 2;
+}
+
+bool Bipartition::is_subset_of(const Bipartition& other) const {
+  RAXH_EXPECTS(num_taxa_ == other.num_taxa_);
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+  return true;
+}
+
+bool Bipartition::disjoint_with(const Bipartition& other) const {
+  RAXH_EXPECTS(num_taxa_ == other.num_taxa_);
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    if ((bits_[i] & other.bits_[i]) != 0) return false;
+  return true;
+}
+
+std::vector<int> Bipartition::members() const {
+  std::vector<int> out;
+  for (std::size_t t = 0; t < num_taxa_; ++t)
+    if (test(static_cast<int>(t))) out.push_back(static_cast<int>(t));
+  return out;
+}
+
+std::size_t Bipartition::Hash::operator()(const Bipartition& b) const {
+  // FNV-1a over the words.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (auto word : b.bits_) {
+    h ^= word;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::vector<Bipartition> tree_bipartitions(const Tree& tree) {
+  RAXH_EXPECTS(tree.is_complete());
+  const std::size_t n = tree.num_taxa();
+  std::vector<Bipartition> out;
+  if (n < 4) return out;
+
+  // Postorder from tip 0's edge covers, for every internal edge, exactly the
+  // direction pointing away from tip 0.
+  const std::vector<int> order = tree.postorder(tree.back(0));
+  std::unordered_map<int, Bipartition> behind;  // record -> taxa behind it
+  behind.reserve(order.size());
+
+  for (int rec : order) {
+    Bipartition bip(n);
+    const auto [c1, c2] = tree.children(rec);
+    for (int c : {c1, c2}) {
+      if (tree.is_tip_record(c)) {
+        bip.set(tree.tip_id(c));
+      } else {
+        const auto it = behind.find(c);
+        RAXH_ASSERT(it != behind.end());
+        bip.unite(it->second);
+      }
+    }
+    // Edge (rec, back(rec)) is internal iff back(rec) is not a tip.
+    if (!tree.is_tip_record(tree.back(rec)) && !bip.is_trivial()) {
+      Bipartition canonical = bip;
+      canonical.normalize();
+      out.push_back(std::move(canonical));
+    }
+    behind.emplace(rec, std::move(bip));
+  }
+  return out;
+}
+
+void BipartitionTable::add_tree(const Tree& tree) {
+  for (auto& bip : tree_bipartitions(tree)) add(bip);
+  ++num_trees_;
+}
+
+void BipartitionTable::add(const Bipartition& bipartition, int count) {
+  counts_[bipartition] += count;
+}
+
+void BipartitionTable::merge(const BipartitionTable& other) {
+  for (const auto& [bip, count] : other.counts_) counts_[bip] += count;
+  num_trees_ += other.num_trees_;
+}
+
+int BipartitionTable::count(const Bipartition& bipartition) const {
+  const auto it = counts_.find(bipartition);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double BipartitionTable::frequency(const Bipartition& bipartition) const {
+  RAXH_EXPECTS(num_trees_ > 0);
+  return static_cast<double>(count(bipartition)) / num_trees_;
+}
+
+int rf_distance(const Tree& a, const Tree& b) {
+  RAXH_EXPECTS(a.num_taxa() == b.num_taxa());
+  const auto ba = tree_bipartitions(a);
+  const auto bb = tree_bipartitions(b);
+  std::unordered_map<Bipartition, int, Bipartition::Hash> set_a;
+  for (const auto& bip : ba) set_a[bip] = 1;
+  int shared = 0;
+  for (const auto& bip : bb)
+    if (set_a.count(bip) != 0) ++shared;
+  return static_cast<int>(ba.size()) + static_cast<int>(bb.size()) -
+         2 * shared;
+}
+
+double relative_rf_distance(const Tree& a, const Tree& b) {
+  const std::size_t n = a.num_taxa();
+  RAXH_EXPECTS(n > 3);
+  return static_cast<double>(rf_distance(a, b)) /
+         (2.0 * static_cast<double>(n - 3));
+}
+
+}  // namespace raxh

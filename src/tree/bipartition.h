@@ -1,0 +1,88 @@
+// Bipartitions (splits) of the taxon set induced by internal tree edges, a
+// bipartition hash table for bootstrap bookkeeping, and Robinson-Foulds
+// distances. The hash table is the "framework for parallel operations on hash
+// tables" groundwork the paper lists as the prerequisite for parallelizing
+// the bootstopping test (§2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace raxh {
+
+// A split of the taxon set, canonicalized so the side NOT containing taxon 0
+// is stored. Only non-trivial splits (both sides >= 2 taxa) are interesting.
+class Bipartition {
+ public:
+  explicit Bipartition(std::size_t num_taxa);
+
+  void set(int taxon);
+  [[nodiscard]] bool test(int taxon) const;
+  void unite(const Bipartition& other);  // set-union of the stored sides
+
+  // Flip to the canonical side if taxon 0 is currently included.
+  void normalize();
+
+  [[nodiscard]] std::size_t num_taxa() const { return num_taxa_; }
+  [[nodiscard]] int popcount() const;
+  // Trivial = one side has < 2 taxa (induced by a tip edge).
+  [[nodiscard]] bool is_trivial() const;
+
+  // True if every stored taxon of *this is also in `other`.
+  [[nodiscard]] bool is_subset_of(const Bipartition& other) const;
+  // True if the stored sides share no taxon.
+  [[nodiscard]] bool disjoint_with(const Bipartition& other) const;
+  // Taxa on the stored side, ascending.
+  [[nodiscard]] std::vector<int> members() const;
+
+  bool operator==(const Bipartition& other) const = default;
+
+  struct Hash {
+    std::size_t operator()(const Bipartition& b) const;
+  };
+
+ private:
+  std::size_t num_taxa_;
+  std::vector<std::uint64_t> bits_;
+};
+
+// All non-trivial bipartitions of a complete tree (size = num_taxa - 3).
+std::vector<Bipartition> tree_bipartitions(const Tree& tree);
+
+// Occurrence counts of bipartitions over a collection of trees (e.g. the
+// bootstrap replicate set). Thread-compatible: distinct tables can be filled
+// concurrently and merged.
+class BipartitionTable {
+ public:
+  void add_tree(const Tree& tree);
+  void add(const Bipartition& bipartition, int count = 1);
+  void merge(const BipartitionTable& other);
+
+  [[nodiscard]] int count(const Bipartition& bipartition) const;
+  [[nodiscard]] int num_trees() const { return num_trees_; }
+  [[nodiscard]] std::size_t num_distinct() const { return counts_.size(); }
+
+  // Frequency in [0,1] of a bipartition over the added trees.
+  [[nodiscard]] double frequency(const Bipartition& bipartition) const;
+
+  [[nodiscard]] const std::unordered_map<Bipartition, int, Bipartition::Hash>&
+  entries() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<Bipartition, int, Bipartition::Hash> counts_;
+  int num_trees_ = 0;
+};
+
+// Robinson-Foulds distance: size of the symmetric difference of the two
+// trees' non-trivial bipartition sets. 0 iff identical topologies.
+int rf_distance(const Tree& a, const Tree& b);
+
+// Normalized RF in [0,1]: rf / (2*(n-3)).
+double relative_rf_distance(const Tree& a, const Tree& b);
+
+}  // namespace raxh

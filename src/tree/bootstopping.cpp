@@ -1,0 +1,125 @@
+#include "tree/bootstopping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace raxh {
+
+namespace {
+
+// Pearson correlation of two count vectors laid out over the union key set.
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  RAXH_EXPECTS(a.size() == b.size());
+  const auto n = static_cast<double>(a.size());
+  if (a.size() < 2) return 1.0;
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return va == vb ? 1.0 : 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+BootstopResult frequency_criterion(const std::vector<Tree>& replicates,
+                                   const BootstopOptions& options) {
+  BootstopResult result;
+  if (replicates.size() < 2) return result;
+
+  // Precompute each replicate's bipartition set once.
+  std::vector<std::vector<Bipartition>> split_sets;
+  split_sets.reserve(replicates.size());
+  for (const auto& tree : replicates)
+    split_sets.push_back(tree_bipartitions(tree));
+
+  // Union key set with dense indices.
+  std::unordered_map<Bipartition, std::size_t, Bipartition::Hash> key_index;
+  for (const auto& set : split_sets)
+    for (const auto& bip : set) key_index.try_emplace(bip, key_index.size());
+
+  Xoshiro256 rng(options.seed);
+  std::vector<std::size_t> order(replicates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  int passed = 0;
+  double correlation_sum = 0.0;
+  for (int perm = 0; perm < options.permutations; ++perm) {
+    std::shuffle(order.begin(), order.end(), rng);
+    const std::size_t half = replicates.size() / 2;
+    std::vector<double> freq_a(key_index.size(), 0.0);
+    std::vector<double> freq_b(key_index.size(), 0.0);
+    for (std::size_t i = 0; i < 2 * half; ++i) {
+      auto& freq = i < half ? freq_a : freq_b;
+      for (const auto& bip : split_sets[order[i]]) freq[key_index[bip]] += 1.0;
+    }
+    const double corr = pearson(freq_a, freq_b);
+    correlation_sum += corr;
+    if (corr >= options.correlation_cutoff) ++passed;
+  }
+
+  result.mean_correlation = correlation_sum / options.permutations;
+  result.pass_fraction =
+      static_cast<double>(passed) / options.permutations;
+  result.converged = result.pass_fraction >= options.pass_fraction;
+  return result;
+}
+
+WcResult weighted_rf_criterion(const std::vector<Tree>& replicates,
+                               const WcOptions& options) {
+  WcResult result;
+  if (replicates.size() < 2) return result;
+  const std::size_t n = replicates.front().num_taxa();
+  RAXH_EXPECTS(n > 3);
+
+  std::vector<std::vector<Bipartition>> split_sets;
+  split_sets.reserve(replicates.size());
+  for (const auto& tree : replicates)
+    split_sets.push_back(tree_bipartitions(tree));
+
+  std::unordered_map<Bipartition, std::size_t, Bipartition::Hash> key_index;
+  for (const auto& set : split_sets)
+    for (const auto& bip : set) key_index.try_emplace(bip, key_index.size());
+
+  Xoshiro256 rng(options.seed);
+  std::vector<std::size_t> order(replicates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  int passed = 0;
+  double distance_sum = 0.0;
+  for (int perm = 0; perm < options.permutations; ++perm) {
+    std::shuffle(order.begin(), order.end(), rng);
+    const std::size_t half = replicates.size() / 2;
+    std::vector<double> freq_a(key_index.size(), 0.0);
+    std::vector<double> freq_b(key_index.size(), 0.0);
+    for (std::size_t i = 0; i < 2 * half; ++i) {
+      auto& freq = i < half ? freq_a : freq_b;
+      for (const auto& bip : split_sets[order[i]])
+        freq[key_index[bip]] += 1.0 / static_cast<double>(half);
+    }
+    // Weighted RF between the halves' frequency spectra, normalized by the
+    // maximum possible (every split fully supported on one side only).
+    double wrf = 0.0;
+    for (std::size_t k = 0; k < key_index.size(); ++k)
+      wrf += std::fabs(freq_a[k] - freq_b[k]);
+    wrf /= 2.0 * static_cast<double>(n - 3);
+    distance_sum += wrf;
+    if (wrf <= options.distance_cutoff) ++passed;
+  }
+
+  result.mean_distance = distance_sum / options.permutations;
+  result.pass_fraction = static_cast<double>(passed) / options.permutations;
+  result.converged = result.pass_fraction >= options.pass_fraction;
+  return result;
+}
+
+}  // namespace raxh

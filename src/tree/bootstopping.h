@@ -1,0 +1,86 @@
+// Bootstopping: decide whether enough bootstrap replicates have been
+// computed. Implements the frequency criterion (FC) of Pattengale et al.
+// (RECOMB 2009) [13 in the paper]: randomly split the replicate set into two
+// halves many times; if the bipartition frequency vectors of the halves
+// correlate above a cutoff in (nearly) all permutations, the replicate set
+// has converged.
+//
+// The paper lists the *parallelization* of this test as future work needing
+// "a framework for parallel operations on hash tables"; BipartitionTable +
+// this module are that framework, and the hybrid runner exercises it in
+// tests and the bootstopping example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/bipartition.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+struct BootstopOptions {
+  int permutations = 100;
+  double correlation_cutoff = 0.99;  // per-permutation pass threshold
+  double pass_fraction = 0.99;       // fraction of permutations that must pass
+  std::uint64_t seed = 12345;
+};
+
+struct BootstopResult {
+  bool converged = false;
+  double mean_correlation = 0.0;
+  double pass_fraction = 0.0;
+};
+
+// FC test over a set of replicate trees (needs >= 2 replicates).
+BootstopResult frequency_criterion(const std::vector<Tree>& replicates,
+                                   const BootstopOptions& options = {});
+
+struct WcOptions {
+  int permutations = 100;
+  // A permutation passes when the weighted RF distance between its two
+  // halves' split-frequency spectra is at most this fraction (Pattengale et
+  // al. use 3%).
+  double distance_cutoff = 0.03;
+  double pass_fraction = 0.99;
+  std::uint64_t seed = 12345;
+};
+
+struct WcResult {
+  bool converged = false;
+  double mean_distance = 0.0;  // mean weighted RF over permutations, in [0,1]
+  double pass_fraction = 0.0;
+};
+
+// WC ("weighted consensus") criterion of Pattengale et al. — the test whose
+// recommendations the paper's Table 3 quotes: permute the replicates, split
+// into halves, and compare the halves' bipartition-frequency spectra by a
+// normalized weighted Robinson-Foulds distance
+//   d = sum_b |f_a(b) - f_b(b)| / (2 * (n - 3))
+// over the union of observed splits. Converged when (almost) all
+// permutations land under the cutoff.
+WcResult weighted_rf_criterion(const std::vector<Tree>& replicates,
+                               const WcOptions& options = {});
+
+// Incremental checker: feed replicates as they finish, test periodically.
+class BootstopChecker {
+ public:
+  explicit BootstopChecker(BootstopOptions options = {})
+      : options_(options) {}
+
+  void add_tree(const Tree& tree) { replicates_.push_back(tree); }
+  [[nodiscard]] std::size_t num_replicates() const {
+    return replicates_.size();
+  }
+
+  // Run the FC test on the replicates collected so far.
+  [[nodiscard]] BootstopResult check() const {
+    return frequency_criterion(replicates_, options_);
+  }
+
+ private:
+  BootstopOptions options_;
+  std::vector<Tree> replicates_;
+};
+
+}  // namespace raxh

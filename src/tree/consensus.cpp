@@ -1,0 +1,212 @@
+#include "tree/consensus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+struct ConsensusNode {
+  std::vector<int> child_nodes;  // indices into the node vector
+  std::vector<int> child_taxa;   // tip children
+  int support_percent = -1;      // -1 for the root
+};
+
+struct Cluster {
+  Bipartition bip;
+  int support_percent;
+};
+
+// Nest pairwise-compatible clusters into a multifurcating tree and print it
+// as Newick with support labels.
+std::string clusters_to_newick(std::vector<Cluster> clusters,
+                               const std::vector<std::string>& names) {
+  const std::size_t n = names.size();
+  // Smallest first, so a cluster's parent is the first larger superset.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.bip.popcount() < b.bip.popcount();
+            });
+
+  std::vector<ConsensusNode> nodes(clusters.size() + 1);
+  const int root = static_cast<int>(clusters.size());
+
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    nodes[i].support_percent = clusters[i].support_percent;
+    int parent = root;
+    for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+      if (clusters[i].bip.is_subset_of(clusters[j].bip)) {
+        parent = static_cast<int>(j);
+        break;
+      }
+    }
+    nodes[static_cast<std::size_t>(parent)].child_nodes.push_back(
+        static_cast<int>(i));
+  }
+
+  // Assign each taxon to the smallest cluster containing it; taxon 0 (never
+  // stored by canonicalization) belongs to the root.
+  nodes[static_cast<std::size_t>(root)].child_taxa.push_back(0);
+  for (int t = 1; t < static_cast<int>(n); ++t) {
+    int owner = root;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].bip.test(t)) {
+        owner = static_cast<int>(i);
+        break;  // smallest, because clusters are sorted ascending
+      }
+    }
+    nodes[static_cast<std::size_t>(owner)].child_taxa.push_back(t);
+  }
+
+  std::ostringstream out;
+  auto print = [&](auto&& self, int node) -> void {
+    const auto& cn = nodes[static_cast<std::size_t>(node)];
+    out << '(';
+    bool first = true;
+    for (int taxon : cn.child_taxa) {
+      if (!first) out << ',';
+      first = false;
+      out << names[static_cast<std::size_t>(taxon)];
+    }
+    for (int child : cn.child_nodes) {
+      if (!first) out << ',';
+      first = false;
+      self(self, child);
+    }
+    out << ')';
+    if (cn.support_percent >= 0) out << cn.support_percent;
+  };
+  print(print, root);
+  out << ';';
+  return out.str();
+}
+
+}  // namespace
+
+bool compatible(const Bipartition& a, const Bipartition& b) {
+  // Canonical sides exclude taxon 0, so the complements always intersect
+  // (both contain taxon 0); the splits coexist iff the stored sides are
+  // disjoint or nested.
+  return a.disjoint_with(b) || a.is_subset_of(b) || b.is_subset_of(a);
+}
+
+std::string majority_rule_consensus(const BipartitionTable& table,
+                                    const std::vector<std::string>& names,
+                                    double threshold) {
+  RAXH_EXPECTS(table.num_trees() > 0);
+  RAXH_EXPECTS(threshold >= 0.5 && threshold < 1.0);
+
+  // Splits above threshold; for threshold >= 0.5 they are pairwise
+  // compatible, so they nest into a tree directly.
+  std::vector<Cluster> clusters;
+  for (const auto& [bip, count] : table.entries()) {
+    const double freq = static_cast<double>(count) / table.num_trees();
+    if (freq > threshold)
+      clusters.push_back(
+          {bip, static_cast<int>(std::lround(freq * 100.0))});
+  }
+  return clusters_to_newick(std::move(clusters), names);
+}
+
+std::string extended_majority_consensus(const BipartitionTable& table,
+                                        const std::vector<std::string>& names) {
+  RAXH_EXPECTS(table.num_trees() > 0);
+  const std::size_t n = names.size();
+
+  // All splits in descending frequency (deterministic tie-break on size and
+  // member set so results do not depend on hash order).
+  std::vector<std::pair<Bipartition, int>> ranked(table.entries().begin(),
+                                                  table.entries().end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              if (a.first.popcount() != b.first.popcount())
+                return a.first.popcount() < b.first.popcount();
+              return a.first.members() < b.first.members();
+            });
+
+  std::vector<Cluster> accepted;
+  const std::size_t fully_resolved = n - 3;
+  for (const auto& [bip, count] : ranked) {
+    if (accepted.size() >= fully_resolved) break;
+    const double freq = static_cast<double>(count) / table.num_trees();
+    const bool majority = 2 * count > table.num_trees();
+    bool ok = true;
+    if (!majority) {
+      for (const auto& c : accepted) {
+        if (!compatible(bip, c.bip)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok)
+      accepted.push_back({bip, static_cast<int>(std::lround(freq * 100.0))});
+  }
+  return clusters_to_newick(std::move(accepted), names);
+}
+
+std::vector<double> edge_supports(const Tree& tree,
+                                  const BipartitionTable& table) {
+  std::vector<double> out;
+  for (const auto& bip : tree_bipartitions(tree))
+    out.push_back(table.frequency(bip));
+  return out;
+}
+
+namespace {
+
+// Writes the subtree across `rec`'s edge, collecting its taxa into `side`,
+// and labels internal nodes with bootstrap support.
+void append_supported(const Tree& tree, int rec,
+                      const std::vector<std::string>& names,
+                      const BipartitionTable& table, Bipartition& side,
+                      std::ostream& out) {
+  const int b = tree.back(rec);
+  if (tree.is_tip_record(b)) {
+    out << names[static_cast<std::size_t>(tree.tip_id(b))];
+    side.set(tree.tip_id(b));
+  } else {
+    Bipartition mine(tree.num_taxa());
+    out << '(';
+    append_supported(tree, tree.next(b), names, table, mine, out);
+    out << ',';
+    append_supported(tree, tree.next(tree.next(b)), names, table, mine, out);
+    out << ')';
+    if (!mine.is_trivial()) {
+      Bipartition canonical = mine;
+      canonical.normalize();
+      out << static_cast<int>(std::lround(table.frequency(canonical) * 100.0));
+    }
+    side.unite(mine);
+  }
+  out << ':' << tree.length(rec);
+}
+
+}  // namespace
+
+std::string annotate_support(const Tree& tree,
+                             const std::vector<std::string>& names,
+                             const BipartitionTable& table) {
+  RAXH_EXPECTS(tree.is_complete());
+  RAXH_EXPECTS(names.size() == tree.num_taxa());
+  RAXH_EXPECTS(table.num_trees() > 0);
+  std::ostringstream out;
+  out.precision(10);
+  const int r = tree.back(0);
+  out << '(' << names[0] << ':' << tree.length(0) << ',';
+  Bipartition side(tree.num_taxa());
+  append_supported(tree, tree.next(r), names, table, side, out);
+  out << ',';
+  append_supported(tree, tree.next(tree.next(r)), names, table, side, out);
+  out << ");";
+  return out.str();
+}
+
+}  // namespace raxh

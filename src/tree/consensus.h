@@ -1,0 +1,44 @@
+// Consensus trees and bootstrap-support annotation — what the 100+ bootstrap
+// replicates of a comprehensive analysis are ultimately for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/bipartition.h"
+#include "tree/tree.h"
+
+namespace raxh {
+
+// Majority-rule consensus of the trees accumulated in `table`: keeps splits
+// occurring in more than `threshold` of trees (0.5 = MR). Returns a Newick
+// string (the consensus is generally multifurcating, so it is not a Tree).
+// Internal nodes are labelled with integer support percentages.
+std::string majority_rule_consensus(const BipartitionTable& table,
+                                    const std::vector<std::string>& names,
+                                    double threshold = 0.5);
+
+// Extended majority-rule consensus (RAxML's "-J MRE"): start from the
+// majority splits, then greedily add the most frequent remaining splits that
+// are compatible with everything accepted so far, until the tree is fully
+// resolved or no compatible split remains.
+std::string extended_majority_consensus(const BipartitionTable& table,
+                                        const std::vector<std::string>& names);
+
+// True if the two splits can coexist in one tree (one side of a contains or
+// is disjoint from one side of b, in canonical form).
+bool compatible(const Bipartition& a, const Bipartition& b);
+
+// The best ML tree annotated with bootstrap support values from `table`
+// (RAxML's "-f a" output: BS support drawn on the ML tree). Internal nodes
+// carry integer support percentages.
+std::string annotate_support(const Tree& tree,
+                             const std::vector<std::string>& names,
+                             const BipartitionTable& table);
+
+// Per-edge support values of `tree` under `table`, keyed by the canonical
+// bipartition, as fractions in [0,1]. Order matches tree_bipartitions(tree).
+std::vector<double> edge_supports(const Tree& tree,
+                                  const BipartitionTable& table);
+
+}  // namespace raxh

@@ -1,0 +1,30 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations are programming errors and abort with a
+// message; they are never used for recoverable user-input validation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace raxh {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[raxh] %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace raxh
+
+#define RAXH_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::raxh::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define RAXH_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::raxh::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define RAXH_ASSERT(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::raxh::contract_failure("invariant", #cond, __FILE__, __LINE__))

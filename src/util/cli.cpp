@@ -1,0 +1,59 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace raxh {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() >= 2 && arg[0] == '-' &&
+        !(arg.size() > 1 && (std::isdigit(arg[1]) || arg[1] == '.'))) {
+      const std::string flag = arg.substr(1);
+      // A following token that is not itself a flag is this option's value.
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        const bool next_is_flag =
+            next.size() >= 2 && next[0] == '-' &&
+            !(std::isdigit(next[1]) || next[1] == '.');
+        if (!next_is_flag) {
+          options_[flag] = next;
+          ++i;
+          continue;
+        }
+      }
+      options_[flag] = "";
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliParser::has(const std::string& flag) const {
+  return options_.count(flag) != 0;
+}
+
+std::optional<std::string> CliParser::value(const std::string& flag) const {
+  auto it = options_.find(flag);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliParser::value_or(const std::string& flag,
+                                std::string fallback) const {
+  auto v = value(flag);
+  return v ? *v : std::move(fallback);
+}
+
+long long CliParser::int_or(const std::string& flag, long long fallback) const {
+  auto v = value(flag);
+  return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+}
+
+double CliParser::double_or(const std::string& flag, double fallback) const {
+  auto v = value(flag);
+  return v ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+}  // namespace raxh

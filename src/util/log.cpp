@@ -1,0 +1,83 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace raxh {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_rank{-1};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DBG";
+    case LogLevel::kInfo:
+      return "INF";
+    case LogLevel::kWarn:
+      return "WRN";
+    case LogLevel::kError:
+      return "ERR";
+  }
+  return "???";
+}
+
+void vlog(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const int rank = g_rank.load(std::memory_order_relaxed);
+  if (rank >= 0) {
+    std::fprintf(stderr, "[%s r%d] ", level_tag(level), rank);
+  } else {
+    std::fprintf(stderr, "[%s] ", level_tag(level));
+  }
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_rank(int rank) {
+  g_rank.store(rank, std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::log(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define RAXH_DEFINE_LOG_FN(name, level)       \
+  void name(const char* fmt, ...) {           \
+    va_list args;                             \
+    va_start(args, fmt);                      \
+    vlog(level, fmt, args);                   \
+    va_end(args);                             \
+  }
+
+RAXH_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+RAXH_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+RAXH_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+RAXH_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef RAXH_DEFINE_LOG_FN
+
+}  // namespace raxh

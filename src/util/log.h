@@ -1,0 +1,33 @@
+// Minimal leveled logger. Coarse-grained ranks prefix their messages with the
+// rank id so interleaved multi-process output stays attributable.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace raxh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  // Process-wide logger. Thread-safe for concurrent log calls.
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  void set_rank(int rank);  // -1 (default) omits the rank prefix
+  [[nodiscard]] LogLevel level() const;
+
+  void log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  Logger() = default;
+};
+
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace raxh

@@ -1,0 +1,186 @@
+#include "util/math_ext.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace raxh {
+
+double incomplete_gamma(double x, double alpha) {
+  RAXH_EXPECTS(alpha > 0.0);
+  RAXH_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 0.0;
+
+  const double lga = std::lgamma(alpha);
+  if (x < alpha + 1.0) {
+    // Series expansion: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a)_n.
+    double term = 1.0 / alpha;
+    double sum = term;
+    double a = alpha;
+    for (int n = 0; n < 500; ++n) {
+      a += 1.0;
+      term *= x / a;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + alpha * std::log(x) - lga);
+  }
+  // Continued fraction (modified Lentz) for Q(a,x); P = 1 - Q.
+  const double tiny = 1e-300;
+  double b = x + 1.0 - alpha;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - alpha);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + alpha * std::log(x) - lga) * h;
+  return 1.0 - q;
+}
+
+double point_normal(double p) {
+  // Odeh & Evans (1974) rational approximation, as used in DiscreteGamma.
+  RAXH_EXPECTS(p > 0.0 && p < 1.0);
+  constexpr double a0 = -0.322232431088, a1 = -1.0, a2 = -0.342242088547,
+                   a3 = -0.0204231210245, a4 = -0.453642210148e-4;
+  constexpr double b0 = 0.0993484626060, b1 = 0.588581570495,
+                   b2 = 0.531103462366, b3 = 0.103537752850,
+                   b4 = 0.38560700634e-2;
+  const bool upper = p > 0.5;
+  const double pp = upper ? 1.0 - p : p;
+  if (pp < 1e-20) return upper ? 10.0 : -10.0;
+  const double y = std::sqrt(std::log(1.0 / (pp * pp)));
+  const double z =
+      y + ((((y * a4 + a3) * y + a2) * y + a1) * y + a0) /
+              ((((y * b4 + b3) * y + b2) * y + b1) * y + b0);
+  return upper ? z : -z;
+}
+
+double point_chi2(double p, double v) {
+  // Best & Roberts (1975) AS91, the standard construction for DiscreteGamma.
+  RAXH_EXPECTS(p > 0.0 && p < 1.0);
+  RAXH_EXPECTS(v > 0.0);
+  constexpr double e = 0.5e-6, aa = 0.6931471805;
+  const double xx = 0.5 * v;
+  const double c = xx - 1.0;
+  const double g = std::lgamma(xx);
+  double ch = 0.0;
+
+  if (v < -1.24 * std::log(p)) {
+    ch = std::pow(p * xx * std::exp(g + xx * aa), 1.0 / xx);
+    if (ch - e < 0.0) return ch;
+  } else if (v > 0.32) {
+    const double x = point_normal(p);
+    const double p1 = 0.222222 / v;
+    ch = v * std::pow(x * std::sqrt(p1) + 1.0 - p1, 3.0);
+    if (ch > 2.2 * v + 6.0)
+      ch = -2.0 * (std::log(1.0 - p) - c * std::log(0.5 * ch) + g);
+  } else {
+    ch = 0.4;
+    const double a = std::log(1.0 - p);
+    for (int i = 0; i < 200; ++i) {
+      const double q0 = ch;
+      const double p1 = 1.0 + ch * (4.67 + ch);
+      const double p2 = ch * (6.73 + ch * (6.66 + ch));
+      const double t =
+          -0.5 + (4.67 + 2.0 * ch) / p1 - (6.73 + ch * (13.32 + 3.0 * ch)) / p2;
+      ch -= (1.0 - std::exp(a + g + 0.5 * ch + c * aa) * p2 / p1) / t;
+      if (std::fabs(q0 / ch - 1.0) <= 0.01) break;
+    }
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const double q0 = ch;
+    const double p1 = 0.5 * ch;
+    const double p2 = p - incomplete_gamma(p1, xx);
+    const double t = p2 * std::exp(xx * aa + g + p1 - c * std::log(ch));
+    const double b = t / ch;
+    const double a = 0.5 * t - b * c;
+    const double s1 =
+        (210.0 + a * (140.0 + a * (105.0 + a * (84.0 + a * (70.0 + 60.0 * a))))) /
+        420.0;
+    const double s2 =
+        (420.0 + a * (735.0 + a * (966.0 + a * (1141.0 + 1278.0 * a)))) / 2520.0;
+    const double s3 = (210.0 + a * (462.0 + a * (707.0 + 932.0 * a))) / 2520.0;
+    const double s4 =
+        (252.0 + a * (672.0 + 1182.0 * a) + c * (294.0 + a * (889.0 + 1740.0 * a))) /
+        5040.0;
+    const double s5 = (84.0 + 264.0 * a + c * (175.0 + 606.0 * a)) / 2520.0;
+    const double s6 = (120.0 + c * (346.0 + 127.0 * c)) / 5040.0;
+    ch += t * (1.0 + 0.5 * t * s1 -
+               b * c *
+                   (s1 - b * (s2 - b * (s3 - b * (s4 - b * (s5 - b * s6))))));
+    if (std::fabs(q0 / ch - 1.0) <= e) break;
+  }
+  return ch;
+}
+
+std::vector<double> discrete_gamma_rates(double alpha, int ncat) {
+  RAXH_EXPECTS(alpha > 0.0);
+  RAXH_EXPECTS(ncat >= 1);
+  std::vector<double> rates(static_cast<std::size_t>(ncat), 1.0);
+  if (ncat == 1) return rates;
+
+  const double factor = ncat;  // alpha/beta * K with beta == alpha
+  std::vector<double> cut(static_cast<std::size_t>(ncat));
+  // Category boundaries as chi2 quantiles (PointGamma(p, a, b) =
+  // PointChi2(p, 2a) / (2b) with b = alpha), then mean rate per category via
+  // the incomplete gamma of alpha+1 (Yang 1994).
+  for (int i = 1; i < ncat; ++i) {
+    const double q = point_chi2(static_cast<double>(i) / ncat, 2.0 * alpha);
+    cut[static_cast<std::size_t>(i - 1)] = q / (2.0 * alpha);
+  }
+  std::vector<double> upper_p(static_cast<std::size_t>(ncat - 1));
+  for (int i = 0; i < ncat - 1; ++i)
+    upper_p[static_cast<std::size_t>(i)] =
+        incomplete_gamma(cut[static_cast<std::size_t>(i)] * alpha, alpha + 1.0);
+
+  for (int i = 0; i < ncat; ++i) {
+    const double lo = (i == 0) ? 0.0 : upper_p[static_cast<std::size_t>(i - 1)];
+    const double hi =
+        (i == ncat - 1) ? 1.0 : upper_p[static_cast<std::size_t>(i)];
+    rates[static_cast<std::size_t>(i)] = (hi - lo) * factor;
+  }
+  // Normalize to mean exactly 1 to kill residual quadrature error.
+  double mean = 0.0;
+  for (double r : rates) mean += r;
+  mean /= ncat;
+  for (double& r : rates) r /= mean;
+  return rates;
+}
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0, comp = 0.0;
+  for (double v : values) {
+    const double t = sum + v;
+    if (std::fabs(sum) >= std::fabs(v)) {
+      comp += (sum - t) + v;
+    } else {
+      comp += (v - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+double log_sum_exp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+}  // namespace raxh

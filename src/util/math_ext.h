@@ -1,0 +1,32 @@
+// Special functions needed by the GAMMA rate-heterogeneity model and by the
+// statistical tests. The incomplete-gamma / quantile routines follow the
+// classical algorithms used throughout phylogenetics (Yang's DiscreteGamma
+// construction), implemented from the published formulas.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace raxh {
+
+// Regularized lower incomplete gamma P(alpha, x); alpha > 0, x >= 0.
+double incomplete_gamma(double x, double alpha);
+
+// Quantile of the standard normal distribution; 0 < p < 1.
+double point_normal(double p);
+
+// Quantile of the chi-squared distribution with v degrees of freedom.
+double point_chi2(double p, double v);
+
+// Mean rates of ncat equal-probability categories of a Gamma(alpha, alpha)
+// distribution (mean 1). This is the standard discrete-GAMMA construction.
+std::vector<double> discrete_gamma_rates(double alpha, int ncat);
+
+// Numerically careful summation (Kahan-Babuska) for log-likelihood totals.
+double kahan_sum(std::span<const double> values);
+
+// log(sum(exp(x_i))) without overflow.
+double log_sum_exp(std::span<const double> values);
+
+}  // namespace raxh

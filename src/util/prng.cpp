@@ -1,0 +1,127 @@
+#include "util/prng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace raxh {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Lcg::Lcg(std::int64_t seed) : seed_(seed) {
+  RAXH_EXPECTS(seed > 0);
+}
+
+double Lcg::next_double() {
+  // RAxML's randum(): a 32-bit multiplicative congruential generator carried
+  // out in 12/12/8-bit limbs (mult = 406*4096 + 1549).
+  constexpr std::int64_t kMult0 = 1549;
+  constexpr std::int64_t kMult1 = 406;
+
+  const std::int64_t seed0 = seed_ & 4095;
+  const std::int64_t seed1 = (seed_ >> 12) & 4095;
+  const std::int64_t seed2 = (seed_ >> 24) & 255;
+
+  std::int64_t sum = kMult0 * seed0;
+  const std::int64_t new0 = sum & 4095;
+  sum >>= 12;
+  sum += kMult0 * seed1 + kMult1 * seed0;
+  const std::int64_t new1 = sum & 4095;
+  sum >>= 12;
+  sum += kMult0 * seed2 + kMult1 * seed1;
+  const std::int64_t new2 = sum & 255;
+
+  seed_ = (new2 << 24) | (new1 << 12) | new0;
+  if (seed_ == 0) seed_ = 1;  // the zero state is absorbing; step off it
+  return 0.00390625 *
+         (static_cast<double>(new2) +
+          0.000244140625 * (static_cast<double>(new1) +
+                            0.000244140625 * static_cast<double>(new0)));
+}
+
+std::int32_t Lcg::next_below(std::int32_t n) {
+  RAXH_EXPECTS(n > 0);
+  auto v = static_cast<std::int32_t>(next_double() * n);
+  return v >= n ? n - 1 : v;
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t n) {
+  RAXH_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Xoshiro256::next_gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Xoshiro256::next_exponential() {
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -std::log(u);
+}
+
+RankSeeds seeds_for_rank(std::int64_t parsimony_seed,
+                         std::int64_t bootstrap_seed, int rank) {
+  RAXH_EXPECTS(parsimony_seed > 0);
+  RAXH_EXPECTS(bootstrap_seed > 0);
+  RAXH_EXPECTS(rank >= 0);
+  return RankSeeds{parsimony_seed + kRankSeedStride * rank,
+                   bootstrap_seed + kRankSeedStride * rank};
+}
+
+}  // namespace raxh

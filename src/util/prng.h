@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// Two generators are provided:
+//  * Lcg        — the minimal-standard Lehmer generator used by RAxML's
+//                 randum(): reproducibility of bootstrap resampling and
+//                 starting-tree randomization depends on its exact sequence.
+//  * Xoshiro256 — a fast, high-quality generator for everything that does not
+//                 need to match RAxML's stream (data-set simulation, tests).
+//
+// Seed policy (paper §2.4): MPI rank r derives its seeds from the user seeds
+// by adding kRankSeedStride * r, which makes runs reproducible for a fixed
+// (seed, rank count) pair. See seeds_for_rank().
+#pragma once
+
+#include <cstdint>
+
+namespace raxh {
+
+// Stride between per-rank seeds, as in the paper: "seeds incremented by
+// constant amounts (specifically, multiples of 10,000) on the other processes".
+inline constexpr std::int64_t kRankSeedStride = 10000;
+
+// Park-Miller minimal standard LCG as implemented by RAxML's randum().
+// State and output are kept in the open interval (0, 1).
+class Lcg {
+ public:
+  explicit Lcg(std::int64_t seed);
+
+  // Uniform draw in [0, 1); advances the state.
+  double next_double();
+
+  // Uniform integer in [0, n); requires n > 0.
+  std::int32_t next_below(std::int32_t n);
+
+  [[nodiscard]] std::int64_t state() const { return seed_; }
+
+ private:
+  std::int64_t seed_;
+};
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+// seeded via SplitMix64 so that any 64-bit value is a good seed.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform integer in [0, n); requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+  // Standard normal via Box-Muller (uses two draws on every second call).
+  double next_gaussian();
+  // Exponential with rate 1.
+  double next_exponential();
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+// Per-rank seed derivation (paper §2.4).
+struct RankSeeds {
+  std::int64_t parsimony_seed;  // -p
+  std::int64_t bootstrap_seed;  // -x (rapid) or -b (standard)
+};
+
+RankSeeds seeds_for_rank(std::int64_t parsimony_seed, std::int64_t bootstrap_seed,
+                         int rank);
+
+}  // namespace raxh

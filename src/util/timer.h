@@ -1,0 +1,70 @@
+// Wall-clock timing helpers used by the stage instrumentation of the
+// comprehensive analysis (Figs. 3-4 report per-stage wall times).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace raxh {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates named phase durations; phases may repeat and accumulate.
+class PhaseTimer {
+ public:
+  void start(std::string phase) {
+    flush();
+    current_ = std::move(phase);
+    timer_.reset();
+    running_ = true;
+  }
+
+  void stop() { flush(); }
+
+  [[nodiscard]] double total(const std::string& phase) const {
+    for (const auto& [name, secs] : phases_)
+      if (name == phase) return secs;
+    return 0.0;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& phases()
+      const {
+    return phases_;
+  }
+
+ private:
+  void flush() {
+    if (!running_) return;
+    running_ = false;
+    const double elapsed = timer_.seconds();
+    for (auto& [name, secs] : phases_) {
+      if (name == current_) {
+        secs += elapsed;
+        return;
+      }
+    }
+    phases_.emplace_back(current_, elapsed);
+  }
+
+  WallTimer timer_;
+  std::string current_;
+  bool running_ = false;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace raxh

@@ -1,0 +1,132 @@
+// Adaptive hybrid bootstopping (the paper's stated future work): ranks
+// bootstrap in rounds, bipartition hash tables merge across ranks, and the
+// FC test decides when to stop.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "core/analyses.h"
+#include "minimpi/comm.h"
+#include "tree/tree.h"
+
+namespace raxh {
+namespace {
+
+PatternAlignment make_data(double branch, std::uint64_t seed,
+                           std::size_t sites) {
+  SimConfig cfg;
+  cfg.taxa = 8;
+  cfg.distinct_sites = sites;
+  cfg.total_sites = sites;
+  cfg.seed = seed;
+  cfg.mean_branch_length = branch;
+  return PatternAlignment::compress(simulate_alignment(cfg).alignment);
+}
+
+TEST(AdaptiveBootstop, ConvergesEarlyOnCleanData) {
+  // Long, clean alignment: every replicate recovers the same splits, so the
+  // FC test converges at (or right after) the minimum replicate count.
+  const auto patterns = make_data(0.08, 11, 600);
+
+  AdaptiveBootstrapOptions options;
+  options.round_size = 4;
+  options.min_replicates = 8;
+  options.max_replicates = 64;
+  options.bootstop.correlation_cutoff = 0.9;
+  options.bootstop.pass_fraction = 0.9;
+
+  std::mutex mu;
+  std::vector<AdaptiveBootstrapResult> results;
+  mpi::run_thread_ranks(2, [&](mpi::Comm& comm) {
+    const auto r = run_adaptive_bootstrap(comm, patterns, options);
+    std::lock_guard<std::mutex> lock(mu);
+    results.push_back(r);
+  });
+
+  ASSERT_EQ(results.size(), 2u);
+  // All ranks agree on the verdict and totals (the Bcast contract).
+  EXPECT_EQ(results[0].converged, results[1].converged);
+  EXPECT_EQ(results[0].total_replicates, results[1].total_replicates);
+  EXPECT_EQ(results[0].rounds, results[1].rounds);
+
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_LT(results[0].total_replicates, options.max_replicates)
+      << "clean data should stop well before the cap";
+  EXPECT_GE(results[0].total_replicates, options.min_replicates);
+
+  // Rank 0 carries the replicate set; the other rank does not.
+  int with_replicates = 0;
+  for (const auto& r : results) {
+    if (r.replicate_newicks.empty()) continue;
+    ++with_replicates;
+    EXPECT_EQ(static_cast<int>(r.replicate_newicks.size()),
+              r.total_replicates);
+    for (const auto& nwk : r.replicate_newicks)
+      EXPECT_NO_THROW(Tree::parse_newick(nwk, patterns.names()));
+  }
+  EXPECT_EQ(with_replicates, 1);
+}
+
+TEST(AdaptiveBootstop, HitsCapOnNoisyData) {
+  // Short, noisy alignment with a strict cutoff: replicates keep disagreeing
+  // and the run stops at the cap, not converged.
+  const auto patterns = make_data(0.4, 23, 40);
+
+  AdaptiveBootstrapOptions options;
+  options.round_size = 4;
+  options.min_replicates = 8;
+  options.max_replicates = 16;
+  options.bootstop.correlation_cutoff = 0.999;
+  options.bootstop.pass_fraction = 0.999;
+
+  mpi::run_thread_ranks(2, [&](mpi::Comm& comm) {
+    const auto r = run_adaptive_bootstrap(comm, patterns, options);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.total_replicates, 16);
+  });
+}
+
+TEST(AdaptiveBootstop, SingleRankWorks) {
+  const auto patterns = make_data(0.08, 31, 400);
+  AdaptiveBootstrapOptions options;
+  options.round_size = 6;
+  options.min_replicates = 6;
+  options.max_replicates = 36;
+  options.bootstop.correlation_cutoff = 0.9;
+  options.bootstop.pass_fraction = 0.9;
+  mpi::run_thread_ranks(1, [&](mpi::Comm& comm) {
+    const auto r = run_adaptive_bootstrap(comm, patterns, options);
+    EXPECT_GE(r.total_replicates, options.min_replicates);
+    EXPECT_LE(r.total_replicates, options.max_replicates);
+    EXPECT_GE(r.rounds, 1);
+  });
+}
+
+TEST(AdaptiveBootstop, MoreRanksSameDecisionKind) {
+  // The decision comes from the merged replicate set, so more ranks means
+  // more replicates per round but the same qualitative outcome.
+  const auto patterns = make_data(0.08, 47, 500);
+  AdaptiveBootstrapOptions options;
+  options.round_size = 3;
+  options.min_replicates = 6;
+  options.max_replicates = 48;
+  options.bootstop.correlation_cutoff = 0.9;
+  options.bootstop.pass_fraction = 0.9;
+
+  bool converged1 = false, converged3 = false;
+  mpi::run_thread_ranks(1, [&](mpi::Comm& comm) {
+    converged1 = run_adaptive_bootstrap(comm, patterns, options).converged;
+  });
+  std::mutex mu;
+  mpi::run_thread_ranks(3, [&](mpi::Comm& comm) {
+    const auto r = run_adaptive_bootstrap(comm, patterns, options);
+    std::lock_guard<std::mutex> lock(mu);
+    converged3 = r.converged;
+  });
+  EXPECT_EQ(converged1, converged3);
+}
+
+}  // namespace
+}  // namespace raxh

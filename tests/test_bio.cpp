@@ -1,0 +1,285 @@
+// bio/: DNA encoding, alignments, pattern compression, bootstrap resampling,
+// PHYLIP/FASTA I/O, sequence simulation, paper data-set descriptors.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "bio/alignment.h"
+#include "bio/datasets.h"
+#include "bio/dna.h"
+#include "bio/io.h"
+#include "bio/patterns.h"
+#include "bio/resample.h"
+#include "bio/seqsim.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+Alignment tiny_alignment() {
+  // 4 taxa x 8 sites with repeated columns.
+  return Alignment({"t1", "t2", "t3", "t4"},
+                   {{encode_dna('A'), encode_dna('A'), encode_dna('C'),
+                     encode_dna('A'), encode_dna('G'), encode_dna('A'),
+                     encode_dna('C'), encode_dna('T')},
+                    {encode_dna('A'), encode_dna('A'), encode_dna('C'),
+                     encode_dna('A'), encode_dna('G'), encode_dna('A'),
+                     encode_dna('C'), encode_dna('T')},
+                    {encode_dna('A'), encode_dna('C'), encode_dna('C'),
+                     encode_dna('A'), encode_dna('G'), encode_dna('A'),
+                     encode_dna('C'), encode_dna('A')},
+                    {encode_dna('T'), encode_dna('C'), encode_dna('G'),
+                     encode_dna('T'), encode_dna('G'), encode_dna('T'),
+                     encode_dna('G'), encode_dna('A')}});
+}
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  for (char c : std::string("ACGTRYSWKMBDHVacgt")) {
+    const DnaState s = encode_dna(c);
+    EXPECT_NE(s, 0);
+    EXPECT_EQ(encode_dna(decode_dna(s)), s);
+  }
+  EXPECT_EQ(encode_dna('N'), kStateGap);
+  EXPECT_EQ(encode_dna('-'), kStateGap);
+  EXPECT_EQ(encode_dna('U'), kStateT);  // RNA maps onto T
+}
+
+TEST(Dna, StateIndexingConsistent) {
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(state_index(state_from_index(i)), i);
+    EXPECT_TRUE(is_unambiguous(state_from_index(i)));
+  }
+  EXPECT_FALSE(is_unambiguous(kStateGap));
+  EXPECT_FALSE(is_unambiguous(encode_dna('R')));
+  EXPECT_EQ(state_index(kStateGap), -1);
+}
+
+TEST(Alignment, BasicAccessors) {
+  const Alignment a = tiny_alignment();
+  EXPECT_EQ(a.num_taxa(), 4u);
+  EXPECT_EQ(a.num_sites(), 8u);
+  EXPECT_EQ(a.name(2), "t3");
+  EXPECT_EQ(a.find_taxon("t4"), 3);
+  EXPECT_EQ(a.find_taxon("nope"), -1);
+  EXPECT_EQ(a.at(3, 0), encode_dna('T'));
+  const auto col = a.column(1);
+  EXPECT_EQ(col[0], encode_dna('A'));
+  EXPECT_EQ(col[2], encode_dna('C'));
+}
+
+TEST(Alignment, EmpiricalFrequenciesSumToOne) {
+  const auto freqs = tiny_alignment().empirical_frequencies();
+  double sum = 0.0;
+  for (double f : freqs) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Patterns, CompressionMergesIdenticalColumns) {
+  const auto pat = PatternAlignment::compress(tiny_alignment());
+  // Columns: AAAT, AACC, CCCG, AAAT, GGGG, AAAT, CCCG, TTAA -> 5 distinct.
+  EXPECT_EQ(pat.num_patterns(), 5u);
+  EXPECT_EQ(pat.num_sites(), 8u);
+  EXPECT_EQ(pat.total_weight(), 8);
+
+  // Weight sum per pattern matches column multiplicity.
+  const auto w = pat.weights();
+  const long total = std::accumulate(w.begin(), w.end(), 0L);
+  EXPECT_EQ(total, 8);
+  // Site->pattern covers all sites and round-trips column content.
+  const auto s2p = pat.site_to_pattern();
+  const Alignment a = tiny_alignment();
+  for (std::size_t s = 0; s < a.num_sites(); ++s)
+    for (std::size_t t = 0; t < a.num_taxa(); ++t)
+      EXPECT_EQ(pat.at(t, s2p[s]), a.at(t, s));
+}
+
+TEST(Patterns, WeightOfRepeatedColumn) {
+  const auto pat = PatternAlignment::compress(tiny_alignment());
+  const auto s2p = pat.site_to_pattern();
+  // Column 0 (AAAT) appears at sites 0, 3, 5.
+  EXPECT_EQ(s2p[0], s2p[3]);
+  EXPECT_EQ(s2p[0], s2p[5]);
+  EXPECT_EQ(pat.weights()[s2p[0]], 3);
+}
+
+TEST(Resample, WeightsSumToSiteCount) {
+  const auto pat = PatternAlignment::compress(tiny_alignment());
+  Lcg rng(12345);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto w = bootstrap_weights(pat, rng);
+    ASSERT_EQ(w.size(), pat.num_patterns());
+    EXPECT_EQ(std::accumulate(w.begin(), w.end(), 0L), pat.total_weight());
+    for (int x : w) EXPECT_GE(x, 0);
+  }
+}
+
+TEST(Resample, DeterministicInSeed) {
+  const auto pat = PatternAlignment::compress(tiny_alignment());
+  Lcg a(42), b(42);
+  EXPECT_EQ(bootstrap_weights(pat, a), bootstrap_weights(pat, b));
+  Lcg c(43);
+  // Over several replicates, a different seed must differ somewhere.
+  bool any_diff = false;
+  Lcg a2(42);
+  for (int i = 0; i < 5 && !any_diff; ++i)
+    any_diff = bootstrap_weights(pat, a2) != bootstrap_weights(pat, c);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Resample, SampledSitesMatchWeights) {
+  const auto pat = PatternAlignment::compress(tiny_alignment());
+  Lcg rng(7);
+  std::vector<std::size_t> sites;
+  const auto w = bootstrap_weights_sites(pat, rng, &sites);
+  EXPECT_EQ(sites.size(), static_cast<std::size_t>(pat.total_weight()));
+  std::vector<int> recount(pat.num_patterns(), 0);
+  for (auto s : sites) recount[pat.site_to_pattern()[s]] += 1;
+  EXPECT_EQ(w, recount);
+}
+
+TEST(PhylipIo, RoundTrip) {
+  const Alignment a = tiny_alignment();
+  std::stringstream buf;
+  write_phylip(buf, a);
+  const Alignment b = read_phylip(buf);
+  ASSERT_EQ(b.num_taxa(), a.num_taxa());
+  ASSERT_EQ(b.num_sites(), a.num_sites());
+  for (std::size_t t = 0; t < a.num_taxa(); ++t) {
+    EXPECT_EQ(b.name(t), a.name(t));
+    for (std::size_t s = 0; s < a.num_sites(); ++s)
+      EXPECT_EQ(b.at(t, s), a.at(t, s));
+  }
+}
+
+TEST(PhylipIo, RejectsMalformedHeader) {
+  std::stringstream buf("not a header");
+  EXPECT_THROW(read_phylip(buf), std::runtime_error);
+}
+
+TEST(PhylipIo, RejectsShortSequence) {
+  std::stringstream buf("2 5\nt1 ACGTA\nt2 ACG\n");
+  EXPECT_THROW(read_phylip(buf), std::runtime_error);
+}
+
+TEST(FastaIo, RoundTrip) {
+  const Alignment a = tiny_alignment();
+  std::stringstream buf;
+  write_fasta(buf, a);
+  const Alignment b = read_fasta(buf);
+  ASSERT_EQ(b.num_taxa(), a.num_taxa());
+  for (std::size_t t = 0; t < a.num_taxa(); ++t) {
+    EXPECT_EQ(b.name(t), a.name(t));
+    for (std::size_t s = 0; s < a.num_sites(); ++s)
+      EXPECT_EQ(b.at(t, s), a.at(t, s));
+  }
+}
+
+TEST(FastaIo, RejectsUnalignedInput) {
+  std::stringstream buf(">a\nACGT\n>b\nACG\n");
+  EXPECT_THROW(read_fasta(buf), std::runtime_error);
+}
+
+TEST(FastaIo, HeaderNameStopsAtWhitespace) {
+  std::stringstream buf(">taxon1 some description\nACGT\n>taxon2\nACGT\n");
+  const Alignment a = read_fasta(buf);
+  EXPECT_EQ(a.name(0), "taxon1");
+}
+
+TEST(SeqSim, DimensionsAndDeterminism) {
+  SimConfig cfg;
+  cfg.taxa = 12;
+  cfg.distinct_sites = 100;
+  cfg.total_sites = 160;
+  cfg.seed = 99;
+  const SimResult a = simulate_alignment(cfg);
+  const SimResult b = simulate_alignment(cfg);
+  EXPECT_EQ(a.alignment.num_taxa(), 12u);
+  EXPECT_EQ(a.alignment.num_sites(), 160u);
+  EXPECT_EQ(a.true_tree_newick, b.true_tree_newick);
+  for (std::size_t t = 0; t < 12; ++t)
+    for (std::size_t s = 0; s < 160; ++s)
+      EXPECT_EQ(a.alignment.at(t, s), b.alignment.at(t, s));
+
+  cfg.seed = 100;
+  const SimResult c = simulate_alignment(cfg);
+  int diffs = 0;
+  for (std::size_t t = 0; t < 12; ++t)
+    for (std::size_t s = 0; s < 160; ++s)
+      diffs += a.alignment.at(t, s) != c.alignment.at(t, s);
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(SeqSim, PatternCountNearTarget) {
+  SimConfig cfg;
+  cfg.taxa = 24;
+  cfg.distinct_sites = 300;
+  cfg.total_sites = 500;
+  cfg.seed = 5;
+  const auto sim = simulate_alignment(cfg);
+  const auto pat = PatternAlignment::compress(sim.alignment);
+  // Some simulated columns may collide (constant columns especially), so the
+  // achieved count is <= target but should be in the same ballpark.
+  EXPECT_LE(pat.num_patterns(), 300u);
+  EXPECT_GT(pat.num_patterns(), 150u);
+}
+
+TEST(SeqSim, RelatedTaxaMoreSimilarThanRandom) {
+  SimConfig cfg;
+  cfg.taxa = 10;
+  cfg.distinct_sites = 400;
+  cfg.total_sites = 400;
+  cfg.seed = 11;
+  cfg.mean_branch_length = 0.05;
+  const auto sim = simulate_alignment(cfg);
+  // Identity fraction between any two rows should be far above the 25%
+  // random-sequence baseline for short branches.
+  const auto& a = sim.alignment;
+  for (std::size_t t = 1; t < a.num_taxa(); ++t) {
+    int same = 0;
+    for (std::size_t s = 0; s < a.num_sites(); ++s)
+      same += a.at(0, s) == a.at(t, s);
+    EXPECT_GT(static_cast<double>(same) / a.num_sites(), 0.4);
+  }
+}
+
+TEST(Datasets, PaperTable3Reproduced) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 5u);
+  // Exact Table 3 rows.
+  EXPECT_EQ(specs[0].taxa, 354u);
+  EXPECT_EQ(specs[0].characters, 460u);
+  EXPECT_EQ(specs[0].patterns, 348u);
+  EXPECT_EQ(specs[0].recommended_bootstraps, 1200);
+  EXPECT_EQ(specs[2].taxa, 218u);
+  EXPECT_EQ(specs[2].patterns, 1846u);
+  EXPECT_EQ(specs[2].recommended_bootstraps, 550);
+  EXPECT_EQ(specs[4].taxa, 125u);
+  EXPECT_EQ(specs[4].characters, 29149u);
+  EXPECT_EQ(specs[4].patterns, 19436u);
+  EXPECT_EQ(specs[4].recommended_bootstraps, 50);
+  // Ordered by ascending pattern count, as in the paper.
+  for (std::size_t i = 1; i < specs.size(); ++i)
+    EXPECT_GT(specs[i].patterns, specs[i - 1].patterns);
+}
+
+TEST(Datasets, LookupByPatterns) {
+  EXPECT_EQ(paper_dataset_by_patterns(1846).taxa, 218u);
+  EXPECT_EQ(paper_dataset_by_patterns(19436).recommended_bootstraps, 50);
+}
+
+TEST(Datasets, GenerateScaledStandIn) {
+  const auto& spec = paper_dataset_by_patterns(1130);
+  const Alignment a = generate_dataset(spec, 0.1, 1);
+  EXPECT_EQ(a.num_taxa(), 15u);  // round(150 * 0.1)
+  EXPECT_EQ(a.num_sites(), 127u);  // round(1269 * 0.1)
+  const auto pat = PatternAlignment::compress(a);
+  EXPECT_GT(pat.num_patterns(), 50u);
+  EXPECT_LE(pat.num_patterns(), 113u);
+}
+
+}  // namespace
+}  // namespace raxh

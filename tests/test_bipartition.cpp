@@ -1,0 +1,312 @@
+// tree/: bipartitions, the bipartition hash table, RF distances, consensus
+// trees, support annotation, and the FC bootstopping test.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/bipartition.h"
+#include "tree/bootstopping.h"
+#include "tree/consensus.h"
+#include "search/parsimony.h"
+#include "tree/tree.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+std::vector<std::string> names_for(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.push_back("t" + std::to_string(i));
+  return names;
+}
+
+TEST(Bipartition, NormalizationCanonicalizes) {
+  Bipartition a(6), b(6);
+  // {1,2} and its complement {0,3,4,5} are the same split.
+  a.set(1);
+  a.set(2);
+  b.set(0);
+  b.set(3);
+  b.set(4);
+  b.set(5);
+  a.normalize();
+  b.normalize();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.test(0));
+}
+
+TEST(Bipartition, TrivialDetection) {
+  Bipartition single(6);
+  single.set(3);
+  EXPECT_TRUE(single.is_trivial());
+  Bipartition pair(6);
+  pair.set(2);
+  pair.set(4);
+  EXPECT_FALSE(pair.is_trivial());
+  Bipartition almost_all(6);
+  for (int t = 1; t < 6; ++t) almost_all.set(t);
+  EXPECT_TRUE(almost_all.is_trivial());
+}
+
+TEST(Bipartition, SubsetAndMembers) {
+  Bipartition small(8), big(8);
+  small.set(2);
+  small.set(3);
+  big.set(2);
+  big.set(3);
+  big.set(5);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_EQ(big.members(), (std::vector<int>{2, 3, 5}));
+  EXPECT_EQ(big.popcount(), 3);
+}
+
+TEST(Bipartition, HashEqualForEqualSplits) {
+  Bipartition a(70), b(70);  // >64 taxa exercises the multi-word path
+  for (int t : {5, 17, 64, 69}) {
+    a.set(t);
+    b.set(t);
+  }
+  EXPECT_EQ(Bipartition::Hash{}(a), Bipartition::Hash{}(b));
+  b.set(33);
+  EXPECT_NE(a, b);
+}
+
+TEST(TreeBipartitions, CountIsTaxaMinusThree) {
+  const auto names = names_for(9);
+  Lcg rng(3);
+  Tree tree(9);
+  tree.make_triplet(0, 1, 2);
+  for (int k = 3; k < 9; ++k) {
+    const auto edges = tree.edges();
+    tree.insert_tip(k, edges[static_cast<std::size_t>(
+                           rng.next_below(static_cast<int>(edges.size())))]);
+  }
+  EXPECT_EQ(tree_bipartitions(tree).size(), 6u);
+}
+
+TEST(TreeBipartitions, KnownQuartetSplit) {
+  const auto names = names_for(4);
+  const Tree tree = Tree::parse_newick("((t0,t1),(t2,t3));", names);
+  const auto bips = tree_bipartitions(tree);
+  ASSERT_EQ(bips.size(), 1u);
+  // Canonical side excludes taxon 0 -> {2,3}.
+  EXPECT_EQ(bips[0].members(), (std::vector<int>{2, 3}));
+}
+
+TEST(RfDistance, IdenticalTreesZero) {
+  const auto names = names_for(8);
+  const std::string nwk =
+      "((t0,t1),((t2,t3),(t4,(t5,(t6,t7)))));";
+  const Tree a = Tree::parse_newick(nwk, names);
+  const Tree b = Tree::parse_newick(nwk, names);
+  EXPECT_EQ(rf_distance(a, b), 0);
+  EXPECT_DOUBLE_EQ(relative_rf_distance(a, b), 0.0);
+}
+
+TEST(RfDistance, MaximallyDifferentQuartets) {
+  const auto names = names_for(4);
+  const Tree a = Tree::parse_newick("((t0,t1),(t2,t3));", names);
+  const Tree b = Tree::parse_newick("((t0,t2),(t1,t3));", names);
+  EXPECT_EQ(rf_distance(a, b), 2);
+  EXPECT_DOUBLE_EQ(relative_rf_distance(a, b), 1.0);
+}
+
+TEST(RfDistance, SymmetricAndTriangleish) {
+  const auto names = names_for(7);
+  const Tree a =
+      Tree::parse_newick("((t0,t1),((t2,t3),((t4,t5),t6)));", names);
+  const Tree b =
+      Tree::parse_newick("((t0,t2),((t1,t3),((t4,t6),t5)));", names);
+  EXPECT_EQ(rf_distance(a, b), rf_distance(b, a));
+}
+
+TEST(BipartitionTable, CountsAndFrequencies) {
+  const auto names = names_for(5);
+  const Tree a = Tree::parse_newick("(((t0,t1),t2),(t3,t4));", names);
+  const Tree b = Tree::parse_newick("(((t0,t2),t1),(t3,t4));", names);
+  BipartitionTable table;
+  table.add_tree(a);
+  table.add_tree(a);
+  table.add_tree(b);
+  EXPECT_EQ(table.num_trees(), 3);
+
+  // The {t3,t4} split occurs in all three trees.
+  Bipartition split34(5);
+  split34.set(3);
+  split34.set(4);
+  split34.normalize();
+  EXPECT_EQ(table.count(split34), 3);
+  EXPECT_DOUBLE_EQ(table.frequency(split34), 1.0);
+
+  // {t0,t1} occurs only in a (twice).
+  Bipartition split01(5);
+  split01.set(0);
+  split01.set(1);
+  split01.normalize();
+  EXPECT_EQ(table.count(split01), 2);
+}
+
+TEST(BipartitionTable, MergeMatchesSequentialFill) {
+  const auto names = names_for(6);
+  Lcg rng(17);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 8; ++i) trees.push_back(random_topology(names.size(), rng));
+
+  BipartitionTable all;
+  for (const auto& t : trees) all.add_tree(t);
+
+  BipartitionTable left, right;
+  for (int i = 0; i < 4; ++i) left.add_tree(trees[static_cast<std::size_t>(i)]);
+  for (int i = 4; i < 8; ++i) right.add_tree(trees[static_cast<std::size_t>(i)]);
+  left.merge(right);
+
+  EXPECT_EQ(left.num_trees(), all.num_trees());
+  EXPECT_EQ(left.num_distinct(), all.num_distinct());
+  for (const auto& [bip, count] : all.entries())
+    EXPECT_EQ(left.count(bip), count);
+}
+
+TEST(Consensus, UnanimousTreesReproduceTopology) {
+  const auto names = names_for(6);
+  const std::string nwk = "((t0,t1),((t2,t3),(t4,t5)));";
+  BipartitionTable table;
+  for (int i = 0; i < 10; ++i)
+    table.add_tree(Tree::parse_newick(nwk, names));
+  const std::string consensus = majority_rule_consensus(table, names);
+  // All splits at 100%: the consensus is fully resolved and contains each
+  // clade with support 100.
+  EXPECT_NE(consensus.find("100"), std::string::npos);
+  // It parses back into a tree with RF distance 0 from the original.
+  const Tree back = Tree::parse_newick(consensus, names);
+  EXPECT_EQ(rf_distance(back, Tree::parse_newick(nwk, names)), 0);
+}
+
+TEST(Consensus, MinoritySplitsDropOut) {
+  const auto names = names_for(5);
+  BipartitionTable table;
+  // 6 trees support ((t0,t1)...), 4 support ((t0,t2)...).
+  for (int i = 0; i < 6; ++i)
+    table.add_tree(Tree::parse_newick("(((t0,t1),t2),(t3,t4));", names));
+  for (int i = 0; i < 4; ++i)
+    table.add_tree(Tree::parse_newick("(((t0,t2),t1),(t3,t4));", names));
+  const std::string consensus = majority_rule_consensus(table, names);
+  // 60% split retained, 40% split gone; {t3,t4} is at 100%.
+  EXPECT_NE(consensus.find("60"), std::string::npos);
+  EXPECT_NE(consensus.find("100"), std::string::npos);
+}
+
+TEST(Consensus, AnnotateSupportOnBestTree) {
+  const auto names = names_for(6);
+  const std::string best = "((t0,t1),((t2,t3),(t4,t5)));";
+  BipartitionTable table;
+  for (int i = 0; i < 8; ++i) table.add_tree(Tree::parse_newick(best, names));
+  table.add_tree(
+      Tree::parse_newick("((t0,t2),((t1,t3),(t4,t5)));", names));
+
+  const Tree best_tree = Tree::parse_newick(best, names);
+  const std::string annotated = annotate_support(best_tree, names, table);
+  // Splits present in 8/9 trees -> support 89; {t4,t5} in 9/9 -> 100.
+  EXPECT_NE(annotated.find("89"), std::string::npos);
+  EXPECT_NE(annotated.find("100"), std::string::npos);
+  // Still a parseable tree with the same topology.
+  const Tree parsed = Tree::parse_newick(annotated, names);
+  EXPECT_EQ(rf_distance(parsed, best_tree), 0);
+}
+
+TEST(Consensus, EdgeSupportsOrderedLikeBipartitions) {
+  const auto names = names_for(6);
+  const Tree tree =
+      Tree::parse_newick("((t0,t1),((t2,t3),(t4,t5)));", names);
+  BipartitionTable table;
+  table.add_tree(tree);
+  const auto supports = edge_supports(tree, table);
+  EXPECT_EQ(supports.size(), tree_bipartitions(tree).size());
+  for (double s : supports) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Bootstop, ConvergedForIdenticalReplicates) {
+  const auto names = names_for(8);
+  const std::string nwk = "((t0,t1),((t2,t3),(t4,(t5,(t6,t7)))));";
+  std::vector<Tree> reps;
+  for (int i = 0; i < 20; ++i) reps.push_back(Tree::parse_newick(nwk, names));
+  const auto result = frequency_criterion(reps);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.mean_correlation, 1.0, 1e-9);
+}
+
+TEST(Bootstop, NotConvergedForRandomReplicates) {
+  const auto names = names_for(10);
+  Lcg rng(23);
+  std::vector<Tree> reps;
+  for (int i = 0; i < 20; ++i) reps.push_back(random_topology(names.size(), rng));
+  BootstopOptions opts;
+  opts.correlation_cutoff = 0.99;
+  const auto result = frequency_criterion(reps, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LT(result.mean_correlation, 0.99);
+}
+
+TEST(BootstopWc, ConvergedForIdenticalReplicates) {
+  const auto names = names_for(8);
+  const std::string nwk = "((t0,t1),((t2,t3),(t4,(t5,(t6,t7)))));";
+  std::vector<Tree> reps;
+  for (int i = 0; i < 20; ++i) reps.push_back(Tree::parse_newick(nwk, names));
+  const auto result = weighted_rf_criterion(reps);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.mean_distance, 0.0, 1e-12);
+}
+
+TEST(BootstopWc, NotConvergedForRandomReplicates) {
+  const auto names = names_for(10);
+  Lcg rng(29);
+  std::vector<Tree> reps;
+  for (int i = 0; i < 20; ++i)
+    reps.push_back(random_topology(names.size(), rng));
+  const auto result = weighted_rf_criterion(reps);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.mean_distance, 0.03);
+}
+
+TEST(BootstopWc, DistanceBoundedByOne) {
+  const auto names = names_for(6);
+  Lcg rng(31);
+  std::vector<Tree> reps;
+  for (int i = 0; i < 10; ++i)
+    reps.push_back(random_topology(names.size(), rng));
+  const auto result = weighted_rf_criterion(reps);
+  EXPECT_GE(result.mean_distance, 0.0);
+  EXPECT_LE(result.mean_distance, 1.0);
+}
+
+TEST(BootstopWc, AgreesWithFcOnClearCases) {
+  // Both criteria must agree on the two extremes: identical replicates
+  // (converged) and pure-noise replicates (not converged).
+  const auto names = names_for(8);
+  const std::string nwk = "((t0,t1),((t2,t3),(t4,(t5,(t6,t7)))));";
+  std::vector<Tree> same;
+  for (int i = 0; i < 12; ++i) same.push_back(Tree::parse_newick(nwk, names));
+  EXPECT_EQ(frequency_criterion(same).converged,
+            weighted_rf_criterion(same).converged);
+
+  Lcg rng(37);
+  std::vector<Tree> noise;
+  for (int i = 0; i < 12; ++i)
+    noise.push_back(random_topology(names.size(), rng));
+  EXPECT_EQ(frequency_criterion(noise).converged,
+            weighted_rf_criterion(noise).converged);
+}
+
+TEST(Bootstop, CheckerAccumulates) {
+  const auto names = names_for(6);
+  BootstopChecker checker;
+  EXPECT_EQ(checker.num_replicates(), 0u);
+  for (int i = 0; i < 6; ++i)
+    checker.add_tree(
+        Tree::parse_newick("((t0,t1),((t2,t3),(t4,t5)));", names));
+  EXPECT_EQ(checker.num_replicates(), 6u);
+  EXPECT_TRUE(checker.check().converged);
+}
+
+}  // namespace
+}  // namespace raxh

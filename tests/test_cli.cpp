@@ -1,0 +1,135 @@
+// End-to-end smoke tests of the `raxh` CLI binary: each analysis mode runs
+// against a generated PHYLIP file and produces its output trees. Skipped if
+// the binary is not where the build puts it (e.g. when tests are run from an
+// unusual working directory).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "bio/io.h"
+#include "bio/seqsim.h"
+#include "tree/tree.h"
+
+namespace raxh {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs with CWD = <build>/tests; the binary lives in
+    // <build>/src/cli/raxh.
+    binary_ = fs::absolute("../src/cli/raxh");
+    if (!fs::exists(binary_)) GTEST_SKIP() << "raxh binary not found";
+
+    work_ = fs::temp_directory_path() / "raxh_cli_test";
+    fs::create_directories(work_);
+    alignment_ = (work_ / "data.phy").string();
+
+    SimConfig cfg;
+    cfg.taxa = 8;
+    cfg.distinct_sites = 80;
+    cfg.total_sites = 100;
+    cfg.seed = 99;
+    const auto sim = simulate_alignment(cfg);
+    write_phylip_file(alignment_, sim.alignment);
+    true_tree_ = (work_ / "true.tre").string();
+    std::ofstream(true_tree_) << sim.true_tree_newick << '\n';
+  }
+
+  int run(const std::string& args) const {
+    const std::string cmd = binary_.string() + " " + args + " >" +
+                            (work_ / "stdout.txt").string() + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string output() const {
+    std::ifstream in(work_ / "stdout.txt");
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path binary_;
+  fs::path work_;
+  std::string alignment_;
+  std::string true_tree_;
+};
+
+TEST_F(CliSmoke, NoArgumentsPrintsUsageAndFails) {
+  EXPECT_NE(run(""), 0);
+  EXPECT_NE(output().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliSmoke, ComprehensiveModeWritesTrees) {
+  const std::string base = (work_ / "comp").string();
+  ASSERT_EQ(run("-s " + alignment_ + " -f a -N 4 -np 2 -n " + base), 0)
+      << output();
+  EXPECT_TRUE(fs::exists(base + "_bestTree.tre"));
+  EXPECT_TRUE(fs::exists(base + "_bipartitions.tre"));
+  EXPECT_NE(output().find("winner:"), std::string::npos);
+}
+
+TEST_F(CliSmoke, MultistartModeWritesBestTree) {
+  const std::string base = (work_ / "multi").string();
+  ASSERT_EQ(run("-s " + alignment_ + " -f d -N 3 -n " + base), 0) << output();
+  EXPECT_TRUE(fs::exists(base + "_bestTree.tre"));
+}
+
+TEST_F(CliSmoke, BootstrapModeWritesReplicatesAndConsensus) {
+  const std::string base = (work_ / "boot").string();
+  ASSERT_EQ(run("-s " + alignment_ + " -f b -N 5 -np 2 -n " + base), 0)
+      << output();
+  EXPECT_TRUE(fs::exists(base + "_bootstrap.tre"));
+  EXPECT_TRUE(fs::exists(base + "_consensus.tre"));
+  // 5 requested over 2 ranks -> ceil(5/2)*2 = 6 replicates.
+  std::ifstream trees(base + "_bootstrap.tre");
+  int lines = 0;
+  std::string line;
+  while (std::getline(trees, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, 6);
+}
+
+TEST_F(CliSmoke, AdaptiveBootstrapModeRuns) {
+  const std::string base = (work_ / "adapt").string();
+  ASSERT_EQ(run("-s " + alignment_ + " -f x -N 12 -np 2 -n " + base), 0)
+      << output();
+  EXPECT_TRUE(fs::exists(base + "_bootstrap.tre"));
+  const std::string out = output();
+  EXPECT_TRUE(out.find("CONVERGED") != std::string::npos ||
+              out.find("cap reached") != std::string::npos)
+      << out;
+}
+
+TEST_F(CliSmoke, EvaluateModeReportsModelAndSitelh) {
+  const std::string base = (work_ / "eval").string();
+  ASSERT_EQ(run("-s " + alignment_ + " -f e -t " + true_tree_ + " -n " + base),
+            0)
+      << output();
+  EXPECT_TRUE(fs::exists(base + "_evaluated.tre"));
+  EXPECT_TRUE(fs::exists(base + "_sitelh.txt"));
+  EXPECT_NE(output().find("lnL"), std::string::npos);
+  EXPECT_NE(output().find("alpha"), std::string::npos);
+  // sitelh has one line per original site.
+  std::ifstream sitelh(base + "_sitelh.txt");
+  int lines = 0;
+  std::string line;
+  while (std::getline(sitelh, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, 100);
+}
+
+TEST_F(CliSmoke, MissingFileFailsCleanly) {
+  EXPECT_NE(run("-s /nonexistent.phy"), 0);
+  EXPECT_NE(output().find("error:"), std::string::npos);
+}
+
+TEST_F(CliSmoke, UnknownModeFails) {
+  EXPECT_NE(run("-s " + alignment_ + " -f z"), 0);
+}
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,133 @@
+// Extended-majority consensus, split compatibility, and adaptive SPR-radius
+// determination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "search/parsimony.h"
+#include "search/spr.h"
+#include "tree/bipartition.h"
+#include "tree/consensus.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+std::vector<std::string> names_for(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.push_back("t" + std::to_string(i));
+  return names;
+}
+
+Bipartition split_of(std::initializer_list<int> taxa, std::size_t n) {
+  Bipartition b(n);
+  for (int t : taxa) b.set(t);
+  b.normalize();
+  return b;
+}
+
+TEST(Compatible, DisjointNestedAndConflicting) {
+  const std::size_t n = 8;
+  const auto ab = split_of({1, 2}, n);
+  const auto cd = split_of({3, 4}, n);
+  const auto abc = split_of({1, 2, 3}, n);
+  const auto bc = split_of({2, 3}, n);
+  EXPECT_TRUE(compatible(ab, cd));   // disjoint
+  EXPECT_TRUE(compatible(ab, abc));  // nested
+  EXPECT_TRUE(compatible(cd, cd));   // identical
+  EXPECT_FALSE(compatible(ab, bc));  // overlapping, neither nested
+}
+
+TEST(Compatible, TreeSplitsArePairwiseCompatible) {
+  Lcg rng(9);
+  const Tree tree = random_topology(12, rng);
+  const auto splits = tree_bipartitions(tree);
+  for (std::size_t i = 0; i < splits.size(); ++i)
+    for (std::size_t j = i + 1; j < splits.size(); ++j)
+      EXPECT_TRUE(compatible(splits[i], splits[j]));
+}
+
+TEST(ExtendedConsensus, FullyResolvesWhereMrCannot) {
+  const auto names = names_for(6);
+  // Split support: {4,5} in all trees; {0,1} in 2 of 4; {0,2} in 1; the MR
+  // consensus keeps only {4,5}+100%-splits, MRE also packs in the best
+  // minority splits.
+  BipartitionTable table;
+  table.add_tree(Tree::parse_newick("(((t0,t1),t2),(t3,(t4,t5)));", names));
+  table.add_tree(Tree::parse_newick("(((t0,t1),t3),(t2,(t4,t5)));", names));
+  table.add_tree(Tree::parse_newick("(((t0,t2),t1),(t3,(t4,t5)));", names));
+  table.add_tree(Tree::parse_newick("(((t1,t2),t0),(t3,(t4,t5)));", names));
+
+  const std::string mr = majority_rule_consensus(table, names);
+  const std::string mre = extended_majority_consensus(table, names);
+  // MRE resolves at least as much as MR (more parentheses = more clusters).
+  const auto clusters = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '(');
+  };
+  EXPECT_GE(clusters(mre), clusters(mr));
+  // The unanimous {4,5} split appears in both.
+  EXPECT_NE(mr.find("100"), std::string::npos);
+  EXPECT_NE(mre.find("100"), std::string::npos);
+  // MRE picked up the 50% split {0,1} (printed as support 50).
+  EXPECT_NE(mre.find("50"), std::string::npos);
+}
+
+TEST(ExtendedConsensus, FullyResolvedInputReproduced) {
+  const auto names = names_for(8);
+  const std::string nwk = "((t0,t1),((t2,t3),((t4,t5),(t6,t7))));";
+  BipartitionTable table;
+  for (int i = 0; i < 5; ++i) table.add_tree(Tree::parse_newick(nwk, names));
+  const std::string mre = extended_majority_consensus(table, names);
+  const Tree back = Tree::parse_newick(mre, names);
+  EXPECT_EQ(rf_distance(back, Tree::parse_newick(nwk, names)), 0);
+}
+
+TEST(ExtendedConsensus, AcceptsOnlyCompatibleMinoritySplits) {
+  const auto names = names_for(6);
+  BipartitionTable table;
+  // Two conflicting minority splits with equal support plus noise trees.
+  table.add_tree(Tree::parse_newick("(((t0,t1),t2),(t3,(t4,t5)));", names));
+  table.add_tree(Tree::parse_newick("(((t0,t2),t1),(t5,(t3,t4)));", names));
+  table.add_tree(Tree::parse_newick("(((t0,t3),t4),(t1,(t2,t5)));", names));
+  const std::string mre = extended_majority_consensus(table, names);
+  // Result must parse into a valid (possibly multifurcating) tree.
+  EXPECT_NO_THROW(Tree::parse_newick(mre, names));
+}
+
+TEST(AdaptiveRadius, ReturnsRadiusInRangeAndPrefersSmallWhenConverged) {
+  SimConfig cfg;
+  cfg.taxa = 12;
+  cfg.distinct_sites = 400;
+  cfg.total_sites = 400;
+  cfg.seed = 5;
+  cfg.mean_branch_length = 0.08;
+  const auto sim = simulate_alignment(cfg);
+  const auto patterns = PatternAlignment::compress(sim.alignment);
+  GtrParams gtr;
+  gtr.freqs = patterns.empirical_frequencies();
+  LikelihoodEngine engine(patterns, gtr,
+                          RateModel::cat(patterns.num_patterns()));
+  EngineEvaluator evaluator(engine);
+
+  // On the generating tree no radius finds improvement: smallest returned.
+  Tree truth = Tree::parse_newick(sim.true_tree_newick, patterns.names());
+  engine.smooth_branches(truth, 2);
+  const int at_optimum = determine_spr_radius(evaluator, truth, 2, 8, 3);
+  EXPECT_EQ(at_optimum, 2);
+
+  // On a random tree a radius in range is returned and the input tree is
+  // untouched.
+  Lcg rng(3);
+  Tree rand_tree = random_topology(12, rng);
+  const std::string before = rand_tree.to_newick(patterns.names());
+  const int radius = determine_spr_radius(evaluator, rand_tree, 2, 8, 3);
+  EXPECT_GE(radius, 2);
+  EXPECT_LE(radius, 8);
+  EXPECT_EQ(rand_tree.to_newick(patterns.names()), before);
+}
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,382 @@
+// likelihood/: the engine validated against an independent, simple reference
+// implementation of Felsenstein pruning (no scaling, no memoization, no
+// shared code path beyond GtrModel), plus derivative checks, scaling, CLV
+// revalidation after topology changes, and serial==threaded equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "bio/patterns.h"
+#include "bio/resample.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "model/gtr.h"
+#include "model/rates.h"
+#include "parallel/workforce.h"
+#include "tree/tree.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+// --- independent reference likelihood (recursion over std::vector) ---
+
+struct RefCtx {
+  const Tree* tree;
+  const PatternAlignment* patterns;
+  const GtrModel* model;
+  std::vector<double> rates;    // category rates
+  std::vector<double> weights;  // category weights (sum 1)
+  const RateModel* rate_model = nullptr;  // for CAT per-pattern categories
+};
+
+// Likelihood vector of the subtree behind `rec`, for pattern p and category c.
+std::vector<double> ref_partial(const RefCtx& ctx, int rec, std::size_t p,
+                                int cat) {
+  if (ctx.tree->is_tip_record(rec)) {
+    const DnaState mask = ctx.patterns->at(static_cast<std::size_t>(rec), p);
+    std::vector<double> v(4);
+    for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    return v;
+  }
+  const auto [c1, c2] = ctx.tree->children(rec);
+  const auto left = ref_partial(ctx, c1, p, cat);
+  const auto right = ref_partial(ctx, c2, p, cat);
+  const double rate = ctx.rates[static_cast<std::size_t>(cat)];
+  const auto p1 = ctx.model->transition_matrix(
+      ctx.tree->length(ctx.tree->next(rec)), rate);
+  const auto p2 = ctx.model->transition_matrix(
+      ctx.tree->length(ctx.tree->next(ctx.tree->next(rec))), rate);
+  std::vector<double> v(4);
+  for (int i = 0; i < 4; ++i) {
+    double a = 0.0, b = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      a += p1[static_cast<std::size_t>(i * 4 + j)] * left[static_cast<std::size_t>(j)];
+      b += p2[static_cast<std::size_t>(i * 4 + j)] * right[static_cast<std::size_t>(j)];
+    }
+    v[static_cast<std::size_t>(i)] = a * b;
+  }
+  return v;
+}
+
+double ref_lnl(const RefCtx& ctx, std::span<const int> weights) {
+  // Evaluate at tip 0's edge: combine tip 0 with the rest of the tree.
+  const Tree& tree = *ctx.tree;
+  const int rest = tree.back(0);
+  const double t = tree.length(0);
+  double total = 0.0;
+  for (std::size_t p = 0; p < ctx.patterns->num_patterns(); ++p) {
+    if (weights[p] == 0) continue;
+    double site = 0.0;
+    const int cat_begin =
+        ctx.rate_model != nullptr ? ctx.rate_model->pattern_category(p) : 0;
+    const int cat_end = ctx.rate_model != nullptr
+                            ? cat_begin + 1
+                            : static_cast<int>(ctx.rates.size());
+    for (int c = cat_begin; c < cat_end; ++c) {
+      const auto rest_v = ref_partial(ctx, rest, p, c);
+      const auto pm =
+          ctx.model->transition_matrix(t, ctx.rates[static_cast<std::size_t>(c)]);
+      const DnaState mask = ctx.patterns->at(0, p);
+      double cat_l = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        if (!((mask >> i) & 1)) continue;
+        double px = 0.0;
+        for (int j = 0; j < 4; ++j)
+          px += pm[static_cast<std::size_t>(i * 4 + j)] *
+                rest_v[static_cast<std::size_t>(j)];
+        cat_l += ctx.model->freqs()[static_cast<std::size_t>(i)] * px;
+      }
+      site += ctx.weights[static_cast<std::size_t>(c)] * cat_l;
+    }
+    total += weights[p] * std::log(site);
+  }
+  return total;
+}
+
+struct Fixture {
+  Fixture(std::size_t taxa, std::size_t sites, std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.taxa = taxa;
+    cfg.distinct_sites = sites;
+    cfg.total_sites = sites;
+    cfg.seed = seed;
+    sim = simulate_alignment(cfg);
+    patterns = PatternAlignment::compress(sim.alignment);
+    gtr.freqs = patterns.empirical_frequencies();
+    gtr.rates = {1.2, 2.8, 0.9, 1.4, 3.1, 1.0};
+    tree = std::make_unique<Tree>(
+        Tree::parse_newick(sim.true_tree_newick, patterns.names()));
+  }
+
+  SimResult sim;
+  PatternAlignment patterns;
+  GtrParams gtr;
+  std::unique_ptr<Tree> tree;
+};
+
+TEST(Engine, MatchesReferenceUniformRates) {
+  Fixture f(8, 60, 17);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  const double got = engine.evaluate(*f.tree);
+
+  RefCtx ctx{f.tree.get(), &f.patterns, nullptr, {1.0}, {1.0}, nullptr};
+  const GtrModel model(f.gtr);
+  ctx.model = &model;
+  const double expected = ref_lnl(ctx, engine.weights());
+  EXPECT_NEAR(got, expected, std::fabs(expected) * 1e-10);
+}
+
+TEST(Engine, MatchesReferenceGamma) {
+  Fixture f(7, 50, 23);
+  const RateModel rm = RateModel::gamma(0.6);
+  LikelihoodEngine engine(f.patterns, f.gtr, rm);
+  const double got = engine.evaluate(*f.tree);
+
+  RefCtx ctx;
+  ctx.tree = f.tree.get();
+  ctx.patterns = &f.patterns;
+  const GtrModel model(f.gtr);
+  ctx.model = &model;
+  ctx.rates.assign(rm.rates().begin(), rm.rates().end());
+  ctx.weights.assign(4, 0.25);
+  const double expected = ref_lnl(ctx, engine.weights());
+  EXPECT_NEAR(got, expected, std::fabs(expected) * 1e-10);
+}
+
+TEST(Engine, MatchesReferenceCatWithCategories) {
+  Fixture f(6, 40, 31);
+  auto rm = RateModel::cat(f.patterns.num_patterns());
+  // Hand-build a 3-category assignment.
+  std::vector<int> cats(f.patterns.num_patterns());
+  for (std::size_t p = 0; p < cats.size(); ++p)
+    cats[p] = static_cast<int>(p % 3);
+  rm.set_categories({0.2, 1.0, 2.1}, cats);
+  LikelihoodEngine engine(f.patterns, f.gtr, rm);
+  const double got = engine.evaluate(*f.tree);
+
+  RefCtx ctx;
+  ctx.tree = f.tree.get();
+  ctx.patterns = &f.patterns;
+  const GtrModel model(f.gtr);
+  ctx.model = &model;
+  ctx.rates = {0.2, 1.0, 2.1};
+  ctx.weights = {1.0, 1.0, 1.0};
+  ctx.rate_model = &rm;
+  const double expected = ref_lnl(ctx, engine.weights());
+  EXPECT_NEAR(got, expected, std::fabs(expected) * 1e-10);
+}
+
+TEST(Engine, EvaluationEdgeInvariant) {
+  // The lnL must not depend on which edge it is evaluated at.
+  Fixture f(9, 70, 41);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::gamma(0.7));
+  const double ref = engine.evaluate(*f.tree, 0);
+  for (int e : f.tree->edges()) {
+    EXPECT_NEAR(engine.evaluate(*f.tree, e), ref, std::fabs(ref) * 1e-9)
+        << "edge " << e;
+  }
+}
+
+TEST(Engine, ScalingKicksInOnDeepTreeAndKeepsLnlFinite) {
+  // A caterpillar of 60 taxa with long branches forces CLV underflow without
+  // scaling.
+  SimConfig cfg;
+  cfg.taxa = 60;
+  cfg.distinct_sites = 30;
+  cfg.total_sites = 30;
+  cfg.seed = 3;
+  cfg.mean_branch_length = 0.9;
+  const auto sim = simulate_alignment(cfg);
+  const auto patterns = PatternAlignment::compress(sim.alignment);
+  GtrParams gtr;
+  gtr.freqs = patterns.empirical_frequencies();
+  Tree tree = Tree::parse_newick(sim.true_tree_newick, patterns.names());
+  // Stretch all branches.
+  for (int e : tree.edges()) tree.set_length(e, 2.5);
+
+  LikelihoodEngine engine(patterns, gtr, RateModel::gamma(0.5));
+  const double lnl = engine.evaluate(tree);
+  EXPECT_TRUE(std::isfinite(lnl));
+  EXPECT_LT(lnl, 0.0);
+}
+
+TEST(Engine, WeightsChangeAffectsLnl) {
+  Fixture f(6, 50, 53);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  const double base = engine.evaluate(*f.tree);
+
+  Lcg rng(12345);
+  const auto bw = bootstrap_weights(f.patterns, rng);
+  engine.set_weights(bw);
+  const double boot = engine.evaluate(*f.tree);
+  EXPECT_NE(base, boot);
+
+  engine.reset_weights();
+  EXPECT_NEAR(engine.evaluate(*f.tree), base, 1e-9);
+}
+
+TEST(Engine, ZeroWeightPatternsDropOut) {
+  Fixture f(5, 30, 71);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  std::vector<int> w(f.patterns.num_patterns(), 0);
+  w[0] = 5;
+  engine.set_weights(w);
+  // Equals 5 * per-pattern lnl of pattern 0.
+  std::vector<double> pp(f.patterns.num_patterns());
+  engine.per_pattern_lnl(*f.tree, pp);
+  EXPECT_NEAR(engine.evaluate(*f.tree), 5.0 * pp[0], 1e-9);
+}
+
+TEST(Engine, BranchDerivativeMatchesFiniteDifference) {
+  Fixture f(8, 60, 83);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::gamma(0.8));
+  Tree& tree = *f.tree;
+  // Spot-check the optimizer's fixed point: after optimize_branch, moving the
+  // branch either way must not improve the likelihood.
+  for (int e : {tree.edges()[0], tree.edges()[3], tree.edges()[5]}) {
+    const double t = engine.optimize_branch(tree, e);
+    const double at = engine.evaluate(tree, e);
+    for (double eps : {1e-4, 1e-3}) {
+      tree.set_length(e, std::max(t - eps, kMinBranchLength));
+      EXPECT_LE(engine.evaluate(tree, e), at + 1e-6);
+      tree.set_length(e, t + eps);
+      EXPECT_LE(engine.evaluate(tree, e), at + 1e-6);
+      tree.set_length(e, t);
+    }
+  }
+}
+
+TEST(Engine, SmoothBranchesImprovesLnl) {
+  Fixture f(10, 80, 97);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::gamma(0.7));
+  Tree& tree = *f.tree;
+  // Perturb all branch lengths badly.
+  for (int e : tree.edges()) tree.set_length(e, 0.9);
+  const double before = engine.evaluate(tree);
+  const double after = engine.smooth_branches(tree, 2);
+  EXPECT_GT(after, before + 1.0);
+}
+
+TEST(Engine, ClvRevalidationAfterSpr) {
+  // The engine must give the same lnL for the same topology whether reached
+  // directly or via prune/regraft/undo churn.
+  Fixture f(10, 60, 111);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  Tree& tree = *f.tree;
+  const double before = engine.evaluate(tree);
+
+  const int p = tree.internal_records()[5];
+  Tree::SprMove move = tree.prune(p);
+  const auto edges = tree.edges();
+  for (int s : edges) {
+    if (s == move.q || s == move.r || s == p || tree.in_subtree(p, s))
+      continue;
+    tree.regraft(move, s);
+    (void)engine.evaluate(tree, move.p);  // fill CLVs for the variant
+    tree.undo_regraft(move);
+  }
+  tree.undo(move);
+  EXPECT_NEAR(engine.evaluate(tree), before, std::fabs(before) * 1e-10);
+}
+
+TEST(Engine, ModelChangeInvalidatesClvs) {
+  Fixture f(7, 50, 131);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  const double base = engine.evaluate(*f.tree);
+  GtrParams changed = f.gtr;
+  changed.rates[1] = 9.0;
+  engine.set_gtr(changed);
+  const double after = engine.evaluate(*f.tree);
+  EXPECT_NE(base, after);
+  engine.set_gtr(f.gtr);
+  EXPECT_NEAR(engine.evaluate(*f.tree), base, std::fabs(base) * 1e-10);
+}
+
+TEST(Engine, ThreadedMatchesSerial) {
+  Fixture f(12, 90, 139);
+  LikelihoodEngine serial(f.patterns, f.gtr, RateModel::gamma(0.6));
+  const double want = serial.evaluate(*f.tree);
+
+  for (int threads : {2, 3, 4, 7}) {
+    Workforce crew(threads);
+    LikelihoodEngine par(f.patterns, f.gtr, RateModel::gamma(0.6), &crew);
+    EXPECT_NEAR(par.evaluate(*f.tree), want, std::fabs(want) * 1e-12)
+        << threads << " threads";
+  }
+}
+
+TEST(Engine, ThreadedOptimizationMatchesSerial) {
+  Fixture f(8, 70, 149);
+  Tree tree_a = *f.tree;
+  Tree tree_b = *f.tree;
+
+  LikelihoodEngine serial(f.patterns, f.gtr, RateModel::gamma(0.6));
+  const double lnl_a = serial.smooth_branches(tree_a, 2);
+
+  Workforce crew(4);
+  LikelihoodEngine par(f.patterns, f.gtr, RateModel::gamma(0.6), &crew);
+  const double lnl_b = par.smooth_branches(tree_b, 2);
+
+  EXPECT_NEAR(lnl_a, lnl_b, std::fabs(lnl_a) * 1e-9);
+  EXPECT_NEAR(tree_a.total_length(), tree_b.total_length(), 1e-6);
+}
+
+TEST(Engine, OptimizeAlphaImprovesAndSticks) {
+  Fixture f(9, 80, 157);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::gamma(7.0));
+  const double before = engine.evaluate(*f.tree);
+  const double after = engine.optimize_alpha(*f.tree);
+  EXPECT_GE(after, before - 1e-9);
+  // Data were simulated with alpha ~0.8-ish heterogeneity; the optimum
+  // should move away from the bad 7.0 start.
+  EXPECT_NE(engine.rates().alpha(), 7.0);
+}
+
+TEST(Engine, OptimizeGtrImproves) {
+  Fixture f(7, 60, 163);
+  GtrParams bad = f.gtr;
+  bad.rates = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};  // JC start, data are GTR-ish
+  LikelihoodEngine engine(f.patterns, bad, RateModel::uniform());
+  const double before = engine.evaluate(*f.tree);
+  const double after = engine.optimize_gtr(*f.tree);
+  EXPECT_GE(after, before);
+}
+
+TEST(Engine, OptimizeCatRatesImproves) {
+  Fixture f(8, 100, 171);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  const double before = engine.evaluate(*f.tree);
+  const double after = engine.optimize_cat_rates(*f.tree);
+  EXPECT_GE(after, before - 1e-9);
+  // The simulated data have strong rate heterogeneity; CAT must pick it up.
+  EXPECT_GT(engine.rates().num_categories(), 1);
+}
+
+TEST(Engine, CatCategoriesCappedAt25) {
+  Fixture f(6, 400, 177);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  engine.optimize_cat_rates(*f.tree);
+  EXPECT_LE(engine.rates().num_categories(), kMaxCatCategories);
+}
+
+TEST(Engine, NewviewCountGrowsWithWork) {
+  Fixture f(8, 50, 191);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  engine.evaluate(*f.tree);
+  const auto first = engine.newview_count();
+  EXPECT_GE(first, f.patterns.num_taxa() - 2);
+  // Cached second evaluation does no new newviews.
+  engine.evaluate(*f.tree);
+  EXPECT_EQ(engine.newview_count(), first);
+  // Invalidation forces recomputation.
+  engine.invalidate_all();
+  engine.evaluate(*f.tree);
+  EXPECT_GT(engine.newview_count(), first);
+}
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,190 @@
+// minimpi/: serialization, point-to-point ordering, collectives on the
+// thread backend, and a forked-process backend integration check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "minimpi/comm.h"
+
+namespace raxh::mpi {
+namespace {
+
+TEST(PackUnpack, RoundTripsScalarsStringsVectors) {
+  Packer p;
+  p.put(42);
+  p.put(3.14159);
+  p.put_string("hello world");
+  p.put_doubles({1.0, -2.5, 1e100});
+  p.put(static_cast<long>(-7));
+
+  const Bytes bytes = p.take();
+  Unpacker u(bytes);
+  EXPECT_EQ(u.get<int>(), 42);
+  EXPECT_DOUBLE_EQ(u.get<double>(), 3.14159);
+  EXPECT_EQ(u.get_string(), "hello world");
+  EXPECT_EQ(u.get_doubles(), (std::vector<double>{1.0, -2.5, 1e100}));
+  EXPECT_EQ(u.get<long>(), -7);
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(PackUnpack, EmptyContainers) {
+  Packer p;
+  p.put_string("");
+  p.put_doubles({});
+  const Bytes bytes = p.take();
+  Unpacker u(bytes);
+  EXPECT_EQ(u.get_string(), "");
+  EXPECT_TRUE(u.get_doubles().empty());
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(ThreadRanks, SizeAndRankAreConsistent) {
+  for (int n : {1, 2, 5, 9}) {
+    std::atomic<int> rank_sum{0};
+    run_thread_ranks(n, [&](Comm& comm) {
+      EXPECT_EQ(comm.size(), n);
+      rank_sum.fetch_add(comm.rank());
+    });
+    EXPECT_EQ(rank_sum.load(), n * (n - 1) / 2);
+  }
+}
+
+TEST(ThreadRanks, PointToPointPreservesOrder) {
+  run_thread_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        Packer p;
+        p.put(i);
+        comm.send(1, 7, p.bytes());
+      }
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        const Bytes b = comm.recv(0, 7);
+        Unpacker u(b);
+        EXPECT_EQ(u.get<int>(), i);
+      }
+    }
+  });
+}
+
+TEST(ThreadRanks, BarrierSynchronizes) {
+  // After the barrier, every rank must observe all pre-barrier increments.
+  std::atomic<int> before{0};
+  run_thread_ranks(6, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 6);
+  });
+}
+
+TEST(ThreadRanks, BcastDistributesRootData) {
+  run_thread_ranks(5, [](Comm& comm) {
+    std::string payload =
+        comm.rank() == 2 ? "the winning tree" : "overwritten";
+    comm.bcast_string(payload, 2);
+    EXPECT_EQ(payload, "the winning tree");
+  });
+}
+
+TEST(ThreadRanks, AllreduceMaxlocFindsWinner) {
+  run_thread_ranks(7, [](Comm& comm) {
+    // Rank r contributes -(r-4)^2: the max is at rank 4.
+    const double mine = -std::pow(comm.rank() - 4.0, 2.0);
+    const auto best = comm.allreduce_maxloc(mine);
+    EXPECT_EQ(best.rank, 4);
+    EXPECT_DOUBLE_EQ(best.value, 0.0);
+  });
+}
+
+TEST(ThreadRanks, AllreduceMaxlocTiePicksLowestRank) {
+  run_thread_ranks(4, [](Comm& comm) {
+    const auto best = comm.allreduce_maxloc(1.0);
+    EXPECT_EQ(best.rank, 0);
+  });
+}
+
+TEST(ThreadRanks, AllreduceSums) {
+  run_thread_ranks(6, [](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(static_cast<double>(comm.rank())),
+                     15.0);
+    EXPECT_EQ(comm.allreduce_sum_long(2), 12);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())),
+                     5.0);
+  });
+}
+
+TEST(ThreadRanks, GatherCollectsInRankOrder) {
+  run_thread_ranks(4, [](Comm& comm) {
+    const auto rows =
+        comm.gather_doubles({static_cast<double>(comm.rank()) * 10.0}, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(rows.size(), 4u);
+      for (int r = 0; r < 4; ++r)
+        EXPECT_DOUBLE_EQ(rows[static_cast<std::size_t>(r)].at(0), r * 10.0);
+    } else {
+      EXPECT_TRUE(rows.empty());
+    }
+    const auto strings =
+        comm.gather_strings("rank" + std::to_string(comm.rank()), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(strings.size(), 4u);
+      EXPECT_EQ(strings[3], "rank3");
+    }
+  });
+}
+
+TEST(ThreadRanks, SingleRankCollectivesAreNoops) {
+  run_thread_ranks(1, [](Comm& comm) {
+    comm.barrier();
+    std::string s = "solo";
+    comm.bcast_string(s, 0);
+    EXPECT_EQ(s, "solo");
+    EXPECT_EQ(comm.allreduce_maxloc(5.0).rank, 0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(3.0), 3.0);
+  });
+}
+
+// --- process backend ---
+
+TEST(ProcessRanks, CollectivesAcrossForkedProcesses) {
+  // Note: failures inside child ranks abort the whole run (minimpi treats
+  // them as MPI errors), which gtest reports as a crashed test.
+  run_process_ranks(4, [](Comm& comm) {
+    // maxloc
+    const double mine = comm.rank() == 2 ? 100.0 : -1.0 * comm.rank();
+    const auto best = comm.allreduce_maxloc(mine);
+    if (best.rank != 2) std::abort();
+
+    // bcast of a large payload (bigger than one pipe buffer chunk)
+    std::string payload;
+    if (comm.rank() == 2) payload.assign(1 << 20, 'x');
+    comm.bcast_string(payload, 2);
+    if (payload.size() != (1u << 20) || payload[12345] != 'x') std::abort();
+
+    // barrier + gather
+    comm.barrier();
+    const auto rows = comm.gather_doubles({static_cast<double>(comm.rank())}, 0);
+    if (comm.rank() == 0) {
+      if (rows.size() != 4) std::abort();
+      for (int r = 0; r < 4; ++r)
+        if (rows[static_cast<std::size_t>(r)].at(0) != r) std::abort();
+    }
+  });
+  SUCCEED();
+}
+
+TEST(ProcessRanks, RanksAreIsolatedProcesses) {
+  // A static variable mutated in every rank stays per-process: rank 0's copy
+  // must see only its own write.
+  static int mutated = 0;
+  run_process_ranks(3, [](Comm& comm) {
+    mutated = comm.rank() + 1;
+    comm.barrier();
+  });
+  EXPECT_EQ(mutated, 1);  // rank 0 ran in this process
+}
+
+}  // namespace
+}  // namespace raxh::mpi

@@ -1,0 +1,215 @@
+// search/nj + search/nni: distance matrices, neighbor joining, NNI moves
+// and the NNI hill climber.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "search/nj.h"
+#include "search/nni.h"
+#include "search/parsimony.h"
+#include "tree/bipartition.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+struct Fixture {
+  Fixture(std::size_t taxa, std::size_t sites, std::uint64_t seed,
+          double branch = 0.08) {
+    SimConfig cfg;
+    cfg.taxa = taxa;
+    cfg.distinct_sites = sites;
+    cfg.total_sites = sites;
+    cfg.seed = seed;
+    cfg.mean_branch_length = branch;
+    sim = simulate_alignment(cfg);
+    patterns = PatternAlignment::compress(sim.alignment);
+    gtr.freqs = patterns.empirical_frequencies();
+    true_tree = std::make_unique<Tree>(
+        Tree::parse_newick(sim.true_tree_newick, patterns.names()));
+  }
+  SimResult sim;
+  PatternAlignment patterns;
+  GtrParams gtr;
+  std::unique_ptr<Tree> true_tree;
+};
+
+TEST(JcDistance, SymmetricZeroDiagonal) {
+  Fixture f(8, 200, 3);
+  const auto d = jc_distance_matrix(f.patterns);
+  const std::size_t n = f.patterns.num_taxa();
+  for (std::size_t a = 0; a < n; ++a) {
+    EXPECT_DOUBLE_EQ(d[a * n + a], 0.0);
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_DOUBLE_EQ(d[a * n + b], d[b * n + a]);
+      if (a != b) {
+        EXPECT_GT(d[a * n + b], 0.0);
+      }
+    }
+  }
+}
+
+TEST(JcDistance, IdenticalSequencesZero) {
+  std::vector<std::vector<DnaState>> rows(
+      4, std::vector<DnaState>(20, encode_dna('C')));
+  rows[3][0] = encode_dna('A');  // make the alignment non-degenerate
+  const auto pat = PatternAlignment::compress(
+      Alignment({"a", "b", "c", "d"}, rows));
+  const auto d = jc_distance_matrix(pat);
+  EXPECT_DOUBLE_EQ(d[0 * 4 + 1], 0.0);  // a and b identical
+  EXPECT_GT(d[0 * 4 + 3], 0.0);
+}
+
+TEST(JcDistance, SaturationClamps) {
+  // Complementary sequences: every site differs.
+  std::vector<std::vector<DnaState>> rows = {
+      std::vector<DnaState>(10, encode_dna('A')),
+      std::vector<DnaState>(10, encode_dna('C')),
+      std::vector<DnaState>(10, encode_dna('G')),
+      std::vector<DnaState>(10, encode_dna('T'))};
+  const auto pat = PatternAlignment::compress(
+      Alignment({"a", "b", "c", "d"}, rows));
+  const auto d = jc_distance_matrix(pat);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);  // clamped saturated distance
+}
+
+TEST(NeighborJoining, RecoversAdditiveTree) {
+  // Distances computed from a known tree are additive; NJ must recover the
+  // topology exactly. Tree: ((0,1),(2,3),(4)) style quartet+1.
+  const std::vector<std::string> names = {"t0", "t1", "t2", "t3", "t4"};
+  const Tree truth =
+      Tree::parse_newick("(((t0:0.1,t1:0.2):0.15,(t2:0.1,t3:0.3):0.2):0.05,"
+                         "t4:0.4);",
+                         // root trifurcation needs 3 children:
+                         names);
+  // Path distances.
+  const std::size_t n = 5;
+  std::vector<double> d(n * n, 0.0);
+  // Compute by brute force from the tree structure: use pairwise path sums.
+  // Hand-computed from the newick above:
+  auto set = [&](int a, int b, double v) {
+    d[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)] = v;
+    d[static_cast<std::size_t>(b) * n + static_cast<std::size_t>(a)] = v;
+  };
+  set(0, 1, 0.3);
+  set(0, 2, 0.1 + 0.15 + 0.2 + 0.1);
+  set(0, 3, 0.1 + 0.15 + 0.2 + 0.3);
+  set(0, 4, 0.1 + 0.15 + 0.05 + 0.4);
+  set(1, 2, 0.2 + 0.15 + 0.2 + 0.1);
+  set(1, 3, 0.2 + 0.15 + 0.2 + 0.3);
+  set(1, 4, 0.2 + 0.15 + 0.05 + 0.4);
+  set(2, 3, 0.4);
+  set(2, 4, 0.1 + 0.2 + 0.05 + 0.4);
+  set(3, 4, 0.3 + 0.2 + 0.05 + 0.4);
+
+  const Tree nj = neighbor_joining(d, n);
+  nj.check_invariants();
+  EXPECT_EQ(rf_distance(nj, truth), 0);
+  // Additive distances: NJ also recovers the branch lengths (total length).
+  EXPECT_NEAR(nj.total_length(), truth.total_length(), 1e-9);
+}
+
+TEST(NeighborJoining, NearTrueTopologyOnCleanData) {
+  Fixture f(14, 800, 17);
+  const Tree nj = neighbor_joining_tree(f.patterns);
+  nj.check_invariants();
+  EXPECT_LE(relative_rf_distance(nj, *f.true_tree), 0.3);
+}
+
+TEST(NeighborJoining, DeterministicNoSeed) {
+  Fixture f(10, 200, 29);
+  const Tree a = neighbor_joining_tree(f.patterns);
+  const Tree b = neighbor_joining_tree(f.patterns);
+  EXPECT_EQ(a.to_newick(f.patterns.names()), b.to_newick(f.patterns.names()));
+}
+
+TEST(Nni, InvolutionRestoresTree) {
+  Fixture f(10, 100, 41);
+  Tree tree = *f.true_tree;
+  const std::string before = tree.to_newick(f.patterns.names());
+  for (const int e : tree.edges()) {
+    if (!is_internal_edge(tree, e)) continue;
+    for (int variant : {1, 2}) {
+      apply_nni(tree, e, variant);
+      tree.check_invariants();
+      apply_nni(tree, e, variant);
+      EXPECT_EQ(tree.to_newick(f.patterns.names()), before);
+    }
+  }
+}
+
+TEST(Nni, MoveChangesTopologyByOneSplit) {
+  Fixture f(10, 100, 43);
+  Tree tree = *f.true_tree;
+  const Tree original = tree;
+  for (const int e : tree.edges()) {
+    if (!is_internal_edge(tree, e)) continue;
+    apply_nni(tree, e, 1);
+    // NNI changes exactly one bipartition: RF distance 2.
+    EXPECT_EQ(rf_distance(tree, original), 2);
+    apply_nni(tree, e, 1);
+    break;
+  }
+}
+
+TEST(Nni, TwoVariantsAreTheTwoAlternatives) {
+  Fixture f(8, 80, 47);
+  Tree t1 = *f.true_tree;
+  Tree t2 = *f.true_tree;
+  int edge = -1;
+  for (const int e : t1.edges())
+    if (is_internal_edge(t1, e)) {
+      edge = e;
+      break;
+    }
+  ASSERT_GE(edge, 0);
+  apply_nni(t1, edge, 1);
+  apply_nni(t2, edge, 2);
+  // The three resolutions around an internal edge are pairwise distinct.
+  EXPECT_GT(rf_distance(t1, t2), 0);
+  EXPECT_GT(rf_distance(t1, *f.true_tree), 0);
+  EXPECT_GT(rf_distance(t2, *f.true_tree), 0);
+}
+
+TEST(Nni, SearchImprovesPerturbedTree) {
+  Fixture f(12, 400, 53);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  // Perturb the true tree with a few NNIs.
+  Tree tree = *f.true_tree;
+  int applied = 0;
+  for (const int e : tree.edges()) {
+    if (applied >= 3) break;
+    if (is_internal_edge(tree, e)) {
+      apply_nni(tree, e, 1 + (applied % 2));
+      ++applied;
+    }
+  }
+  const double before = engine.smooth_branches(tree, 1);
+  NniSearch search(engine);
+  const double after = search.run(tree);
+  EXPECT_GT(after, before);
+  EXPECT_GT(search.stats().moves_accepted, 0);
+  // It should get (almost) back to the generating topology.
+  EXPECT_LE(rf_distance(tree, *f.true_tree), 4);
+}
+
+TEST(Nni, NoMovesAcceptedAtLocalOptimum) {
+  Fixture f(8, 500, 59, 0.07);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  // On clean data the generating topology is (almost surely) NNI-optimal.
+  Tree tree = *f.true_tree;
+  engine.optimize_cat_rates(tree);
+  engine.smooth_branches(tree, 2);
+  NniSearch search(engine);
+  search.run(tree);
+  EXPECT_EQ(search.stats().moves_accepted, 0);
+  EXPECT_EQ(rf_distance(tree, *f.true_tree), 0);
+}
+
+}  // namespace
+}  // namespace raxh

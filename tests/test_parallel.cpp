@@ -1,0 +1,128 @@
+// parallel/: stripe partitioning and the thread crew (dispatch semantics,
+// reductions, reuse across jobs, exclusive-range coverage).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "parallel/workforce.h"
+
+namespace raxh {
+namespace {
+
+TEST(Stripe, CoversRangeExactlyOnce) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 1001u}) {
+    for (int nt : {1, 2, 3, 8, 16}) {
+      std::vector<int> hits(total, 0);
+      std::size_t prev_end = 0;
+      for (int tid = 0; tid < nt; ++tid) {
+        const auto [b, e] = stripe(total, tid, nt);
+        EXPECT_EQ(b, prev_end);  // contiguous
+        EXPECT_LE(b, e);
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+        prev_end = e;
+      }
+      EXPECT_EQ(prev_end, total);
+      for (int h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(Stripe, BalancedWithinOne) {
+  const std::size_t total = 1003;
+  const int nt = 7;
+  std::size_t lo = total, hi = 0;
+  for (int tid = 0; tid < nt; ++tid) {
+    const auto [b, e] = stripe(total, tid, nt);
+    lo = std::min(lo, e - b);
+    hi = std::max(hi, e - b);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Workforce, SingleThreadRunsInline) {
+  Workforce crew(1);
+  int calls = 0;
+  crew.run([&](int tid, int nt) {
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(nt, 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Workforce, AllThreadsParticipate) {
+  for (int nt : {2, 4, 6}) {
+    Workforce crew(nt);
+    std::vector<std::atomic<int>> seen(static_cast<std::size_t>(nt));
+    for (auto& s : seen) s = 0;
+    crew.run([&](int tid, int total) {
+      EXPECT_EQ(total, nt);
+      seen[static_cast<std::size_t>(tid)].fetch_add(1);
+    });
+    for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(Workforce, ManySequentialJobs) {
+  Workforce crew(4);
+  std::atomic<long> counter{0};
+  for (int job = 0; job < 500; ++job)
+    crew.run([&](int, int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 500 * 4);
+}
+
+TEST(Workforce, ParallelSumMatchesSerial) {
+  const std::size_t n = 100000;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::sin(static_cast<double>(i));
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+
+  Workforce crew(5);
+  crew.run([&](int tid, int nt) {
+    const auto [b, e] = stripe(n, tid, nt);
+    double sum = 0.0;
+    for (std::size_t i = b; i < e; ++i) sum += data[i];
+    crew.reduction(tid) = sum;
+  });
+  EXPECT_NEAR(crew.sum_reduction(), serial, 1e-9);
+}
+
+TEST(Workforce, MultiSlotReduction) {
+  Workforce crew(3);
+  crew.resize_reduction(3);
+  crew.run([&](int tid, int) {
+    crew.reduction(tid, 0) = 1.0;
+    crew.reduction(tid, 1) = tid;
+    crew.reduction(tid, 2) = 10.0 * tid;
+  });
+  EXPECT_DOUBLE_EQ(crew.sum_reduction(0), 3.0);
+  EXPECT_DOUBLE_EQ(crew.sum_reduction(1), 0.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(crew.sum_reduction(2), 30.0);
+}
+
+TEST(Workforce, ReductionResetOnResize) {
+  Workforce crew(2);
+  crew.run([&](int tid, int) { crew.reduction(tid) = 5.0; });
+  crew.resize_reduction(1);
+  EXPECT_DOUBLE_EQ(crew.sum_reduction(), 0.0);
+}
+
+TEST(Workforce, JobsSeeLatestData) {
+  // Data written between jobs must be visible inside the next job (the
+  // mutex handoff provides the ordering).
+  Workforce crew(4);
+  std::vector<int> data(4, 0);
+  for (int round = 1; round <= 10; ++round) {
+    for (auto& d : data) d = round;
+    crew.run([&](int tid, int) {
+      EXPECT_EQ(data[static_cast<std::size_t>(tid)], round);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace raxh

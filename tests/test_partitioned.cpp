@@ -1,0 +1,281 @@
+// bio/partitions + likelihood/partitioned: scheme parsing, alignment
+// splitting, joint-branch-length likelihood over per-partition models, and
+// SPR/NNI searches through the Evaluator interface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/partitions.h"
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "likelihood/partitioned.h"
+#include "search/nni.h"
+#include "search/parsimony.h"
+#include "search/spr.h"
+#include "tree/bipartition.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+Alignment two_gene_alignment(std::size_t taxa, std::size_t gene1,
+                             std::size_t gene2, std::uint64_t seed,
+                             double alpha2 = 3.0, std::string* newick1 = nullptr) {
+  // Gene 1: strong rate heterogeneity; gene 2: nearly uniform rates but the
+  // SAME generating topology (genes share history, differ in process).
+  SimConfig cfg;
+  cfg.taxa = taxa;
+  cfg.distinct_sites = gene1;
+  cfg.total_sites = gene1;
+  cfg.seed = seed;
+  cfg.gamma_alpha = 0.4;
+  const SimResult a = simulate_alignment(cfg);
+  if (newick1 != nullptr) *newick1 = a.true_tree_newick;
+
+  // Gene 2 evolves along the SAME topology (shared history) with its own
+  // substitution process.
+  SimConfig cfg2 = cfg;
+  cfg2.distinct_sites = gene2;
+  cfg2.total_sites = gene2;
+  cfg2.seed = seed + 1;
+  cfg2.gamma_alpha = alpha2;
+  cfg2.tree_newick = a.true_tree_newick;
+  const SimResult b = simulate_alignment(cfg2);
+
+  std::vector<std::vector<DnaState>> rows(taxa);
+  for (std::size_t t = 0; t < taxa; ++t) {
+    rows[t].assign(a.alignment.row(t).begin(), a.alignment.row(t).end());
+    rows[t].insert(rows[t].end(), b.alignment.row(t).begin(),
+                   b.alignment.row(t).end());
+  }
+  return Alignment(a.alignment.names(), std::move(rows));
+}
+
+TEST(PartitionScheme, ParsesRaxmlStyle) {
+  const auto scheme = PartitionScheme::parse(
+      "DNA, gene1 = 1-500\nDNA, gene2 = 501-800, 950-1000\n"
+      "# a comment\nDNA, spacer = 801-949\n",
+      1000);
+  ASSERT_EQ(scheme.size(), 3u);
+  EXPECT_EQ(scheme.partition(0).name, "gene1");
+  EXPECT_EQ(scheme.partition(0).num_sites(), 500u);
+  EXPECT_EQ(scheme.partition(1).num_sites(), 351u);
+  EXPECT_EQ(scheme.partition(2).num_sites(), 149u);
+  EXPECT_EQ(scheme.num_sites(), 1000u);
+}
+
+TEST(PartitionScheme, SingleColumnRangesAllowed) {
+  const auto scheme =
+      PartitionScheme::parse("DNA, a = 1-9\nDNA, b = 10\n", 10);
+  EXPECT_EQ(scheme.partition(1).num_sites(), 1u);
+}
+
+TEST(PartitionScheme, RejectsBadSchemes) {
+  EXPECT_THROW(PartitionScheme::parse("", 10), std::runtime_error);
+  EXPECT_THROW(PartitionScheme::parse("DNA, a = 1-5\n", 10),
+               std::runtime_error)
+      << "incomplete coverage";
+  EXPECT_THROW(
+      PartitionScheme::parse("DNA, a = 1-6\nDNA, b = 5-10\n", 10),
+      std::runtime_error)
+      << "overlap";
+  EXPECT_THROW(PartitionScheme::parse("DNA, a = 1-11\n", 10),
+               std::runtime_error)
+      << "out of range";
+  EXPECT_THROW(PartitionScheme::parse("PROT, a = 1-10\n", 10),
+               std::runtime_error)
+      << "non-DNA type";
+  EXPECT_THROW(PartitionScheme::parse("DNA a = 1-10\n", 10),
+               std::runtime_error)
+      << "missing comma";
+}
+
+TEST(PartitionScheme, SplitPreservesColumns) {
+  const Alignment a = two_gene_alignment(6, 30, 20, 7);
+  const auto scheme =
+      PartitionScheme::parse("DNA, g1 = 1-30\nDNA, g2 = 31-50\n", 50);
+  const auto parts = scheme.split(a);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].num_sites(), 30u);
+  EXPECT_EQ(parts[1].num_sites(), 20u);
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (std::size_t c = 0; c < 30; ++c)
+      EXPECT_EQ(parts[0].at(t, c), a.at(t, c));
+    for (std::size_t c = 0; c < 20; ++c)
+      EXPECT_EQ(parts[1].at(t, c), a.at(t, 30 + c));
+  }
+}
+
+TEST(PartitionScheme, NonContiguousRangesConcatenate) {
+  const Alignment a = two_gene_alignment(5, 10, 10, 9);
+  const auto scheme =
+      PartitionScheme::parse("DNA, odd = 1-5, 11-15\nDNA, even = 6-10, 16-20\n",
+                             20);
+  const auto parts = scheme.split(a);
+  EXPECT_EQ(parts[0].num_sites(), 10u);
+  EXPECT_EQ(parts[0].at(0, 5), a.at(0, 10));  // second range starts at col 11
+}
+
+struct PartFixture {
+  PartFixture() {
+    alignment = std::make_unique<Alignment>(
+        two_gene_alignment(10, 120, 100, 31, 3.0, &true_newick));
+    scheme = std::make_unique<PartitionScheme>(
+        PartitionScheme::parse("DNA, g1 = 1-120\nDNA, g2 = 121-220\n", 220));
+  }
+  std::unique_ptr<Alignment> alignment;
+  std::unique_ptr<PartitionScheme> scheme;
+  std::string true_newick;
+};
+
+TEST(PartitionedEngine, SumsPartitionLikelihoods) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  Lcg rng(3);
+  const Tree tree = random_topology(10, rng);
+  const double total = part.evaluate(tree);
+  const auto per = part.per_partition_lnl(tree);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_NEAR(total, per[0] + per[1], std::fabs(total) * 1e-12);
+}
+
+TEST(PartitionedEngine, SinglePartitionMatchesPlainEngine) {
+  PartFixture f;
+  const auto single = PartitionScheme::single(f.alignment->num_sites());
+  PartitionedEngine part(*f.alignment, single,
+                         PartitionedEngine::RateScheme::kGamma);
+
+  const auto patterns = PatternAlignment::compress(*f.alignment);
+  GtrParams gtr;
+  gtr.freqs = patterns.empirical_frequencies();
+  LikelihoodEngine plain(patterns, gtr, RateModel::gamma(0.5));
+
+  Lcg rng(5);
+  Tree tree = random_topology(10, rng);
+  EXPECT_NEAR(part.evaluate(tree), plain.evaluate(tree), 1e-7);
+
+  // Joint branch optimization agrees with the plain engine too.
+  Tree tree_a = tree;
+  Tree tree_b = tree;
+  part.optimize_branch(tree_a, tree_a.edges()[4]);
+  plain.optimize_branch(tree_b, tree_b.edges()[4]);
+  EXPECT_NEAR(tree_a.length(tree_a.edges()[4]),
+              tree_b.length(tree_b.edges()[4]), 1e-9);
+}
+
+TEST(PartitionedEngine, JointBranchOptimizationImproves) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  Tree tree = Tree::parse_newick(f.true_newick, part.names());
+  for (int e : tree.edges()) tree.set_length(e, 0.5);  // bad lengths
+  const double before = part.evaluate(tree);
+  const double after = part.smooth_branches(tree, 2);
+  EXPECT_GT(after, before + 1.0);
+}
+
+TEST(PartitionedEngine, BranchOptimumIsJointNotPerPartition) {
+  // The joint optimum of one branch must be a compromise: moving the branch
+  // from the joint optimum must not increase the TOTAL lnL (but may increase
+  // a single partition's).
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  Tree tree = Tree::parse_newick(f.true_newick, part.names());
+  const int e = tree.edges()[5];
+  part.optimize_branch(tree, e);
+  const double at = part.evaluate(tree);
+  const double t = tree.length(e);
+  for (double factor : {0.8, 1.25}) {
+    tree.set_length(e, t * factor);
+    EXPECT_LE(part.evaluate(tree), at + 1e-6);
+    tree.set_length(e, t);
+  }
+}
+
+TEST(PartitionedEngine, PerPartitionModelsFitSeparately) {
+  PartFixture f;  // gene1 alpha=0.4, gene2 alpha=3.0
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  Tree tree = Tree::parse_newick(f.true_newick, part.names());
+  part.smooth_branches(tree, 1);
+  part.optimize_model(tree);
+  const double alpha1 = part.engine(0).rates().alpha();
+  const double alpha2 = part.engine(1).rates().alpha();
+  // Strong heterogeneity in gene 1 -> smaller alpha than gene 2.
+  EXPECT_LT(alpha1, alpha2);
+}
+
+TEST(PartitionedEngine, SprSearchThroughEvaluatorImproves) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kCat);
+  Lcg rng(11);
+  Tree tree = random_topology(10, rng);
+  const double before = part.evaluate(tree);
+  SprSearch search(part, fast_settings());
+  const double after = search.run(tree);
+  EXPECT_GT(after, before);
+  tree.check_invariants();
+}
+
+TEST(PartitionedEngine, RecoverSharedTopology) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  const auto patterns = PatternAlignment::compress(*f.alignment);
+  Lcg rng(17);
+  Tree tree =
+      randomized_stepwise_addition(patterns, patterns.weights(), rng);
+  SearchSettings settings = slow_settings();
+  SprSearch search(part, settings);
+  search.run(tree);
+  const Tree truth = Tree::parse_newick(f.true_newick, part.names());
+  EXPECT_LE(rf_distance(tree, truth), 4);
+}
+
+TEST(PartitionedEngine, NniSearchThroughEvaluatorRuns) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme,
+                         PartitionedEngine::RateScheme::kGamma);
+  Tree tree = Tree::parse_newick(f.true_newick, part.names());
+  // Perturb and let NNI repair.
+  for (const int e : tree.edges()) {
+    if (is_internal_edge(tree, e)) {
+      apply_nni(tree, e, 1);
+      break;
+    }
+  }
+  const double perturbed = part.evaluate(tree);
+  NniSearch search(part);
+  const double lnl = search.run(tree);
+  EXPECT_TRUE(std::isfinite(lnl));
+  EXPECT_GT(lnl, perturbed);
+  // NNI is a local heuristic; it must repair most of the single perturbation.
+  const Tree truth = Tree::parse_newick(f.true_newick, part.names());
+  EXPECT_LE(rf_distance(tree, truth), 4);
+}
+
+TEST(PartitionedEngine, PartitionedBootstrapWeights) {
+  PartFixture f;
+  PartitionedEngine part(*f.alignment, *f.scheme);
+  Lcg rng(12345);
+  part.set_bootstrap_weights(rng);
+  // Each partition's weights resample its own site count.
+  for (std::size_t i = 0; i < part.num_partitions(); ++i) {
+    long sum = 0;
+    for (int w : part.engine(i).weights()) sum += w;
+    EXPECT_EQ(sum, part.patterns(i).total_weight());
+  }
+  Lcg rng2(12345);
+  Tree tree = Tree::parse_newick(f.true_newick, part.names());
+  const double boot_lnl = part.evaluate(tree);
+  part.reset_weights();
+  const double orig_lnl = part.evaluate(tree);
+  EXPECT_NE(boot_lnl, orig_lnl);
+}
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,303 @@
+// Property-based sweeps (parameterized gtest): core invariants exercised
+// across a grid of data shapes, seeds, and rate models rather than single
+// hand-picked cases.
+//
+//  * lnL is invariant under the evaluation edge and under CLV cache churn;
+//  * SPR prune/regraft/undo is an exact identity on the tree;
+//  * Newick round trips preserve topology and lengths;
+//  * threaded evaluation equals serial for any crew width;
+//  * bootstrap weight vectors are valid resamples;
+//  * bipartition counts and RF bounds hold on random topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bio/patterns.h"
+#include "bio/resample.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "parallel/workforce.h"
+#include "search/parsimony.h"
+#include "tree/bipartition.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+enum class Rates { kUniform, kGamma, kCat };
+
+std::string rates_name(Rates r) {
+  switch (r) {
+    case Rates::kUniform: return "Uniform";
+    case Rates::kGamma: return "Gamma";
+    case Rates::kCat: return "Cat";
+  }
+  return "?";
+}
+
+RateModel make_rates(Rates r, std::size_t npat) {
+  switch (r) {
+    case Rates::kUniform: return RateModel::uniform();
+    case Rates::kGamma: return RateModel::gamma(0.6);
+    case Rates::kCat: {
+      auto m = RateModel::cat(npat);
+      std::vector<int> cats(npat);
+      for (std::size_t p = 0; p < npat; ++p) cats[p] = static_cast<int>(p % 4);
+      m.set_categories({0.3, 0.8, 1.2, 2.4}, cats);
+      return m;
+    }
+  }
+  return RateModel::uniform();
+}
+
+// ---------- engine invariants over (taxa, sites, seed, rates) ----------
+
+using EngineParam = std::tuple<int, int, int, Rates>;
+
+class EngineProperty : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  void SetUp() override {
+    const auto [taxa, sites, seed, rates] = GetParam();
+    SimConfig cfg;
+    cfg.taxa = static_cast<std::size_t>(taxa);
+    cfg.distinct_sites = static_cast<std::size_t>(sites);
+    cfg.total_sites = static_cast<std::size_t>(sites);
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    sim_ = simulate_alignment(cfg);
+    patterns_ = PatternAlignment::compress(sim_.alignment);
+    gtr_.freqs = patterns_.empirical_frequencies();
+    gtr_.rates = {1.1, 2.2, 0.8, 1.3, 3.0, 1.0};
+    rates_ = make_rates(rates, patterns_.num_patterns());
+    tree_ = std::make_unique<Tree>(
+        Tree::parse_newick(sim_.true_tree_newick, patterns_.names()));
+  }
+
+  SimResult sim_;
+  PatternAlignment patterns_;
+  GtrParams gtr_;
+  RateModel rates_ = RateModel::uniform();
+  std::unique_ptr<Tree> tree_;
+};
+
+TEST_P(EngineProperty, LnlInvariantUnderEvaluationEdge) {
+  LikelihoodEngine engine(patterns_, gtr_, rates_);
+  const double ref = engine.evaluate(*tree_);
+  EXPECT_TRUE(std::isfinite(ref));
+  for (std::size_t i = 0; i < tree_->edges().size(); i += 2) {
+    const int e = tree_->edges()[i];
+    EXPECT_NEAR(engine.evaluate(*tree_, e), ref, std::fabs(ref) * 1e-9);
+  }
+}
+
+TEST_P(EngineProperty, LnlStableUnderCacheChurn) {
+  LikelihoodEngine engine(patterns_, gtr_, rates_);
+  const double ref = engine.evaluate(*tree_);
+  // Churn the CLV orientations by evaluating everywhere, then re-ask.
+  for (const int e : tree_->edges()) engine.evaluate(*tree_, e);
+  EXPECT_NEAR(engine.evaluate(*tree_), ref, std::fabs(ref) * 1e-9);
+  engine.invalidate_all();
+  EXPECT_NEAR(engine.evaluate(*tree_), ref, std::fabs(ref) * 1e-9);
+}
+
+TEST_P(EngineProperty, ThreadedEqualsSerial) {
+  LikelihoodEngine serial(patterns_, gtr_, rates_);
+  const double ref = serial.evaluate(*tree_);
+  for (int threads : {2, 5}) {
+    Workforce crew(threads);
+    LikelihoodEngine par(patterns_, gtr_, rates_, &crew);
+    EXPECT_NEAR(par.evaluate(*tree_), ref, std::fabs(ref) * 1e-10)
+        << threads << " threads";
+  }
+}
+
+TEST_P(EngineProperty, PerPatternSumsToTotal) {
+  LikelihoodEngine engine(patterns_, gtr_, rates_);
+  std::vector<double> pp(patterns_.num_patterns());
+  engine.per_pattern_lnl(*tree_, pp);
+  double sum = 0.0;
+  const auto w = engine.weights();
+  for (std::size_t p = 0; p < pp.size(); ++p) sum += w[p] * pp[p];
+  const double total = engine.evaluate(*tree_);
+  EXPECT_NEAR(sum, total, std::fabs(total) * 1e-9);
+}
+
+TEST_P(EngineProperty, BranchOptimizationNeverWorsens) {
+  LikelihoodEngine engine(patterns_, gtr_, rates_);
+  double lnl = engine.evaluate(*tree_);
+  for (std::size_t i = 0; i < tree_->edges().size(); i += 3) {
+    const int e = tree_->edges()[i];
+    engine.optimize_branch(*tree_, e);
+    const double next = engine.evaluate(*tree_, e);
+    EXPECT_GE(next, lnl - 1e-6);
+    lnl = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperty,
+    ::testing::Combine(::testing::Values(6, 11, 17),     // taxa
+                       ::testing::Values(40, 150),       // sites
+                       ::testing::Values(1, 9),          // sim seed
+                       ::testing::Values(Rates::kUniform, Rates::kGamma,
+                                         Rates::kCat)),
+    [](const ::testing::TestParamInfo<EngineParam>& param_info) {
+      return "t" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) + "_r" +
+             std::to_string(std::get<2>(param_info.param)) + "_" +
+             rates_name(std::get<3>(param_info.param));
+    });
+
+// ---------- tree invariants over (taxa, seed) ----------
+
+using TreeParam = std::tuple<int, int>;
+
+class TreeProperty : public ::testing::TestWithParam<TreeParam> {
+ protected:
+  void SetUp() override {
+    const auto [taxa, seed] = GetParam();
+    taxa_ = static_cast<std::size_t>(taxa);
+    Lcg rng(seed);
+    tree_ = std::make_unique<Tree>(random_topology(taxa_, rng));
+    for (std::size_t i = 0; i < taxa_; ++i)
+      names_.push_back("x" + std::to_string(i));
+  }
+  std::size_t taxa_ = 0;
+  std::unique_ptr<Tree> tree_;
+  std::vector<std::string> names_;
+};
+
+TEST_P(TreeProperty, NewickRoundTripExact) {
+  const std::string nwk = tree_->to_newick(names_);
+  const Tree parsed = Tree::parse_newick(nwk, names_);
+  EXPECT_EQ(rf_distance(*tree_, parsed), 0);
+  EXPECT_NEAR(parsed.total_length(), tree_->total_length(), 1e-12);
+}
+
+TEST_P(TreeProperty, RawRoundTripPreservesLayout) {
+  const auto raw = tree_->export_raw();
+  const Tree back = Tree::import_raw(raw);
+  // Layout-exact: identical record ids everywhere.
+  EXPECT_EQ(back.to_newick(names_), tree_->to_newick(names_));
+  EXPECT_EQ(back.edges(), tree_->edges());
+}
+
+TEST_P(TreeProperty, BipartitionCountIsTaxaMinusThree) {
+  EXPECT_EQ(tree_bipartitions(*tree_).size(), taxa_ - 3);
+}
+
+TEST_P(TreeProperty, SelfRfDistanceZeroAndBounded) {
+  EXPECT_EQ(rf_distance(*tree_, *tree_), 0);
+  Lcg rng(777);
+  const Tree other = random_topology(taxa_, rng);
+  const int rf = rf_distance(*tree_, other);
+  EXPECT_GE(rf, 0);
+  EXPECT_LE(rf, 2 * static_cast<int>(taxa_ - 3));
+  EXPECT_EQ(rf % 2, 0);  // symmetric difference of equal-sized sets is even
+}
+
+TEST_P(TreeProperty, SprSweepUndoIsIdentity) {
+  const std::string before = tree_->to_newick(names_);
+  for (const int p : tree_->internal_records()) {
+    Tree::SprMove move = tree_->prune(p);
+    int tried = 0;
+    for (const int s : tree_->edges()) {
+      if (s == move.q || s == move.r || s == p || tree_->in_subtree(p, s))
+        continue;
+      tree_->regraft(move, s);
+      tree_->undo_regraft(move);
+      if (++tried >= 4) break;
+    }
+    tree_->undo(move);
+  }
+  EXPECT_EQ(tree_->to_newick(names_), before);
+  tree_->check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeProperty,
+    ::testing::Combine(::testing::Values(4, 5, 8, 13, 21, 34, 70),
+                       ::testing::Values(3, 77)),
+    [](const ::testing::TestParamInfo<TreeParam>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------- resampling properties over seeds ----------
+
+class ResampleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResampleProperty, WeightsAreValidResample) {
+  SimConfig cfg;
+  cfg.taxa = 9;
+  cfg.distinct_sites = 70;
+  cfg.total_sites = 100;
+  cfg.seed = 321;
+  const auto sim = simulate_alignment(cfg);
+  const auto patterns = PatternAlignment::compress(sim.alignment);
+
+  Lcg rng(GetParam());
+  const auto w = bootstrap_weights(patterns, rng);
+  long sum = 0;
+  for (int x : w) {
+    EXPECT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_EQ(sum, patterns.total_weight());
+  // A resample is (almost surely) not the original weight vector.
+  EXPECT_NE(std::vector<int>(patterns.weights().begin(),
+                             patterns.weights().end()),
+            w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResampleProperty,
+                         ::testing::Values(1, 2, 42, 12345, 99991));
+
+// ---------- parsimony properties ----------
+
+class ParsimonyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsimonyProperty, ScoreBoundsHold) {
+  SimConfig cfg;
+  cfg.taxa = 10;
+  cfg.distinct_sites = 60;
+  cfg.total_sites = 80;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  const auto sim = simulate_alignment(cfg);
+  const auto patterns = PatternAlignment::compress(sim.alignment);
+
+  Lcg rng(GetParam() + 1);
+  const Tree tree = random_topology(10, rng);
+  const long score = parsimony_score(tree, patterns, patterns.weights());
+
+  // Lower bound: sum over patterns of (#observed unambiguous states - 1).
+  long lower = 0;
+  for (std::size_t p = 0; p < patterns.num_patterns(); ++p) {
+    DnaState seen = 0;
+    for (std::size_t t = 0; t < patterns.num_taxa(); ++t) {
+      const DnaState s = patterns.at(t, p);
+      if (s != kStateGap) seen |= s;
+    }
+    int states = 0;
+    for (int i = 0; i < 4; ++i) states += (seen >> i) & 1;
+    lower += static_cast<long>(std::max(0, states - 1)) *
+             patterns.weights()[p];
+  }
+  // Upper bound: one change per taxon per pattern.
+  const long upper =
+      patterns.total_weight() * static_cast<long>(patterns.num_taxa());
+  EXPECT_GE(score, lower / 4) << "weak lower bound";
+  EXPECT_LE(score, upper);
+
+  // The stepwise-addition tree never scores worse than the random tree.
+  Lcg sw_rng(4242);
+  const Tree sw =
+      randomized_stepwise_addition(patterns, patterns.weights(), sw_rng);
+  EXPECT_LE(parsimony_score(sw, patterns, patterns.weights()), score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParsimonyProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,263 @@
+// search/: Fitch parsimony, randomized stepwise addition, SPR hill climbing,
+// rapid bootstrap. Includes recovery checks: on cleanly simulated data the
+// search must find (or come close to) the generating topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "bio/patterns.h"
+#include "bio/resample.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "search/bootstrap.h"
+#include "search/parsimony.h"
+#include "search/spr.h"
+#include "tree/bipartition.h"
+#include "tree/consensus.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t taxa, std::size_t sites, std::uint64_t seed,
+                   double branch = 0.1) {
+    SimConfig cfg;
+    cfg.taxa = taxa;
+    cfg.distinct_sites = sites;
+    cfg.total_sites = sites;
+    cfg.seed = seed;
+    cfg.mean_branch_length = branch;
+    sim = simulate_alignment(cfg);
+    patterns = PatternAlignment::compress(sim.alignment);
+    gtr.freqs = patterns.empirical_frequencies();
+    true_tree = std::make_unique<Tree>(
+        Tree::parse_newick(sim.true_tree_newick, patterns.names()));
+  }
+
+  SimResult sim;
+  PatternAlignment patterns;
+  GtrParams gtr;
+  std::unique_ptr<Tree> true_tree;
+};
+
+TEST(Parsimony, ScoreZeroForConstantAlignment) {
+  // All-identical sequences: no changes needed anywhere.
+  std::vector<std::vector<DnaState>> rows(
+      5, std::vector<DnaState>(10, encode_dna('A')));
+  const auto pat = PatternAlignment::compress(
+      Alignment({"a", "b", "c", "d", "e"}, rows));
+  Lcg rng(1);
+  const Tree tree = random_topology(5, rng);
+  EXPECT_EQ(parsimony_score(tree, pat, pat.weights()), 0);
+}
+
+TEST(Parsimony, KnownFourTaxonScore) {
+  // One site: A A C C. Any quartet needs exactly 1 change; the grouping
+  // ((a,b),(c,d)) achieves it.
+  const Alignment a({"a", "b", "c", "d"},
+                    {{encode_dna('A')}, {encode_dna('A')},
+                     {encode_dna('C')}, {encode_dna('C')}});
+  const auto pat = PatternAlignment::compress(a);
+  const Tree tree = Tree::parse_newick("((a,b),(c,d));", pat.names());
+  EXPECT_EQ(parsimony_score(tree, pat, pat.weights()), 1);
+  const Tree worse = Tree::parse_newick("((a,c),(b,d));", pat.names());
+  EXPECT_EQ(parsimony_score(worse, pat, pat.weights()), 2);
+}
+
+TEST(Parsimony, ScoreIsRootingInvariantAndWeighted) {
+  Fixture f(8, 40, 7);
+  Lcg rng(5);
+  const Tree tree = random_topology(8, rng);
+  const long score = parsimony_score(tree, f.patterns, f.patterns.weights());
+  EXPECT_GT(score, 0);
+  // Doubling every weight doubles the score.
+  std::vector<int> doubled(f.patterns.weights().begin(),
+                           f.patterns.weights().end());
+  for (int& w : doubled) w *= 2;
+  EXPECT_EQ(parsimony_score(tree, f.patterns, doubled), 2 * score);
+}
+
+TEST(Parsimony, StepwiseAdditionBeatsRandomTopology) {
+  Fixture f(16, 150, 21);
+  Lcg rng_sw(12345), rng_rand(12345);
+  const Tree sw =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), rng_sw);
+  const Tree rand_tree = random_topology(16, rng_rand);
+  EXPECT_LT(parsimony_score(sw, f.patterns, f.patterns.weights()),
+            parsimony_score(rand_tree, f.patterns, f.patterns.weights()));
+}
+
+TEST(Parsimony, StepwiseAdditionDeterministicPerSeed) {
+  Fixture f(10, 80, 33);
+  Lcg a(777), b(777), c(778);
+  const Tree ta =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), a);
+  const Tree tb =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), b);
+  EXPECT_EQ(rf_distance(ta, tb), 0);
+  const Tree tc =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), c);
+  // Different seed -> (almost surely) different insertion order & tree.
+  EXPECT_NE(ta.to_newick(f.patterns.names()),
+            tc.to_newick(f.patterns.names()));
+}
+
+TEST(Parsimony, StepwiseAdditionNearTrueTreeOnCleanData) {
+  Fixture f(12, 500, 55, 0.08);
+  Lcg rng(12345);
+  const Tree sw =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), rng);
+  // On long clean alignments parsimony gets close to the generating tree.
+  EXPECT_LE(relative_rf_distance(sw, *f.true_tree), 0.35);
+}
+
+TEST(Spr, SearchImprovesLikelihood) {
+  Fixture f(12, 120, 91);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  Lcg rng(12345);
+  Tree tree = random_topology(12, rng);
+  const double before = engine.evaluate(tree);
+  SprSearch search(engine, fast_settings());
+  const double after = search.run(tree);
+  EXPECT_GT(after, before);
+  EXPECT_GT(search.stats().moves_tried, 0);
+  EXPECT_EQ(search.stats().final_lnl, after);
+  tree.check_invariants();
+}
+
+TEST(Spr, RecoversTrueTopologyFromParsimonyStart) {
+  Fixture f(10, 600, 101, 0.08);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  Lcg rng(999);
+  Tree tree =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), rng);
+  engine.optimize_cat_rates(tree);
+  SprSearch search(engine, slow_settings());
+  search.run(tree);
+  EXPECT_LE(rf_distance(tree, *f.true_tree), 2)
+      << "search should essentially recover the generating tree";
+}
+
+TEST(Spr, SearchedTreeBeatsTrueTreeLnlOrClose) {
+  // The ML tree on finite data scores >= the generating tree (up to noise).
+  Fixture f(8, 300, 107);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  Tree true_copy = *f.true_tree;
+  const double true_lnl = engine.optimize_all(true_copy, 0.05, 4);
+
+  Lcg rng(31);
+  Tree tree =
+      randomized_stepwise_addition(f.patterns, f.patterns.weights(), rng);
+  engine.optimize_cat_rates(tree);
+  SprSearch search(engine, slow_settings());
+  search.run(tree);
+  // Compare fully-optimized against fully-optimized.
+  const double found_lnl = engine.optimize_all(tree, 0.05, 4);
+  EXPECT_GT(found_lnl, true_lnl - 5.0);
+}
+
+TEST(Spr, RadiusLimitsCandidates) {
+  Fixture f(20, 60, 113);
+  LikelihoodEngine engine(f.patterns, f.gtr, RateModel::uniform());
+  Tree tree = *f.true_tree;
+
+  SearchSettings narrow = fast_settings();
+  narrow.spr_radius = 1;
+  narrow.max_rounds = 1;
+  SprSearch s1(engine, narrow);
+  s1.run(tree);
+
+  SearchSettings wide = fast_settings();
+  wide.spr_radius = 8;
+  wide.max_rounds = 1;
+  Tree tree2 = *f.true_tree;
+  SprSearch s2(engine, wide);
+  s2.run(tree2);
+
+  EXPECT_GT(s2.stats().moves_tried, s1.stats().moves_tried);
+}
+
+TEST(Spr, PresetsAreOrderedByIntensity) {
+  EXPECT_LE(bootstrap_settings().max_rounds, fast_settings().max_rounds);
+  EXPECT_LE(fast_settings().spr_radius, slow_settings().spr_radius);
+  EXPECT_LE(slow_settings().spr_radius, thorough_settings().spr_radius);
+  EXPECT_FALSE(fast_settings().optimize_model);
+  EXPECT_TRUE(slow_settings().optimize_model);
+  EXPECT_TRUE(thorough_settings().optimize_model);
+}
+
+TEST(Bootstrap, ProducesRequestedReplicates) {
+  Fixture f(8, 100, 127);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  RapidBootstrap bs(engine, f.patterns, 12345, 12345);
+  const auto reps = bs.run(7);
+  ASSERT_EQ(reps.size(), 7u);
+  for (const auto& rep : reps) {
+    rep.tree.check_invariants();
+    EXPECT_TRUE(std::isfinite(rep.lnl));
+  }
+  // Weights restored afterwards.
+  EXPECT_EQ(std::vector<int>(engine.weights().begin(), engine.weights().end()),
+            std::vector<int>(f.patterns.weights().begin(),
+                             f.patterns.weights().end()));
+}
+
+TEST(Bootstrap, DeterministicInSeeds) {
+  Fixture f(8, 100, 131);
+  LikelihoodEngine e1(f.patterns, f.gtr,
+                      RateModel::cat(f.patterns.num_patterns()));
+  LikelihoodEngine e2(f.patterns, f.gtr,
+                      RateModel::cat(f.patterns.num_patterns()));
+  RapidBootstrap a(e1, f.patterns, 42, 43);
+  RapidBootstrap b(e2, f.patterns, 42, 43);
+  const auto ra = a.run(4);
+  const auto rb = b.run(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ra[i].tree.to_newick(f.patterns.names()),
+              rb[i].tree.to_newick(f.patterns.names()));
+    EXPECT_DOUBLE_EQ(ra[i].lnl, rb[i].lnl);
+  }
+}
+
+TEST(Bootstrap, DifferentSeedsGiveDifferentReplicates) {
+  Fixture f(8, 100, 137);
+  LikelihoodEngine e1(f.patterns, f.gtr,
+                      RateModel::cat(f.patterns.num_patterns()));
+  LikelihoodEngine e2(f.patterns, f.gtr,
+                      RateModel::cat(f.patterns.num_patterns()));
+  RapidBootstrap a(e1, f.patterns, 42, 43);
+  RapidBootstrap b(e2, f.patterns, 42 + kRankSeedStride, 43 + kRankSeedStride);
+  const auto ra = a.run(3);
+  const auto rb = b.run(3);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 3; ++i)
+    any_diff |= ra[i].tree.to_newick(f.patterns.names()) !=
+                rb[i].tree.to_newick(f.patterns.names());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Bootstrap, ReplicatesSupportWellSupportedSplits) {
+  // On clean data, most replicates should agree with the generating tree on
+  // most splits.
+  Fixture f(8, 400, 139, 0.08);
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  RapidBootstrap bs(engine, f.patterns, 12345, 12345);
+  const auto reps = bs.run(10);
+  BipartitionTable table;
+  for (const auto& rep : reps) table.add_tree(rep.tree);
+  const auto supports = edge_supports(*f.true_tree, table);
+  double mean = 0.0;
+  for (double s : supports) mean += s;
+  mean /= static_cast<double>(supports.size());
+  EXPECT_GT(mean, 0.6);
+}
+
+}  // namespace
+}  // namespace raxh

@@ -1,0 +1,218 @@
+// tree/: construction, Newick round trips, SPR with undo, traversals,
+// invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tree/bipartition.h"
+#include "tree/tree.h"
+#include "util/prng.h"
+
+namespace raxh {
+namespace {
+
+std::vector<std::string> names_for(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.push_back("t" + std::to_string(i));
+  return names;
+}
+
+Tree chain_tree(std::size_t n) {
+  // Deterministic caterpillar: insert tips in order along tip 0's edge.
+  Tree tree(n);
+  tree.make_triplet(0, 1, 2);
+  for (std::size_t k = 3; k < n; ++k)
+    tree.insert_tip(static_cast<int>(k), 0);
+  return tree;
+}
+
+TEST(Tree, TripletStructure) {
+  Tree tree(3);
+  tree.make_triplet(0, 1, 2);
+  EXPECT_TRUE(tree.is_complete());
+  EXPECT_EQ(tree.edges().size(), 3u);
+  // Each tip's back is an internal record of the same ring.
+  const int hub = tree.node_id(tree.back(0));
+  EXPECT_EQ(tree.node_id(tree.back(1)), hub);
+  EXPECT_EQ(tree.node_id(tree.back(2)), hub);
+}
+
+TEST(Tree, InsertTipMaintainsInvariants) {
+  for (std::size_t n : {4u, 5u, 8u, 16u, 33u}) {
+    Tree tree = chain_tree(n);
+    tree.check_invariants();
+    EXPECT_EQ(tree.edges().size(), 2 * n - 3);
+    EXPECT_EQ(tree.num_inserted_tips(), n);
+  }
+}
+
+TEST(Tree, InsertSplitsBranchLength) {
+  Tree tree(4);
+  tree.make_triplet(0, 1, 2, 0.4);
+  const double before = tree.total_length();
+  tree.insert_tip(3, 0, 0.25);
+  // Splitting conserves the split edge's total and adds the tip edge.
+  EXPECT_NEAR(tree.total_length(), before + 0.25, 1e-12);
+}
+
+TEST(Tree, SetLengthSyncsBothDirections) {
+  Tree tree = chain_tree(6);
+  const int e = tree.edges()[2];
+  tree.set_length(e, 0.123);
+  EXPECT_DOUBLE_EQ(tree.length(e), 0.123);
+  EXPECT_DOUBLE_EQ(tree.length(tree.back(e)), 0.123);
+}
+
+TEST(Tree, NewickRoundTripPreservesTopology) {
+  const auto names = names_for(12);
+  Lcg rng(321);
+  // Random-ish tree via random insertions.
+  Tree tree(12);
+  tree.make_triplet(0, 1, 2);
+  for (int k = 3; k < 12; ++k) {
+    const auto edges = tree.edges();
+    tree.insert_tip(k, edges[static_cast<std::size_t>(
+                           rng.next_below(static_cast<int>(edges.size())))]);
+  }
+  const std::string nwk = tree.to_newick(names);
+  const Tree parsed = Tree::parse_newick(nwk, names);
+  EXPECT_EQ(rf_distance(tree, parsed), 0);
+  // Branch lengths survive the round trip (compare total).
+  EXPECT_NEAR(parsed.total_length(), tree.total_length(), 1e-6);
+}
+
+TEST(Tree, ParseRootedNewickMergesRootEdge) {
+  const auto names = names_for(4);
+  const Tree t = Tree::parse_newick("((t0:0.1,t1:0.2):0.05,(t2:0.1,t3:0.1):0.05);",
+                                    names);
+  t.check_invariants();
+  EXPECT_EQ(t.edges().size(), 5u);
+  EXPECT_NEAR(t.total_length(), 0.6, 1e-12);
+}
+
+TEST(Tree, ParseTrifurcatingNewick) {
+  const auto names = names_for(5);
+  const Tree t = Tree::parse_newick(
+      "(t0:0.1,(t1:0.1,t2:0.1):0.1,(t3:0.1,t4:0.1):0.1);", names);
+  t.check_invariants();
+  EXPECT_EQ(t.num_taxa(), 5u);
+}
+
+TEST(Tree, ParseResolvesMultifurcations) {
+  const auto names = names_for(6);
+  const Tree t = Tree::parse_newick("(t0,t1,t2,t3,t4,t5);", names);
+  t.check_invariants();
+  EXPECT_EQ(t.edges().size(), 9u);
+}
+
+TEST(Tree, ParseRejectsGarbage) {
+  const auto names = names_for(4);
+  EXPECT_THROW(Tree::parse_newick("(t0,t1,(t2);", names), std::runtime_error);
+  EXPECT_THROW(Tree::parse_newick("(t0,t1,unknown);", names),
+               std::runtime_error);
+  EXPECT_THROW(Tree::parse_newick("(t0,t1,t2);", names), std::runtime_error)
+      << "must reject trees that do not cover all taxa";
+  EXPECT_THROW(Tree::parse_newick("(t0,t1,(t2,t2));", names),
+               std::runtime_error)
+      << "must reject duplicate taxa";
+}
+
+TEST(Tree, ChildrenAreRingNeighborsAcrossEdges) {
+  Tree tree = chain_tree(5);
+  for (int rec : tree.internal_records()) {
+    const auto [c1, c2] = tree.children(rec);
+    EXPECT_EQ(tree.back(tree.next(rec)), c1);
+    EXPECT_EQ(tree.back(tree.next(tree.next(rec))), c2);
+  }
+}
+
+TEST(Tree, PostorderVisitsChildrenFirst) {
+  Tree tree = chain_tree(10);
+  const int root = tree.back(0);
+  const auto order = tree.postorder(root);
+  std::set<int> done;
+  for (int rec : order) {
+    const auto [c1, c2] = tree.children(rec);
+    for (int c : {c1, c2}) {
+      if (!tree.is_tip_record(c)) {
+        EXPECT_TRUE(done.count(c)) << "child CLV not ready before parent";
+      }
+    }
+    done.insert(rec);
+  }
+  EXPECT_EQ(order.back(), root);
+  // Covers every internal node exactly once.
+  std::set<int> nodes;
+  for (int rec : order) nodes.insert(tree.node_id(rec));
+  EXPECT_EQ(nodes.size(), tree.num_taxa() - 2);
+}
+
+TEST(Tree, SprPruneRegraftUndoRestoresExactly) {
+  const auto names = names_for(10);
+  Tree tree = chain_tree(10);
+  const std::string before = tree.to_newick(names);
+  const double len_before = tree.total_length();
+
+  // Try every internal record as a prune point against several targets.
+  for (int p : tree.internal_records()) {
+    Tree::SprMove move = tree.prune(p);
+    const auto edges = tree.edges();
+    for (std::size_t i = 0; i < edges.size(); i += 3) {
+      const int s = edges[i];
+      if (s == p || tree.in_subtree(p, s) || s == move.q || s == move.r)
+        continue;
+      tree.regraft(move, s);
+      tree.undo_regraft(move);
+    }
+    tree.undo(move);
+    EXPECT_EQ(tree.to_newick(names), before);
+  }
+  EXPECT_NEAR(tree.total_length(), len_before, 1e-12);
+}
+
+TEST(Tree, SprMoveChangesTopology) {
+  Tree tree = chain_tree(10);
+  const Tree original = tree;
+  // Prune some subtree and regraft far away.
+  const int p = tree.internal_records()[4];
+  Tree::SprMove move = tree.prune(p);
+  int target = -1;
+  for (int e : tree.edges()) {
+    if (e != move.q && e != move.r && tree.back(e) != move.q &&
+        tree.back(e) != move.r && e != p && !tree.in_subtree(p, e)) {
+      target = e;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  tree.regraft(move, target);
+  tree.check_invariants();
+  EXPECT_GT(rf_distance(tree, original), 0);
+}
+
+TEST(Tree, InSubtreeIdentifiesPrunedSide) {
+  Tree tree = chain_tree(8);
+  // For the record above tip 3's edge: the subtree behind it contains tip 3.
+  const int p = tree.back(3);
+  EXPECT_FALSE(tree.in_subtree(p, p));
+  EXPECT_TRUE(tree.in_subtree(p, 3));
+}
+
+TEST(Tree, FullTraversalCoversBothSides) {
+  Tree tree = chain_tree(9);
+  const auto records = tree.full_traversal(tree.edges()[3]);
+  std::set<int> nodes;
+  for (int rec : records) nodes.insert(tree.node_id(rec));
+  EXPECT_EQ(nodes.size(), tree.num_taxa() - 2);
+}
+
+TEST(Tree, TotalLengthSumsEdges) {
+  Tree tree = chain_tree(7);
+  double sum = 0.0;
+  for (int e : tree.edges()) sum += tree.length(e);
+  EXPECT_DOUBLE_EQ(tree.total_length(), sum);
+}
+
+}  // namespace
+}  // namespace raxh
