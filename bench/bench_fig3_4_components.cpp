@@ -3,10 +3,18 @@
 // at 4 and at 8 threads per process. The paper's key shape: the first three
 // stages shrink with MPI processes while the thorough stage stays flat, and
 // the thorough stage at 4 threads takes ~2x its 8-thread time.
+//
+// The tables are rendered through the obs phase-timer API
+// (obs::PhaseAccumulator + obs::format_component_table) — the same renderer
+// `raxh --report-components` uses for measured runs, so modeled and measured
+// breakdowns are directly comparable.
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "obs/phase.h"
 #include "simsched/sweeps.h"
 
 int main() {
@@ -24,21 +32,29 @@ int main() {
     const int threads = figure == 0 ? 4 : 8;
     std::printf("\n--- Fig. %d: stage times at %d threads/process ---\n",
                 figure + 3, threads);
-    std::printf("%5s %5s | %9s %9s %9s %9s | %9s\n", "cores", "procs",
-                "bootstrap", "fast", "slow", "thorough", "total");
+    std::vector<std::vector<std::pair<std::string, double>>> rows;
+    std::vector<std::string> labels;
     for (int processes : {1, 2, 4, 5, 8, 10, 16, 20}) {
       const int cores = processes * threads;
       if (cores > 80) continue;
       RunConfig config{processes, threads, 100, processes > 1};
       const auto b = model.run_breakdown(config);
-      std::printf("%5d %5d | %9.0f %9.0f %9.0f %9.0f | %9.0f\n", cores,
-                  processes, b.bootstrap, b.fast, b.slow, b.thorough,
-                  b.total());
+      raxh::obs::PhaseAccumulator stages;
+      stages.add("bootstrap", b.bootstrap);
+      stages.add("fast", b.fast);
+      stages.add("slow", b.slow);
+      stages.add("thorough", b.thorough);
+      rows.push_back(stages.phases());
+      labels.push_back(std::to_string(cores) + "c/" +
+                       std::to_string(processes) + "p");
       csv << threads << ',' << cores << ',' << processes << ',' << b.bootstrap
           << ',' << b.fast << ',' << b.slow << ',' << b.thorough << ','
           << b.total() << '\n';
       if (processes == 10) thorough_probe[figure] = b;
     }
+    std::printf("%s", raxh::obs::format_component_table(rows, labels,
+                                                        "cores/procs")
+                          .c_str());
   }
   raxh::bench::write_output("fig3_4_components.csv", csv.str());
 

@@ -21,6 +21,13 @@
 //   -simd <on|off|auto>  vectorized kernels           [auto: on for >=300
 //                                                      patterns]
 //
+// Observability (src/obs/):
+//   --trace-out=FILE      merged Chrome trace_event JSON (all ranks/threads;
+//                         load in chrome://tracing or ui.perfetto.dev)
+//   --metrics-out=FILE    per-rank counter/phase/comm metrics JSON array
+//   --report-components   print the Figs. 3/4-style per-rank component
+//                         breakdown (stage wall times) after the run
+//
 // Exit status 0 on success; messages go to stdout, errors to stderr.
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +42,8 @@
 #include "core/evaluate_mode.h"
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
+#include "obs/obs.h"
+#include "obs/phase.h"
 #include "tree/consensus.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -48,9 +57,87 @@ void usage(const char* prog) {
   std::printf(
       "usage: %s -s alignment.phy [-f a|d|b|e] [-N n] [-p seed] [-x seed]\n"
       "          [-np ranks] [-T threads] [-n name] [-t tree] [-m model]\n"
+      "          [--trace-out=FILE] [--metrics-out=FILE] "
+      "[--report-components]\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
       prog);
+}
+
+// --- observability flags (--trace-out / --metrics-out / --report-components)
+
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool report_components = false;
+
+  [[nodiscard]] bool any() const {
+    return !trace_out.empty() || !metrics_out.empty() || report_components;
+  }
+};
+
+ObsOptions obs_from_cli(const CliParser& cli) {
+  ObsOptions o;
+  o.trace_out = cli.value_or("-trace-out", "");
+  o.metrics_out = cli.value_or("-metrics-out", "");
+  o.report_components = cli.has("-report-components");
+  return o;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+// Collective: merges every rank's observability output on rank 0. Metric and
+// phase snapshots are taken before the gathers so the export's own comm
+// traffic does not pollute the reported numbers.
+void finalize_obs(mpi::Comm& comm, const ObsOptions& options) {
+  if (!options.any()) return;
+  std::string metrics;
+  if (!options.metrics_out.empty())
+    metrics = obs::export_metrics_fragment(comm.rank(), comm.stats().to_json());
+  const std::string phases = options.report_components
+                                 ? obs::serialize_phases(obs::run_phases())
+                                 : std::string();
+
+  if (!options.trace_out.empty()) {
+    const auto fragments =
+        comm.gather_strings(obs::export_trace_fragment(comm.rank()), 0);
+    if (comm.rank() == 0 &&
+        write_text_file(options.trace_out,
+                        obs::merge_trace_fragments(fragments))) {
+      std::printf("wrote trace to %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  options.trace_out.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    const auto fragments = comm.gather_strings(metrics, 0);
+    if (comm.rank() == 0 &&
+        write_text_file(options.metrics_out,
+                        obs::merge_metrics_fragments(fragments))) {
+      std::printf("wrote metrics to %s\n", options.metrics_out.c_str());
+    }
+  }
+  if (options.report_components) {
+    const auto fragments = comm.gather_strings(phases, 0);
+    if (comm.rank() == 0) {
+      std::vector<std::vector<std::pair<std::string, double>>> rows;
+      std::vector<std::string> labels;
+      for (std::size_t r = 0; r < fragments.size(); ++r) {
+        rows.push_back(obs::deserialize_phases(fragments[r]));
+        labels.push_back(std::to_string(r));
+      }
+      std::printf("\ncomponent breakdown (seconds):\n%s",
+                  obs::format_component_table(rows, labels, "rank").c_str());
+    }
+  }
 }
 
 int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
@@ -65,21 +152,25 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
   const int ranks = static_cast<int>(cli.int_or("np", 1));
   const std::string name = cli.value_or("n", "raxh");
 
+  const ObsOptions obs_opts = obs_from_cli(cli);
   WallTimer wall;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
     const auto result = run_hybrid_comprehensive(comm, patterns, options);
-    if (comm.rank() != 0) return;
-    std::printf("winner: rank %d, final GAMMA lnL %.6f\n", result.winner_rank,
-                result.best_lnl);
-    std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
-    std::ofstream(name + "_bipartitions.tre")
-        << result.support_tree_newick << '\n';
-    std::printf("wrote %s_bestTree.tre, %s_bipartitions.tre (%d replicates)\n",
-                name.c_str(), name.c_str(), result.total_bootstrap_trees);
-    if (result.bootstop.mean_correlation != 0.0)
-      std::printf("bootstopping (FC): %s (mean corr %.4f)\n",
-                  result.bootstop.converged ? "converged" : "not converged",
-                  result.bootstop.mean_correlation);
+    if (comm.rank() == 0) {
+      std::printf("winner: rank %d, final GAMMA lnL %.6f\n",
+                  result.winner_rank, result.best_lnl);
+      std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
+      std::ofstream(name + "_bipartitions.tre")
+          << result.support_tree_newick << '\n';
+      std::printf(
+          "wrote %s_bestTree.tre, %s_bipartitions.tre (%d replicates)\n",
+          name.c_str(), name.c_str(), result.total_bootstrap_trees);
+      if (result.bootstop.mean_correlation != 0.0)
+        std::printf("bootstopping (FC): %s (mean corr %.4f)\n",
+                    result.bootstop.converged ? "converged" : "not converged",
+                    result.bootstop.mean_correlation);
+    }
+    finalize_obs(comm, obs_opts);
   });
   std::printf("wall time: %.2f s\n", wall.seconds());
   return 0;
@@ -93,16 +184,22 @@ int run_multistart(const PatternAlignment& patterns, const CliParser& cli) {
   const int ranks = static_cast<int>(cli.int_or("np", 1));
   const std::string name = cli.value_or("n", "raxh");
 
+  const ObsOptions obs_opts = obs_from_cli(cli);
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
-    const auto result = run_multistart_ml(comm, patterns, options);
-    if (comm.rank() != 0) return;
-    std::printf("best of %d searches: lnL %.6f (rank %d)\n", options.searches,
-                result.best_lnl, result.winner_rank);
-    std::printf("all searches:");
-    for (double l : result.all_lnls) std::printf(" %.4f", l);
-    std::printf("\n");
-    std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
-    std::printf("wrote %s_bestTree.tre\n", name.c_str());
+    const auto result = [&] {
+      obs::ScopedPhase phase("search");
+      return run_multistart_ml(comm, patterns, options);
+    }();
+    if (comm.rank() == 0) {
+      std::printf("best of %d searches: lnL %.6f (rank %d)\n",
+                  options.searches, result.best_lnl, result.winner_rank);
+      std::printf("all searches:");
+      for (double l : result.all_lnls) std::printf(" %.4f", l);
+      std::printf("\n");
+      std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
+      std::printf("wrote %s_bestTree.tre\n", name.c_str());
+    }
+    finalize_obs(comm, obs_opts);
   });
   return 0;
 }
@@ -116,15 +213,22 @@ int run_bootstrap_only(const PatternAlignment& patterns, const CliParser& cli) {
   const int ranks = static_cast<int>(cli.int_or("np", 1));
   const std::string name = cli.value_or("n", "raxh");
 
+  const ObsOptions obs_opts = obs_from_cli(cli);
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
-    const auto result = run_bootstrap_analysis(comm, patterns, options);
-    if (comm.rank() != 0) return;
-    std::ofstream trees(name + "_bootstrap.tre");
-    for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
-    std::ofstream(name + "_consensus.tre") << result.consensus_newick << '\n';
-    std::printf("wrote %zu replicates to %s_bootstrap.tre and the "
-                "majority-rule consensus to %s_consensus.tre\n",
-                result.replicate_newicks.size(), name.c_str(), name.c_str());
+    const auto result = [&] {
+      obs::ScopedPhase phase("replicates");
+      return run_bootstrap_analysis(comm, patterns, options);
+    }();
+    if (comm.rank() == 0) {
+      std::ofstream trees(name + "_bootstrap.tre");
+      for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
+      std::ofstream(name + "_consensus.tre") << result.consensus_newick
+                                             << '\n';
+      std::printf("wrote %zu replicates to %s_bootstrap.tre and the "
+                  "majority-rule consensus to %s_consensus.tre\n",
+                  result.replicate_newicks.size(), name.c_str(), name.c_str());
+    }
+    finalize_obs(comm, obs_opts);
   });
   return 0;
 }
@@ -140,19 +244,25 @@ int run_adaptive(const PatternAlignment& patterns, const CliParser& cli) {
   const int ranks = static_cast<int>(cli.int_or("np", 1));
   const std::string name = cli.value_or("n", "raxh");
 
+  const ObsOptions obs_opts = obs_from_cli(cli);
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
-    const auto result = run_adaptive_bootstrap(comm, patterns, options);
-    if (comm.rank() != 0) return;
-    std::printf("%s after %d replicates (%d rounds, mean FC correlation "
-                "%.4f)\n",
-                result.converged ? "bootstopping CONVERGED"
-                                 : "cap reached without convergence",
-                result.total_replicates, result.rounds,
-                result.final_correlation);
-    std::ofstream trees(name + "_bootstrap.tre");
-    for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
-    std::printf("wrote %zu replicates to %s_bootstrap.tre\n",
-                result.replicate_newicks.size(), name.c_str());
+    const auto result = [&] {
+      obs::ScopedPhase phase("replicates");
+      return run_adaptive_bootstrap(comm, patterns, options);
+    }();
+    if (comm.rank() == 0) {
+      std::printf("%s after %d replicates (%d rounds, mean FC correlation "
+                  "%.4f)\n",
+                  result.converged ? "bootstopping CONVERGED"
+                                   : "cap reached without convergence",
+                  result.total_replicates, result.rounds,
+                  result.final_correlation);
+      std::ofstream trees(name + "_bootstrap.tre");
+      for (const auto& nwk : result.replicate_newicks) trees << nwk << '\n';
+      std::printf("wrote %zu replicates to %s_bootstrap.tre\n",
+                  result.replicate_newicks.size(), name.c_str());
+    }
+    finalize_obs(comm, obs_opts);
   });
   return 0;
 }
@@ -176,7 +286,10 @@ int run_evaluate(const PatternAlignment& patterns, const CliParser& cli) {
   EvaluateOptions options;
   options.use_gamma = cli.value_or("m", "GTRGAMMA") != "GTRCAT";
   options.num_threads = static_cast<int>(cli.int_or("T", 1));
-  const auto result = evaluate_fixed_topology(patterns, newick, options);
+  const auto result = [&] {
+    obs::ScopedPhase phase("evaluate");
+    return evaluate_fixed_topology(patterns, newick, options);
+  }();
   std::printf("lnL %.6f", result.lnl);
   if (options.use_gamma) std::printf("  alpha %.4f", result.alpha);
   std::printf("\nGTR rates (AC AG AT CG CT GT):");
@@ -196,6 +309,25 @@ int run_evaluate(const PatternAlignment& patterns, const CliParser& cli) {
   }
   std::printf("wrote %s_evaluated.tre and %s_sitelh.txt\n", name.c_str(),
               name.c_str());
+
+  // -f e runs without a communicator: export this process's fragments alone.
+  const ObsOptions obs_opts = obs_from_cli(cli);
+  if (!obs_opts.trace_out.empty() &&
+      write_text_file(
+          obs_opts.trace_out,
+          obs::merge_trace_fragments({obs::export_trace_fragment(0)})))
+    std::printf("wrote trace to %s\n", obs_opts.trace_out.c_str());
+  if (!obs_opts.metrics_out.empty() &&
+      write_text_file(
+          obs_opts.metrics_out,
+          obs::merge_metrics_fragments({obs::export_metrics_fragment(0)})))
+    std::printf("wrote metrics to %s\n", obs_opts.metrics_out.c_str());
+  if (obs_opts.report_components) {
+    std::printf("\ncomponent breakdown (seconds):\n%s",
+                obs::format_component_table(
+                    {obs::run_phases().phases()}, {std::string("0")}, "rank")
+                    .c_str());
+  }
   return 0;
 }
 
@@ -209,9 +341,14 @@ int main(int argc, char** argv) {
     return alignment_path ? 0 : 2;
   }
 
+  if (obs_from_cli(cli).any()) obs::set_enabled(true);
+
   try {
-    const Alignment alignment = read_phylip_file(*alignment_path);
-    const auto patterns = PatternAlignment::compress(alignment);
+    const PatternAlignment patterns = [&] {
+      obs::ScopedPhase setup_phase("setup");
+      const Alignment alignment = read_phylip_file(*alignment_path);
+      return PatternAlignment::compress(alignment);
+    }();
     std::printf("raxh: %zu taxa, %zu sites, %zu patterns\n",
                 patterns.num_taxa(), patterns.num_sites(),
                 patterns.num_patterns());

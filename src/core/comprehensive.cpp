@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "likelihood/engine.h"
+#include "obs/obs.h"
+#include "obs/phase.h"
 #include "search/bootstrap.h"
 #include "search/parsimony.h"
 #include "tree/bipartition.h"
@@ -45,24 +47,33 @@ RankReport run_comprehensive_rank(
   LikelihoodEngine cat_engine(patterns, gtr,
                               RateModel::cat(patterns.num_patterns()), crew);
 
-  PhaseTimer timer;
+  // Stage wall times land in a per-rank accumulator (the Figs. 3/4 report
+  // path) and, via ScopedPhase, in the process-wide obs::run_phases() table
+  // and the span trace behind --report-components / --trace-out.
+  obs::PhaseAccumulator stage_times;
 
   // --- Stage 1: rapid bootstraps ---
-  timer.start("bootstrap");
-  RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
-                              seeds.parsimony_seed);
-  std::vector<BootstrapReplicate> replicates =
-      bootstrapper.run(report.counts.bootstraps);
-  timer.stop();
+  std::vector<BootstrapReplicate> replicates;
+  {
+    obs::ScopedPhase phase("bootstrap", &stage_times);
+    RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
+                                seeds.parsimony_seed);
+    replicates = bootstrapper.run(report.counts.bootstraps);
+  }
   for (const auto& rep : replicates)
     report.bootstrap_newicks.push_back(rep.tree.to_newick(patterns.names()));
 
-  if (after_bootstraps) after_bootstraps();
+  if (after_bootstraps) {
+    // The paper's mid-run barrier: waiting on slower ranks is neither
+    // bootstrap nor fast-search work, so it gets its own component.
+    obs::ScopedPhase phase("sync");
+    after_bootstraps();
+  }
 
   // --- Stage 2: fast ML searches from the best bootstrap trees ---
-  timer.start("fast");
   std::vector<ScoredTree> fast_results;
   {
+    obs::ScopedPhase phase("fast", &stage_times);
     // Rank replicates by their (bootstrap-weighted) lnL and take the local
     // best as starting points — the local, communication-free selection of
     // paper §2.2.
@@ -81,12 +92,11 @@ RankReport run_comprehensive_rank(
       fast_results.push_back(ScoredTree{std::move(tree), lnl});
     }
   }
-  timer.stop();
 
   // --- Stage 3: slow ML searches on the locally best fast trees ---
-  timer.start("slow");
   std::vector<ScoredTree> slow_results;
   {
+    obs::ScopedPhase phase("slow", &stage_times);
     std::sort(fast_results.begin(), fast_results.end(),
               [](const ScoredTree& a, const ScoredTree& b) {
                 return a.lnl > b.lnl;
@@ -99,11 +109,10 @@ RankReport run_comprehensive_rank(
       slow_results.push_back(ScoredTree{std::move(tree), lnl});
     }
   }
-  timer.stop();
 
   // --- Stage 4: one thorough search from the local best slow tree ---
-  timer.start("thorough");
   {
+    obs::ScopedPhase phase("thorough", &stage_times);
     RAXH_ASSERT(!slow_results.empty());
     const auto best_it = std::max_element(
         slow_results.begin(), slow_results.end(),
@@ -144,12 +153,11 @@ RankReport run_comprehensive_rank(
       }
     }
   }
-  timer.stop();
 
-  report.times.bootstrap = timer.total("bootstrap");
-  report.times.fast = timer.total("fast");
-  report.times.slow = timer.total("slow");
-  report.times.thorough = timer.total("thorough");
+  report.times.bootstrap = stage_times.total("bootstrap");
+  report.times.fast = stage_times.total("fast");
+  report.times.slow = stage_times.total("slow");
+  report.times.thorough = stage_times.total("thorough");
 
   log_debug("rank %d/%d done: lnL=%.4f (CAT %.4f)", rank, nranks,
             report.best_lnl, report.cat_lnl);

@@ -19,7 +19,6 @@
 #include "parallel/workforce.h"
 #include "search/spr.h"
 #include "util/prng.h"
-#include "util/timer.h"
 
 namespace raxh {
 

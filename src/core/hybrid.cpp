@@ -1,6 +1,8 @@
 #include "core/hybrid.h"
 
 #include "likelihood/engine.h"
+#include "obs/obs.h"
+#include "obs/phase.h"
 #include "tree/consensus.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -13,6 +15,7 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
   const int rank = comm.rank();
   const int nranks = comm.size();
   Logger::instance().set_rank(nranks > 1 ? rank : -1);
+  obs::set_rank(rank);
 
   Workforce crew(options.analysis.num_threads);
   Workforce* crew_ptr =
@@ -25,30 +28,42 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
 
   HybridResult result;
 
-  // Select the global winner (MPI_MAXLOC) and broadcast its tree — the
-  // paper's "call to MPI_Bcast" that ends the run.
-  const auto best = comm.allreduce_maxloc(report.best_lnl);
-  result.best_lnl = best.value;
-  result.winner_rank = best.rank;
-  result.best_tree_newick = report.best_tree_newick;
-  comm.bcast_string(result.best_tree_newick, best.rank);
+  // End-of-run synchronization: the winner selection plus the report-only
+  // gathers. On a rank that finished early this is mostly waiting on peers,
+  // so it is a component of its own in the breakdown ("sync").
+  std::vector<std::vector<double>> all_times, all_lnls;
+  std::vector<std::string> all_bootstraps;
+  {
+    obs::ScopedPhase phase("sync");
 
-  // Report-only gathers (outside the paper's hot path): stage times, per-rank
-  // final likelihoods, and the bootstrap replicates for support values.
-  const std::vector<double> my_times = {report.times.bootstrap,
-                                        report.times.fast, report.times.slow,
-                                        report.times.thorough};
-  const auto all_times = comm.gather_doubles(my_times, 0);
-  const auto all_lnls = comm.gather_doubles({report.best_lnl}, 0);
+    // Select the global winner (MPI_MAXLOC) and broadcast its tree — the
+    // paper's "call to MPI_Bcast" that ends the run.
+    const auto best = comm.allreduce_maxloc(report.best_lnl);
+    result.best_lnl = best.value;
+    result.winner_rank = best.rank;
+    result.best_tree_newick = report.best_tree_newick;
+    comm.bcast_string(result.best_tree_newick, best.rank);
 
-  std::string my_bootstraps;
-  for (const auto& nwk : report.bootstrap_newicks) {
-    my_bootstraps += nwk;
-    my_bootstraps += '\n';
+    // Report-only gathers (outside the paper's hot path): stage times,
+    // per-rank final likelihoods, and the replicates for support values.
+    const std::vector<double> my_times = {report.times.bootstrap,
+                                          report.times.fast, report.times.slow,
+                                          report.times.thorough};
+    all_times = comm.gather_doubles(my_times, 0);
+    all_lnls = comm.gather_doubles({report.best_lnl}, 0);
+
+    std::string my_bootstraps;
+    for (const auto& nwk : report.bootstrap_newicks) {
+      my_bootstraps += nwk;
+      my_bootstraps += '\n';
+    }
+    all_bootstraps = comm.gather_strings(my_bootstraps, 0);
   }
-  const auto all_bootstraps = comm.gather_strings(my_bootstraps, 0);
 
   if (rank == 0) {
+    // Rank 0's post-search reporting (support values, bootstopping) is real
+    // wall time; give it a phase so component breakdowns stay near-complete.
+    obs::ScopedPhase phase("finalize");
     for (const auto& t : all_times) {
       RAXH_ASSERT(t.size() == 4);
       result.rank_times.push_back(StageTimes{t[0], t[1], t[2], t[3]});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace raxh {
@@ -119,11 +120,13 @@ template <typename Fn>
 void LikelihoodEngine::dispatch(Fn&& fn) {
   const std::size_t npat = patterns_->num_patterns();
   if (crew_ == nullptr || crew_->num_threads() == 1) {
+    obs::count(obs::Counter::kPatternsEvaluated, npat);
     fn(std::size_t{0}, npat, 0);
     return;
   }
   crew_->run([&](int tid, int nthreads) {
     const auto [begin, end] = stripe(npat, tid, nthreads);
+    obs::count(obs::Counter::kPatternsEvaluated, end - begin);
     fn(begin, end, tid);
   });
 }
@@ -132,10 +135,13 @@ template <typename Fn>
 double LikelihoodEngine::dispatch_sum(Fn&& fn) {
   const std::size_t npat = patterns_->num_patterns();
   if (crew_ == nullptr || crew_->num_threads() == 1) {
+    obs::count(obs::Counter::kPatternsEvaluated, npat);
+    obs::count(obs::Counter::kReductionCalls);
     return fn(std::size_t{0}, npat, 0);
   }
   crew_->run([&](int tid, int nthreads) {
     const auto [begin, end] = stripe(npat, tid, nthreads);
+    obs::count(obs::Counter::kPatternsEvaluated, end - begin);
     crew_->reduction(tid) = fn(begin, end, tid);
   });
   return crew_->sum_reduction();
@@ -220,10 +226,12 @@ void LikelihoodEngine::compute_clv(const Tree& tree, int rec) {
   meta.child_ver2 = content_version(tree, c2);
   meta.version = ++version_counter_;
   ++newview_count_;
+  obs::count(obs::Counter::kNewviewCalls);
 }
 
 double LikelihoodEngine::evaluate_edge(const Tree& tree, int rec,
                                        double* per_pattern) {
+  obs::count(obs::Counter::kEvaluateCalls);
   // Orient so that x is a tip whenever the edge touches one.
   int x = rec;
   int y = tree.back(rec);
@@ -307,10 +315,12 @@ void LikelihoodEngine::prepare_branch(const Tree& tree, int rec) {
 }
 
 kern::Derivatives LikelihoodEngine::branch_derivatives(double t) {
+  obs::count(obs::Counter::kDerivativeCalls);
   const auto lay = layout();
   const double* eigenvalues = model_.eigenvalues().data();
   const double* cat_rates = rates_.rates().data();
   if (crew_ == nullptr || crew_->num_threads() == 1) {
+    obs::count(obs::Counter::kPatternsEvaluated, patterns_->num_patterns());
     return kern::nr_derivatives(lay, 0, patterns_->num_patterns(),
                                 sumtable_.data(), eigenvalues, cat_rates, t,
                                 weights_.data());
@@ -318,6 +328,7 @@ kern::Derivatives LikelihoodEngine::branch_derivatives(double t) {
   crew_->resize_reduction(3);
   crew_->run([&](int tid, int nthreads) {
     const auto [b, e] = stripe(patterns_->num_patterns(), tid, nthreads);
+    obs::count(obs::Counter::kPatternsEvaluated, e - b);
     const auto part = kern::nr_derivatives(lay, b, e, sumtable_.data(),
                                            eigenvalues, cat_rates, t,
                                            weights_.data());

@@ -53,7 +53,7 @@ class ThreadComm final : public Comm {
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int size() const override { return hub_->nranks; }
 
-  void send(int dest, int tag, const Bytes& payload) override {
+  void do_send(int dest, int tag, const Bytes& payload) override {
     RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
     Channel& ch = hub_->channel(rank_, dest);
     {
@@ -63,7 +63,7 @@ class ThreadComm final : public Comm {
     ch.cv.notify_one();
   }
 
-  Bytes recv(int src, int tag) override {
+  Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     Channel& ch = hub_->channel(src, rank_);
     std::unique_lock<std::mutex> lock(ch.mutex);
@@ -125,7 +125,7 @@ class ProcessComm final : public Comm {
     return static_cast<int>(fds_.size());
   }
 
-  void send(int dest, int tag, const Bytes& payload) override {
+  void do_send(int dest, int tag, const Bytes& payload) override {
     RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
     const int fd = fds_[static_cast<std::size_t>(dest)];
     std::uint64_t header[2] = {static_cast<std::uint64_t>(tag),
@@ -134,7 +134,7 @@ class ProcessComm final : public Comm {
     if (!payload.empty()) write_all(fd, payload.data(), payload.size());
   }
 
-  Bytes recv(int src, int tag) override {
+  Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     const int fd = fds_[static_cast<std::size_t>(src)];
     std::uint64_t header[2];

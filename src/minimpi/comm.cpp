@@ -1,12 +1,63 @@
 #include "minimpi/comm.h"
 
+#include <cstdio>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace raxh::mpi {
 
+void Comm::send(int dest, int tag, const Bytes& payload) {
+  current_op_->msgs_sent += 1;
+  current_op_->bytes_sent += payload.size();
+  do_send(dest, tag, payload);
+}
+
+Bytes Comm::recv(int src, int tag) {
+  Bytes payload = do_recv(src, tag);
+  current_op_->msgs_recv += 1;
+  current_op_->bytes_recv += payload.size();
+  return payload;
+}
+
+Comm::OpStats Comm::Stats::total() const {
+  OpStats sum;
+  for (const OpStats* op : {&p2p, &barrier, &bcast, &reduce, &gather}) {
+    sum.msgs_sent += op->msgs_sent;
+    sum.bytes_sent += op->bytes_sent;
+    sum.msgs_recv += op->msgs_recv;
+    sum.bytes_recv += op->bytes_recv;
+  }
+  return sum;
+}
+
+std::string Comm::Stats::to_json() const {
+  const std::pair<const char*, const OpStats*> ops[] = {
+      {"p2p", &p2p},       {"barrier", &barrier}, {"bcast", &bcast},
+      {"reduce", &reduce}, {"gather", &gather}};
+  std::string out = "\"comm\":{";
+  char buf[160];
+  for (const auto& [name, op] : ops) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"msgs_sent\":%llu,\"bytes_sent\":%llu,"
+                  "\"msgs_recv\":%llu,\"bytes_recv\":%llu},",
+                  name, static_cast<unsigned long long>(op->msgs_sent),
+                  static_cast<unsigned long long>(op->bytes_sent),
+                  static_cast<unsigned long long>(op->msgs_recv),
+                  static_cast<unsigned long long>(op->bytes_recv));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "\"barrier_wait_ns\":%llu}",
+                static_cast<unsigned long long>(barrier_wait_ns));
+  out += buf;
+  return out;
+}
+
 void Comm::barrier() {
+  obs::Span span("mpi.barrier");
+  ScopedOp op(*this, stats_.barrier);
+  const std::uint64_t wait_start = obs::now_ns();
   // Central coordinator: everyone checks in with rank 0, rank 0 releases.
   const Bytes empty;
   if (rank() == 0) {
@@ -16,9 +67,12 @@ void Comm::barrier() {
     send(0, kTagBarrier, empty);
     recv(0, kTagBarrier);
   }
+  stats_.barrier_wait_ns += obs::now_ns() - wait_start;
 }
 
 void Comm::bcast(Bytes& data, int root) {
+  obs::Span span("mpi.bcast");
+  ScopedOp op(*this, stats_.bcast);
   RAXH_EXPECTS(root >= 0 && root < size());
   if (rank() == root) {
     for (int r = 0; r < size(); ++r)
@@ -35,6 +89,8 @@ void Comm::bcast_string(std::string& data, int root) {
 }
 
 Comm::MaxLoc Comm::allreduce_maxloc(double value) {
+  obs::Span span("mpi.allreduce");
+  ScopedOp op(*this, stats_.reduce);
   Packer p;
   p.put(value);
   Bytes mine = p.take();
@@ -61,6 +117,8 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value) {
 }
 
 double Comm::allreduce_sum(double value) {
+  obs::Span span("mpi.allreduce");
+  ScopedOp op(*this, stats_.reduce);
   double total = value;
   if (rank() == 0) {
     for (int r = 1; r < size(); ++r) {
@@ -82,6 +140,8 @@ double Comm::allreduce_sum(double value) {
 }
 
 double Comm::allreduce_max(double value) {
+  obs::Span span("mpi.allreduce");
+  ScopedOp op(*this, stats_.reduce);
   double best = value;
   if (rank() == 0) {
     for (int r = 1; r < size(); ++r) {
@@ -103,6 +163,8 @@ double Comm::allreduce_max(double value) {
 }
 
 long Comm::allreduce_sum_long(long value) {
+  obs::Span span("mpi.allreduce");
+  ScopedOp op(*this, stats_.reduce);
   long total = value;
   if (rank() == 0) {
     for (int r = 1; r < size(); ++r) {
@@ -125,6 +187,8 @@ long Comm::allreduce_sum_long(long value) {
 
 std::vector<std::vector<double>> Comm::gather_doubles(
     const std::vector<double>& mine, int root) {
+  obs::Span span("mpi.gather");
+  ScopedOp op(*this, stats_.gather);
   std::vector<std::vector<double>> out;
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(size()));
@@ -145,6 +209,8 @@ std::vector<std::vector<double>> Comm::gather_doubles(
 
 std::vector<std::string> Comm::gather_strings(const std::string& mine,
                                               int root) {
+  obs::Span span("mpi.gather");
+  ScopedOp op(*this, stats_.gather);
   std::vector<std::string> out;
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(size()));

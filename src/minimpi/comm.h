@@ -29,10 +29,30 @@ class Comm {
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
 
+  // --- per-rank communication statistics ---
+  // Counted at the send/recv layer of the base class, so both backends report
+  // identical numbers for identical protocols. Attribution is to the
+  // *outermost* collective in flight (e.g. the broadcast inside an allreduce
+  // counts as reduce traffic); traffic outside any collective is p2p.
+  struct OpStats {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t bytes_recv = 0;
+  };
+  struct Stats {
+    OpStats p2p, barrier, bcast, reduce, gather;
+    std::uint64_t barrier_wait_ns = 0;  // time blocked inside barrier()
+    [[nodiscard]] OpStats total() const;
+    [[nodiscard]] std::string to_json() const;  // {"comm":{...}} section
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
   // Blocking tagged point-to-point. recv blocks until a message with the
   // exact (src, tag) arrives; messages from one src preserve send order.
-  virtual void send(int dest, int tag, const Bytes& payload) = 0;
-  virtual Bytes recv(int src, int tag) = 0;
+  void send(int dest, int tag, const Bytes& payload);
+  Bytes recv(int src, int tag);
 
   // --- collectives (implemented over send/recv; every rank must call) ---
   void barrier();
@@ -55,10 +75,32 @@ class Comm {
   std::vector<std::string> gather_strings(const std::string& mine, int root);
 
  protected:
+  // Backend transport, wrapped by the counting send()/recv() above.
+  virtual void do_send(int dest, int tag, const Bytes& payload) = 0;
+  virtual Bytes do_recv(int src, int tag) = 0;
+
   static constexpr int kTagBarrier = 1000000;
   static constexpr int kTagBcast = 1000001;
   static constexpr int kTagReduce = 1000002;
   static constexpr int kTagGather = 1000003;
+
+ private:
+  // Scoped attribution: routes send/recv counts to one collective's OpStats.
+  // Outermost-wins, so nested collectives keep the caller's attribution.
+  class ScopedOp {
+   public:
+    ScopedOp(Comm& comm, OpStats& op) : comm_(comm), saved_(comm.current_op_) {
+      if (comm_.current_op_ == &comm_.stats_.p2p) comm_.current_op_ = &op;
+    }
+    ~ScopedOp() { comm_.current_op_ = saved_; }
+
+   private:
+    Comm& comm_;
+    OpStats* saved_;
+  };
+
+  Stats stats_;
+  OpStats* current_op_ = &stats_.p2p;
 };
 
 // --- serialization helpers for payloads ---

@@ -1,0 +1,181 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "obs/obs.h"
+
+namespace raxh::obs {
+
+void PhaseAccumulator::start(std::string phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+  current_ = std::move(phase);
+  started_ns_ = now_ns();
+  running_ = true;
+}
+
+void PhaseAccumulator::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void PhaseAccumulator::flush_locked() {
+  if (!running_) return;
+  running_ = false;
+  const double elapsed =
+      static_cast<double>(now_ns() - started_ns_) / 1e9;
+  for (auto& [name, secs] : phases_) {
+    if (name == current_) {
+      secs += elapsed;
+      return;
+    }
+  }
+  phases_.emplace_back(current_, elapsed);
+}
+
+void PhaseAccumulator::add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, secs] : phases_) {
+    if (name == phase) {
+      secs += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(phase, seconds);
+}
+
+double PhaseAccumulator::total(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, secs] : phases_)
+    if (name == phase) return secs;
+  return 0.0;
+}
+
+double PhaseAccumulator::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double s = 0.0;
+  for (const auto& [name, secs] : phases_) s += secs;
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> PhaseAccumulator::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+void PhaseAccumulator::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  current_.clear();
+  phases_.clear();
+}
+
+PhaseAccumulator& run_phases() {
+  static PhaseAccumulator* acc = new PhaseAccumulator;  // leaked: teardown-safe
+  return *acc;
+}
+
+void run_phases_reset_for_fork() {
+  // The forked child is single-threaded; rebuild the accumulator in place so
+  // an inherited mid-flight mutex cannot deadlock, then drop parent history.
+  new (&run_phases()) PhaseAccumulator;
+}
+
+ScopedPhase::ScopedPhase(const char* name, PhaseAccumulator* local)
+    : name_(name), local_(local), start_ns_(now_ns()) {}
+
+ScopedPhase::~ScopedPhase() {
+  const std::uint64_t end_ns = now_ns();
+  const double seconds = static_cast<double>(end_ns - start_ns_) / 1e9;
+  run_phases().add(name_, seconds);
+  if (local_ != nullptr) local_->add(name_, seconds);
+  if (enabled())
+    record_phase_span(std::string("phase:") + name_, start_ns_,
+                      end_ns - start_ns_);
+}
+
+std::string serialize_phases(const PhaseAccumulator& acc) {
+  std::string out;
+  for (const auto& [name, secs] : acc.phases()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "\t%.9f\n", secs);
+    out += name;
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> deserialize_phases(
+    const std::string& data) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t tab = data.find('\t', pos);
+    if (tab == std::string::npos) break;
+    const std::size_t eol = data.find('\n', tab);
+    const std::string name = data.substr(pos, tab - pos);
+    const double secs = std::strtod(data.c_str() + tab + 1, nullptr);
+    out.emplace_back(name, secs);
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string format_component_table(
+    const std::vector<std::vector<std::pair<std::string, double>>>& rows,
+    const std::vector<std::string>& row_labels, const std::string& row_header) {
+  // Column order: union of phase names in first-seen order.
+  std::vector<std::string> columns;
+  for (const auto& row : rows)
+    for (const auto& [name, secs] : row)
+      if (std::find(columns.begin(), columns.end(), name) == columns.end())
+        columns.push_back(name);
+
+  std::size_t label_width = row_header.size();
+  for (const auto& label : row_labels)
+    label_width = std::max(label_width, label.size());
+
+  auto cell_width = [](const std::string& name) {
+    return std::max<std::size_t>(name.size(), 9);
+  };
+
+  char buf[64];
+  std::string out;
+  out += row_header;
+  out.append(label_width - row_header.size(), ' ');
+  for (const auto& col : columns) {
+    out += "  ";
+    out.append(cell_width(col) - col.size(), ' ');
+    out += col;
+  }
+  out += "  |        sum\n";
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::string& label = r < row_labels.size() ? row_labels[r] : "";
+    out.append(label_width - label.size(), ' ');
+    out += label;
+    double sum = 0.0;
+    for (const auto& col : columns) {
+      double secs = 0.0;
+      for (const auto& [name, value] : rows[r]) {
+        if (name == col) {
+          secs = value;
+          break;
+        }
+      }
+      sum += secs;
+      std::snprintf(buf, sizeof(buf), "  %*.3f",
+                    static_cast<int>(cell_width(col)), secs);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  |  %9.3f\n", sum);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace raxh::obs

@@ -1,0 +1,80 @@
+// Phase timers: named wall-time accumulators matched to the paper's run
+// stages (bootstrap / fast / slow / thorough, Figs. 3-4 and Table 5), plus
+// the Figs. 3/4-style component-breakdown table renderer.
+//
+// Two layers:
+//  * PhaseAccumulator — a passive accumulator (start/stop or add()), usable
+//    standalone (per-rank stage reports, benches replaying modeled times).
+//  * run_phases() — the process-wide accumulator behind --report-components;
+//    ScopedPhase feeds it and, when observability is enabled, also emits a
+//    "phase:<name>" span into the trace.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace raxh::obs {
+
+class PhaseAccumulator {
+ public:
+  // Begin accumulating under `phase` (closing any phase still running).
+  void start(std::string phase);
+  void stop();
+
+  // Record an externally measured duration (merging, modeled times).
+  void add(const std::string& phase, double seconds);
+
+  [[nodiscard]] double total(const std::string& phase) const;
+  [[nodiscard]] double sum() const;
+  // (name, seconds) in first-start order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> phases() const;
+  void clear();
+
+ private:
+  void flush_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::string current_;
+  std::uint64_t started_ns_ = 0;
+  bool running_ = false;
+};
+
+// The process-wide (per-rank, under ProcessComm) phase table for this run.
+PhaseAccumulator& run_phases();
+// Fork-child reinitialization hook (called from obs's pthread_atfork child
+// handler; not for general use).
+void run_phases_reset_for_fork();
+
+// RAII phase marker: on destruction adds the elapsed time to run_phases(),
+// to `local` when given, and emits a "phase:<name>" trace span if
+// observability is enabled.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name, PhaseAccumulator* local = nullptr);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_;
+  PhaseAccumulator* local_;
+  std::uint64_t start_ns_;
+};
+
+// Wire format for shipping one rank's phase table through gather_strings.
+[[nodiscard]] std::string serialize_phases(const PhaseAccumulator& acc);
+[[nodiscard]] std::vector<std::pair<std::string, double>> deserialize_phases(
+    const std::string& data);
+
+// Figs. 3/4-style component table: one row per entry of `rows` (a rank or a
+// configuration), one column per phase (union, first-seen order) plus a
+// trailing per-row sum.
+[[nodiscard]] std::string format_component_table(
+    const std::vector<std::vector<std::pair<std::string, double>>>& rows,
+    const std::vector<std::string>& row_labels, const std::string& row_header);
+
+}  // namespace raxh::obs

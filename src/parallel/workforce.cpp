@@ -1,6 +1,8 @@
 #include "parallel/workforce.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace raxh {
 
@@ -30,7 +32,9 @@ Workforce::~Workforce() {
 }
 
 void Workforce::run(const std::function<void(int, int)>& job) {
+  obs::count(obs::Counter::kWorkforceJobs);
   if (num_threads_ == 1) {
+    obs::Span span("wf.job");
     job(0, 1);
     return;
   }
@@ -42,14 +46,25 @@ void Workforce::run(const std::function<void(int, int)>& job) {
   }
   start_cv_.notify_all();
 
-  job(0, num_threads_);  // master participates
+  {
+    obs::Span span("wf.job");
+    job(0, num_threads_);  // master participates
+  }
 
+  // The master's wait for the crew is the fine-grained barrier of the
+  // master/worker scheme; attribute it so thread-efficiency analyses
+  // (Figs. 5-6) can separate imbalance from kernel work.
+  const bool timed = obs::enabled();
+  const std::uint64_t wait_start = timed ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return running_ == 0; });
   job_ = nullptr;
+  if (timed)
+    obs::count(obs::Counter::kBarrierWaitNs, obs::now_ns() - wait_start);
 }
 
 void Workforce::worker_loop(int tid) {
+  Logger::instance().set_thread(tid);  // attributable interleaved log lines
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int, int)>* job = nullptr;
@@ -62,7 +77,10 @@ void Workforce::worker_loop(int tid) {
       seen_generation = generation_;
       job = job_;
     }
-    (*job)(tid, num_threads_);
+    {
+      obs::Span span("wf.job");
+      (*job)(tid, num_threads_);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--running_ == 0) done_cv_.notify_one();
@@ -87,6 +105,7 @@ double& Workforce::reduction(int tid, std::size_t slot) {
 }
 
 double Workforce::sum_reduction(std::size_t slot) const {
+  obs::count(obs::Counter::kReductionCalls);
   const std::size_t padded =
       (reduction_slots_ + kPadDoubles - 1) / kPadDoubles * kPadDoubles +
       kPadDoubles;

@@ -11,6 +11,12 @@ CliParser::CliParser(int argc, const char* const* argv) {
     if (arg.size() >= 2 && arg[0] == '-' &&
         !(arg.size() > 1 && (std::isdigit(arg[1]) || arg[1] == '.'))) {
       const std::string flag = arg.substr(1);
+      // GNU-style inline value: "--flag=value" (or "-flag=value").
+      const std::size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        options_[flag.substr(0, eq)] = flag.substr(eq + 1);
+        continue;
+      }
       // A following token that is not itself a flag is this option's value.
       if (i + 1 < argc) {
         const std::string next = argv[i + 1];

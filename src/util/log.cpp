@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -10,7 +11,19 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::atomic<int> g_rank{-1};
+thread_local int t_tid = -1;
 std::mutex g_mutex;
+
+// Monotonic epoch fixed at load time, before any fork — forked ranks inherit
+// it, so cross-rank timestamps are comparable.
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+double monotonic_secs() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_epoch)
+      .count();
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,18 +41,39 @@ const char* level_tag(LogLevel level) {
 
 void vlog(LogLevel level, const char* fmt, va_list args) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  const std::string prefix =
+      format_log_prefix(level, g_rank.load(std::memory_order_relaxed), t_tid,
+                        monotonic_secs());
   std::lock_guard<std::mutex> lock(g_mutex);
-  const int rank = g_rank.load(std::memory_order_relaxed);
-  if (rank >= 0) {
-    std::fprintf(stderr, "[%s r%d] ", level_tag(level), rank);
-  } else {
-    std::fprintf(stderr, "[%s] ", level_tag(level));
-  }
+  std::fputs(prefix.c_str(), stderr);
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }
 
 }  // namespace
+
+std::string format_log_prefix(LogLevel level, int rank, int tid,
+                              double monotonic) {
+  char buf[64];
+  if (rank < 0 && tid < 0) {
+    // Historical single-process, single-thread format, kept stable.
+    std::snprintf(buf, sizeof(buf), "[%s] ", level_tag(level));
+    return buf;
+  }
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "[%s +%.3fs", level_tag(level), monotonic);
+  out = buf;
+  if (rank >= 0) {
+    std::snprintf(buf, sizeof(buf), " r%d", rank);
+    out += buf;
+  }
+  if (tid >= 0) {
+    std::snprintf(buf, sizeof(buf), " t%d", tid);
+    out += buf;
+  }
+  out += "] ";
+  return out;
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -53,6 +87,8 @@ void Logger::set_level(LogLevel level) {
 void Logger::set_rank(int rank) {
   g_rank.store(rank, std::memory_order_relaxed);
 }
+
+void Logger::set_thread(int tid) { t_tid = tid; }
 
 LogLevel Logger::level() const {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));

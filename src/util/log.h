@@ -1,5 +1,8 @@
 // Minimal leveled logger. Coarse-grained ranks prefix their messages with the
-// rank id so interleaved multi-process output stays attributable.
+// rank id, and fine-grained crew threads add a monotonic timestamp and a
+// thread id, so interleaved multi-process / multi-thread output stays
+// attributable. When neither rank nor thread is set the prefix stays the
+// bare "[LVL] " form.
 #pragma once
 
 #include <cstdarg>
@@ -15,7 +18,8 @@ class Logger {
   static Logger& instance();
 
   void set_level(LogLevel level);
-  void set_rank(int rank);  // -1 (default) omits the rank prefix
+  void set_rank(int rank);    // -1 (default) omits the rank prefix
+  void set_thread(int tid);   // thread-local; -1 (default) omits the tid
   [[nodiscard]] LogLevel level() const;
 
   void log(LogLevel level, const char* fmt, ...)
@@ -24,6 +28,12 @@ class Logger {
  private:
   Logger() = default;
 };
+
+// The prefix for a log line: "[LVL] " when rank and tid are both unset,
+// otherwise "[LVL +SECS.mmms rR tT] " with the rank/thread parts present
+// only when set. Exposed for tests.
+std::string format_log_prefix(LogLevel level, int rank, int tid,
+                              double monotonic_secs);
 
 void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

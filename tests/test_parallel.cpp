@@ -42,6 +42,36 @@ TEST(Stripe, BalancedWithinOne) {
   EXPECT_LE(hi - lo, 1u);
 }
 
+// Property sweep over the edge shapes: fewer patterns than threads (some
+// threads get empty stripes), total == 0, and nthreads == 1. The stripes
+// must stay disjoint, cover [0, total) exactly, and balance within one.
+TEST(Stripe, PropertySweepSmallTotalsAndEdgeCases) {
+  for (std::size_t total = 0; total <= 12; ++total) {
+    for (int nt : {1, 2, 3, 5, 8, 13}) {
+      std::size_t covered = 0, lo = total + 1, hi = 0;
+      std::size_t prev_end = 0;
+      for (int tid = 0; tid < nt; ++tid) {
+        const auto [b, e] = stripe(total, tid, nt);
+        EXPECT_EQ(b, prev_end) << "gap/overlap at tid " << tid;
+        EXPECT_LE(b, e);
+        EXPECT_LE(e, total);
+        covered += e - b;
+        lo = std::min(lo, e - b);
+        hi = std::max(hi, e - b);
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, total) << "total " << total << " nt " << nt;
+      EXPECT_EQ(prev_end, total);
+      EXPECT_LE(hi - lo, 1u) << "imbalance at total " << total << " nt " << nt;
+      if (nt == 1) {
+        const auto [b, e] = stripe(total, 0, 1);
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, total);  // single thread owns the whole range
+      }
+    }
+  }
+}
+
 TEST(Workforce, SingleThreadRunsInline) {
   Workforce crew(1);
   int calls = 0;

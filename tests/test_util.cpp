@@ -1,5 +1,5 @@
 // util/: PRNG determinism and seed policy, special functions, CLI parsing,
-// timers.
+// log prefixes, timers.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/math_ext.h"
 #include "util/prng.h"
 #include "util/timer.h"
@@ -221,6 +222,31 @@ TEST(Cli, PositionalArguments) {
   ASSERT_EQ(cli.positional().size(), 2u);
   EXPECT_EQ(cli.positional()[0], "input.phy");
   EXPECT_EQ(cli.positional()[1], "out.tre");
+}
+
+TEST(Cli, GnuStyleEqualsValues) {
+  const char* argv[] = {"raxh", "--trace-out=run.json", "-N=50",
+                        "--report-components", "-T", "4"};
+  CliParser cli(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(cli.value_or("-trace-out", ""), "run.json");
+  EXPECT_EQ(cli.int_or("N", 0), 50);
+  EXPECT_TRUE(cli.has("-report-components"));
+  EXPECT_EQ(cli.int_or("T", 1), 4);  // plain space-separated form still works
+}
+
+TEST(LogPrefix, BareFormatWhenRankAndThreadUnset) {
+  // The historical format must stay byte-identical when nothing is set.
+  EXPECT_EQ(format_log_prefix(LogLevel::kInfo, -1, -1, 12.3), "[INF] ");
+  EXPECT_EQ(format_log_prefix(LogLevel::kError, -1, -1, 0.0), "[ERR] ");
+}
+
+TEST(LogPrefix, TimestampRankAndThreadWhenSet) {
+  EXPECT_EQ(format_log_prefix(LogLevel::kInfo, 2, 3, 1.5),
+            "[INF +1.500s r2 t3] ");
+  EXPECT_EQ(format_log_prefix(LogLevel::kWarn, 2, -1, 0.25),
+            "[WRN +0.250s r2] ");
+  EXPECT_EQ(format_log_prefix(LogLevel::kDebug, -1, 7, 10.0),
+            "[DBG +10.000s t7] ");
 }
 
 TEST(PhaseTimer, AccumulatesPhases) {
