@@ -49,6 +49,7 @@ int main() {
   csv << "processes,ceil_seconds,exact_seconds,ideal_seconds,"
          "ceil_bootstrap_total\n";
 
+  double worst_ceil_over_ideal = 0.0;
   for (int p : {2, 4, 5, 8, 10, 16, 20}) {
     // (a) paper: ceil shares everywhere.
     const HybridSchedule ceil_law = make_schedule(bootstraps, p);
@@ -72,12 +73,15 @@ int main() {
             p +
         model.unit_time(Stage::kThorough, threads);
 
+    worst_ceil_over_ideal = std::max(worst_ceil_over_ideal, t_ceil / t_ideal);
     std::printf("%5d | %11.0fs %11.0fs %11.0fs | %d\n", p, t_ceil, t_exact,
                 t_ideal, ceil_law.totals().bootstraps);
     csv << p << ',' << t_ceil << ',' << t_exact << ',' << t_ideal << ','
         << ceil_law.totals().bootstraps << '\n';
   }
   bench::write_output("ablation_schedule.csv", csv.str());
+  bench::write_summary("ablation_schedule", "worst_ceil_over_ideal_time",
+                       worst_ceil_over_ideal, "ratio");
 
   std::printf(
       "\nreading: the ceil law equals the exact split's slowest rank at every\n"

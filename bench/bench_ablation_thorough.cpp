@@ -99,6 +99,10 @@ int main() {
     }
   }
   bench::write_output("ablation_thorough.csv", csv.str());
+  bench::write_summary(
+      "ablation_thorough", "all_ranks_policy_wins_or_ties",
+      static_cast<double>(all_ranks_wins + ties), "configurations",
+      "\"configurations_total\":" + std::to_string(total));
   std::printf("\nall-ranks policy better or tied in %d/%d configurations "
               "(paper: 'often returns a better solution')\n",
               all_ranks_wins + ties, total);

@@ -69,6 +69,9 @@ int main() {
         << (eff_node >= 0.5) << '\n';
   }
   raxh::bench::write_output("discussion7_cost.csv", csv.str());
+  raxh::bench::write_summary("discussion7", "cases_justified_at_scale",
+                             static_cast<double>(justified), "cases",
+                             "\"cases_total\":" + std::to_string(total));
   std::printf("\n%d/%d Dash cases justified at 80 cores under node charging;"
               " the pattern-rich\nsets pass, the smallest does not, and the "
               "19,436-pattern set passes on the\nmachine the paper routes it"

@@ -64,5 +64,10 @@ int main() {
                                                                   : "no",
               best_run(model, 80, kBootstraps).config.threads == 8 ? "yes"
                                                                    : "no");
+  raxh::bench::write_summary(
+      "fig1_2_speedup", "speedup_80_cores", best80.speedup, "x",
+      "\"paper_value\":35,\"best_processes\":" +
+          std::to_string(best80.config.processes) +
+          ",\"best_threads\":" + std::to_string(best80.config.threads));
   return 0;
 }

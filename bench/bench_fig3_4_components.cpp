@@ -64,6 +64,10 @@ int main() {
   std::printf("  thorough time at 4 threads vs 8 threads: %.2fx  (paper: "
               "almost 2x)\n",
               thorough_probe[0].thorough / thorough_probe[1].thorough);
+  raxh::bench::write_summary(
+      "fig3_4_components", "thorough_time_4t_over_8t",
+      thorough_probe[0].thorough / thorough_probe[1].thorough, "x",
+      "\"paper_value\":2");
   std::printf("  bootstrap+fast+slow at 4 threads slightly faster than at 8 "
               "for equal processes: %s\n",
               (thorough_probe[0].bootstrap + thorough_probe[0].fast +

@@ -15,6 +15,7 @@ int main() {
 
   const auto& dash = machine_by_name("Dash");
   int figure = 5;
+  bool always8_all = true;
   for (std::size_t patterns : {7429u, 19436u}) {
     const PerfModel model(dash, paper_shape(patterns));
     std::vector<Series> series;
@@ -50,7 +51,11 @@ int main() {
     for (int cores : {16, 40, 80})
       always8 = always8 && best_run(model, cores, 100).config.threads == 8;
     std::printf("%s (paper: 8, the full node)\n", always8 ? "8" : "mixed");
+    always8_all = always8_all && always8;
     ++figure;
   }
+  raxh::bench::write_summary("fig5_6_efficiency",
+                             "optimal_threads_16plus_cores_is_8",
+                             always8_all ? 1.0 : 0.0, "bool");
   return 0;
 }

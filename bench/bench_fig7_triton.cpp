@@ -48,5 +48,10 @@ int main() {
   std::printf("  Triton efficiency at 64c %.3f vs Dash %.3f  (paper: Triton "
               "scales better at high core counts)\n",
               triton64.efficiency, dash64.efficiency);
+  raxh::bench::write_summary(
+      "fig7_triton", "triton_efficiency_64_cores", triton64.efficiency,
+      "fraction",
+      "\"optimal_threads\":" + std::to_string(triton64.config.threads) +
+          ",\"paper_optimal_threads\":32");
   return 0;
 }

@@ -75,5 +75,9 @@ int main() {
               "vs %.3f Triton; the paper has Dash ahead until 16c — see "
               "EXPERIMENTS.md)\n",
               at("Dash", 16), at("Triton PDAF", 16));
+  raxh::bench::write_summary(
+      "fig8_machines", "triton_over_dash_per_core_speed_64c",
+      at("Triton PDAF", 64) / at("Dash", 64), "ratio",
+      "\"paper_expectation\":\">1 (Triton ahead at 64+ cores)\"");
   return 0;
 }

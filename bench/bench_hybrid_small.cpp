@@ -35,6 +35,7 @@ int main() {
   csv << "processes,threads,bootstrap_s,fast_s,slow_s,thorough_s,wall_s,"
          "final_lnl\n";
 
+  double serial_wall_s = 0.0;
   for (const auto& [p, t] :
        std::initializer_list<std::pair<int, int>>{
            {1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 1}}) {
@@ -65,6 +66,7 @@ int main() {
       }
     });
     const double seconds = wall.seconds();
+    if (p == 1 && t == 1) serial_wall_s = seconds;
     std::printf("%3d %3d | %9.2f %9.2f %9.2f %9.2f | %9.2f | %12.4f\n", p, t,
                 stage_times.bootstrap, stage_times.fast, stage_times.slow,
                 stage_times.thorough, seconds, lnl);
@@ -73,6 +75,8 @@ int main() {
         << stage_times.thorough << ',' << seconds << ',' << lnl << '\n';
   }
   bench::write_output("hybrid_small.csv", csv.str());
+  bench::write_summary("hybrid_small", "serial_1p1t_wall_time", serial_wall_s,
+                       "seconds");
   std::printf("\n(one-core host: ranks/threads are time-shared, so wall times"
               " grow with p*T;\n on a real cluster each rank binds its own "
               "cores — the simsched benches model that.)\n");

@@ -4,6 +4,8 @@
 // search-unit cost is proportional to the pattern count.
 #include <benchmark/benchmark.h>
 
+#define RAXH_BENCH_WITH_GBENCH
+#include "bench_util.h"
 #include "bio/patterns.h"
 #include "bio/seqsim.h"
 #include "likelihood/engine.h"
@@ -94,4 +96,6 @@ BENCHMARK(BM_CatRateOptimization)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return raxh::bench::gbench_main_with_summary("kernels", argc, argv);
+}

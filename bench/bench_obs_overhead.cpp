@@ -1,0 +1,192 @@
+// What does observability cost the likelihood hot path? Three modes, with
+// likelihood-kernel throughput measured interleaved (this machine drifts
+// ~10% run-to-run, so never compare single shots):
+//
+//   off        observability disabled — what every production run pays
+//   heartbeat  obs enabled + a HeartbeatWriter publishing live progress
+//   trace      obs enabled (counters, spans, latency histograms), no writer
+//
+// The CI-enforced budget is on the *disabled* mode: instrumentation must
+// cost a disabled run < 2% of kernel throughput. Measuring that directly is
+// hopeless (the effect is far below machine noise), so the check is
+// deterministic instead: microbench the disabled gate (one relaxed atomic
+// load + branch), count the instrumented events one evaluation triggers,
+// and bound the cost as gate_ns * events * safety / eval_ns. The safety
+// factor covers gate sites that fire without bumping a counter (span and
+// histogram guards, the per-job timing gate, phase scopes).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bio/patterns.h"
+#include "bio/seqsim.h"
+#include "likelihood/engine.h"
+#include "obs/live.h"
+#include "obs/obs.h"
+#include "parallel/workforce.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace raxh;
+
+constexpr int kRounds = 5;
+constexpr int kEvalsPerRound = 30;
+constexpr double kDisabledBudget = 0.02;
+constexpr double kGateSafetyFactor = 8.0;
+
+struct Fixture {
+  Fixture() : crew(2) {
+    SimConfig cfg;
+    cfg.taxa = 24;
+    cfg.distinct_sites = 512;
+    cfg.total_sites = 512;
+    cfg.seed = 99;
+    sim = simulate_alignment(cfg);
+    patterns = PatternAlignment::compress(sim.alignment);
+    GtrParams gtr;
+    gtr.freqs = patterns.empirical_frequencies();
+    engine = std::make_unique<LikelihoodEngine>(
+        patterns, gtr, RateModel::cat(patterns.num_patterns()), &crew);
+    tree = std::make_unique<Tree>(
+        Tree::parse_newick(sim.true_tree_newick, patterns.names()));
+  }
+
+  // Seconds per full (invalidate + newview sweep + evaluate) evaluation.
+  double time_round(bool live_updates) {
+    volatile double sink = 0.0;
+    const std::uint64_t start = obs::now_ns();
+    for (int i = 0; i < kEvalsPerRound; ++i) {
+      engine->invalidate_all();
+      sink = engine->evaluate(*tree);
+      if (live_updates) {
+        obs::live_unit_done();
+        obs::live_report_lnl(sink);
+      }
+    }
+    return static_cast<double>(obs::now_ns() - start) * 1e-9 / kEvalsPerRound;
+  }
+
+  Workforce crew;
+  SimResult sim;
+  PatternAlignment patterns;
+  std::unique_ptr<LikelihoodEngine> engine;
+  std::unique_ptr<Tree> tree;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// ns per instrumentation-point gate with observability disabled: the relaxed
+// atomic load + branch every obs::count / Span / hist_record call pays.
+double measure_gate_ns() {
+  obs::set_enabled(false);
+  constexpr std::uint64_t kCalls = 1 << 24;
+  const std::uint64_t start = obs::now_ns();
+  for (std::uint64_t i = 0; i < kCalls; ++i)
+    obs::count(obs::Counter::kNewviewCalls);
+  return static_cast<double>(obs::now_ns() - start) /
+         static_cast<double>(kCalls);
+}
+
+// Counter-visible instrumented events in one full evaluation (enables obs
+// to count them, then restores the disabled state).
+std::uint64_t measure_events_per_eval(Fixture& f) {
+  obs::set_enabled(true);
+  obs::reset();
+  f.engine->invalidate_all();
+  f.engine->evaluate(*f.tree);
+  const obs::CounterSnapshot snap = obs::counters_snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+  return snap[obs::Counter::kNewviewCalls] +
+         snap[obs::Counter::kEvaluateCalls] +
+         snap[obs::Counter::kDerivativeCalls] +
+         snap[obs::Counter::kReductionCalls] +
+         snap[obs::Counter::kWorkforceJobs];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "OBS OVERHEAD - telemetry cost on the likelihood kernels",
+      "repo budget: observability must cost a disabled run < 2%");
+
+  Fixture f;
+  f.time_round(false);  // warm-up: faults pages, settles the crew
+
+  std::vector<double> off_s, heartbeat_s, trace_s;
+  for (int round = 0; round < kRounds; ++round) {
+    obs::set_enabled(false);
+    off_s.push_back(f.time_round(false));
+
+    obs::set_enabled(true);
+    obs::reset();
+    obs::live_begin_run(0, {{"bench", kRounds * kEvalsPerRound, 1.0}});
+    {
+      obs::HeartbeatWriter writer(
+          obs::HeartbeatOptions{"bench_out/obs_heartbeat", 0, 50});
+      heartbeat_s.push_back(f.time_round(true));
+    }
+
+    obs::reset();
+    trace_s.push_back(f.time_round(false));
+    obs::set_enabled(false);
+    obs::reset();
+  }
+
+  const double off = median(off_s);
+  const double heartbeat = median(heartbeat_s);
+  const double trace = median(trace_s);
+  const double heartbeat_overhead = heartbeat / off - 1.0;
+  const double trace_overhead = trace / off - 1.0;
+
+  const double gate_ns = measure_gate_ns();
+  const auto events = measure_events_per_eval(f);
+  const double disabled_bound =
+      gate_ns * static_cast<double>(events) * kGateSafetyFactor / (off * 1e9);
+
+  std::printf("\nkernel throughput (median of %d interleaved rounds, "
+              "%d evals/round, 512 patterns, 2 threads):\n",
+              kRounds, kEvalsPerRound);
+  std::printf("  %-22s %8.1f us/eval\n", "obs off", off * 1e6);
+  std::printf("  %-22s %8.1f us/eval  (%+.1f%%)\n", "obs on + heartbeats",
+              heartbeat * 1e6, heartbeat_overhead * 100.0);
+  std::printf("  %-22s %8.1f us/eval  (%+.1f%%)\n", "obs on (trace)",
+              trace * 1e6, trace_overhead * 100.0);
+  std::printf("\ndisabled-cost bound (deterministic):\n");
+  std::printf("  gate cost            %10.2f ns/site\n", gate_ns);
+  std::printf("  events per eval      %10llu  (x%.0f safety factor)\n",
+              static_cast<unsigned long long>(events), kGateSafetyFactor);
+  std::printf("  bound                %10.4f%%  (budget %.0f%%)\n",
+              disabled_bound * 100.0, kDisabledBudget * 100.0);
+
+  char extra[512];
+  std::snprintf(
+      extra, sizeof(extra),
+      "\"budget\":%.2f,\"eval_us_off\":%.1f,\"eval_us_heartbeat\":%.1f,"
+      "\"eval_us_trace\":%.1f,\"heartbeat_overhead\":%.4f,"
+      "\"trace_overhead\":%.4f,\"gate_ns\":%.2f,"
+      "\"instrumented_events_per_eval\":%llu,\"safety_factor\":%.0f",
+      kDisabledBudget, off * 1e6, heartbeat * 1e6, trace * 1e6,
+      heartbeat_overhead, trace_overhead, gate_ns,
+      static_cast<unsigned long long>(events), kGateSafetyFactor);
+  bench::write_summary("obs_overhead", "disabled_cost_bound", disabled_bound,
+                       "fraction", extra);
+
+  if (disabled_bound >= kDisabledBudget) {
+    std::printf("\nFAILED: disabled-mode instrumentation cost exceeds the "
+                "%.0f%% budget\n",
+                kDisabledBudget * 100.0);
+    return EXIT_FAILURE;
+  }
+  std::printf("\ndisabled-mode cost within budget\n");
+  return EXIT_SUCCESS;
+}

@@ -6,6 +6,8 @@
 
 #include <atomic>
 
+#define RAXH_BENCH_WITH_GBENCH
+#include "bench_util.h"
 #include "minimpi/comm.h"
 #include "parallel/workforce.h"
 
@@ -71,4 +73,6 @@ BENCHMARK(BM_ThreadRanksBcast)->Arg(1024)->Arg(1 << 20)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return raxh::bench::gbench_main_with_summary("parallel", argc, argv);
+}

@@ -72,6 +72,12 @@ int main() {
   }
 
   raxh::bench::write_output("table2_schedule.csv", csv.str());
+  raxh::bench::write_summary(
+      "table2_schedule", "rows_matching_paper",
+      static_cast<double>(std::size(kPaperTable2) -
+                          static_cast<std::size_t>(mismatches)),
+      "rows",
+      "\"rows_total\":" + std::to_string(std::size(kPaperTable2)));
   if (mismatches != 0) {
     std::printf("FAILED: %d rows diverge from the paper\n", mismatches);
     return EXIT_FAILURE;

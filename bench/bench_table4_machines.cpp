@@ -28,6 +28,9 @@ int main() {
         << ',' << m.cache_boost << ',' << m.sync_cost << '\n';
   }
   raxh::bench::write_output("table4_machines.csv", csv.str());
+  raxh::bench::write_summary(
+      "table4_machines", "machines_parameterized",
+      static_cast<double>(paper_machines().size()), "machines");
   std::printf(
       "core speeds calibrated from the paper's serial anchors (Dash/Triton)\n"
       "and processor-generation ratios; see EXPERIMENTS.md.\n");

@@ -4,6 +4,7 @@
 // count, and prints the paper's measured value next to it. Absolute seconds
 // come from the paper's own serial anchors; everything else — who wins,
 // optimal threads, speedups — is model output.
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -73,6 +74,8 @@ int main() {
          "model_speedup,paper_seconds,paper_threads,paper_speedup\n";
 
   int section = 0;
+  double deviation_sum = 0.0;
+  int cells = 0;
   for (const auto& row : paper_rows()) {
     if (section == 0 && row.bootstraps == 100) {
       std::printf("\n--- results for 100 bootstraps specified ---\n");
@@ -96,6 +99,8 @@ int main() {
       const int cores = cores_list[i];
       const BestRun best = best_run(model, cores, row.bootstraps);
       const PaperCell& paper = row.cells[i];
+      deviation_sum += std::fabs(best.seconds - paper.seconds) / paper.seconds;
+      ++cells;
       std::printf("  %5d | %8.0fs /%2d %6.2f | %8.0fs /%2d %6.2f\n", cores,
                   best.seconds, best.config.threads, best.speedup,
                   paper.seconds, paper.threads, paper.speedup);
@@ -107,6 +112,9 @@ int main() {
   }
 
   raxh::bench::write_output("table5_times.csv", csv.str());
+  raxh::bench::write_summary("table5_times", "mean_abs_time_deviation_vs_paper",
+                             deviation_sum / cells, "fraction",
+                             "\"cells\":" + std::to_string(cells));
   std::printf(
       "\nshape checks: optimal threads grow with patterns; 8 threads never\n"
       "optimal for 348 patterns; Triton's 64-core run uses 32 threads and\n"

@@ -24,15 +24,28 @@
 // Observability (src/obs/):
 //   --trace-out=FILE      merged Chrome trace_event JSON (all ranks/threads;
 //                         load in chrome://tracing or ui.perfetto.dev)
-//   --metrics-out=FILE    per-rank counter/phase/comm metrics JSON array
+//   --metrics-out=FILE    per-rank counter/phase/latency-histogram/comm
+//                         metrics JSON array
 //   --report-components   print the Figs. 3/4-style per-rank component
 //                         breakdown (stage wall times) after the run
+//   --heartbeat-out=DIR   live telemetry (-f a): each rank appends ndjson
+//                         heartbeats to DIR/rank<r>.ndjson while it runs;
+//                         rank 0 tails the directory and logs a one-line
+//                         status with ETA and straggler flags
+//   --straggler-factor=X  flag a rank when its progress rate lags the
+//                         median by more than X (default 2.0)
+//
+// Telemetry output paths are validated (and directories created) at startup
+// so a long run cannot silently lose its telemetry at the end.
 //
 // Exit status 0 on success; messages go to stdout, errors to stderr.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "bio/io.h"
@@ -42,6 +55,7 @@
 #include "core/evaluate_mode.h"
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
+#include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
 #include "tree/consensus.h"
@@ -59,20 +73,25 @@ void usage(const char* prog) {
       "          [-np ranks] [-T threads] [-n name] [-t tree] [-m model]\n"
       "          [--trace-out=FILE] [--metrics-out=FILE] "
       "[--report-components]\n"
+      "          [--heartbeat-out=DIR] [--straggler-factor=X]\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
       prog);
 }
 
-// --- observability flags (--trace-out / --metrics-out / --report-components)
+// --- observability flags (--trace-out / --metrics-out / --report-components
+//     / --heartbeat-out / --straggler-factor)
 
 struct ObsOptions {
   std::string trace_out;
   std::string metrics_out;
+  std::string heartbeat_out;
+  double straggler_factor = 2.0;
   bool report_components = false;
 
   [[nodiscard]] bool any() const {
-    return !trace_out.empty() || !metrics_out.empty() || report_components;
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !heartbeat_out.empty() || report_components;
   }
 };
 
@@ -80,8 +99,54 @@ ObsOptions obs_from_cli(const CliParser& cli) {
   ObsOptions o;
   o.trace_out = cli.value_or("-trace-out", "");
   o.metrics_out = cli.value_or("-metrics-out", "");
+  o.heartbeat_out = cli.value_or("-heartbeat-out", "");
+  const std::string factor = cli.value_or("-straggler-factor", "");
+  if (!factor.empty()) o.straggler_factor = std::strtod(factor.c_str(), nullptr);
   o.report_components = cli.has("-report-components");
   return o;
+}
+
+// A telemetry path that turns out to be unwritable after hours of tree search
+// is a silent data loss; probe every output location before any work starts.
+bool dir_accepts_files(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // fine if it already exists
+  const std::filesystem::path probe = dir / ".raxh_write_probe";
+  {
+    std::ofstream f(probe);
+    if (!f) return false;
+  }
+  std::filesystem::remove(probe, ec);
+  return true;
+}
+
+bool validate_obs_paths(const ObsOptions& o) {
+  const std::pair<const char*, const std::string*> files[] = {
+      {"--trace-out", &o.trace_out}, {"--metrics-out", &o.metrics_out}};
+  for (const auto& [flag, path] : files) {
+    if (path->empty()) continue;
+    std::filesystem::path parent = std::filesystem::path(*path).parent_path();
+    if (parent.empty()) parent = ".";
+    if (!dir_accepts_files(parent)) {
+      std::fprintf(stderr, "error: %s=%s: directory '%s' is not writable\n",
+                   flag, path->c_str(), parent.string().c_str());
+      return false;
+    }
+  }
+  if (!o.heartbeat_out.empty() && !dir_accepts_files(o.heartbeat_out)) {
+    std::fprintf(stderr,
+                 "error: --heartbeat-out=%s: cannot create or write the "
+                 "heartbeat directory\n",
+                 o.heartbeat_out.c_str());
+    return false;
+  }
+  if (o.straggler_factor <= 1.0) {
+    std::fprintf(stderr,
+                 "error: --straggler-factor must be > 1.0 (got %g)\n",
+                 o.straggler_factor);
+    return false;
+  }
+  return true;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {
@@ -155,7 +220,26 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
   const ObsOptions obs_opts = obs_from_cli(cli);
   WallTimer wall;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+    // Live telemetry threads must be born after the fork (forked ranks share
+    // no address space, and threads do not survive fork): one heartbeat
+    // writer per rank, plus the tailing aggregator on rank 0.
+    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+    std::unique_ptr<obs::HeartbeatAggregator> aggregator;
+    if (!obs_opts.heartbeat_out.empty()) {
+      heartbeat = std::make_unique<obs::HeartbeatWriter>(
+          obs::HeartbeatOptions{obs_opts.heartbeat_out, comm.rank()});
+      if (comm.rank() == 0) {
+        obs::AggregatorOptions agg;
+        agg.dir = obs_opts.heartbeat_out;
+        agg.nranks = comm.size();
+        agg.straggler_factor = obs_opts.straggler_factor;
+        aggregator = std::make_unique<obs::HeartbeatAggregator>(agg);
+      }
+    }
     const auto result = run_hybrid_comprehensive(comm, patterns, options);
+    // Flush the final "done" beat before the aggregator's closing scan.
+    if (heartbeat) heartbeat->stop();
+    if (aggregator) aggregator->stop();
     if (comm.rank() == 0) {
       std::printf("winner: rank %d, final GAMMA lnL %.6f\n",
                   result.winner_rank, result.best_lnl);
@@ -341,7 +425,13 @@ int main(int argc, char** argv) {
     return alignment_path ? 0 : 2;
   }
 
-  if (obs_from_cli(cli).any()) obs::set_enabled(true);
+  {
+    const ObsOptions obs_opts = obs_from_cli(cli);
+    if (obs_opts.any()) {
+      if (!validate_obs_paths(obs_opts)) return 2;
+      obs::set_enabled(true);
+    }
+  }
 
   try {
     const PatternAlignment patterns = [&] {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "likelihood/engine.h"
+#include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
 #include "search/bootstrap.h"
@@ -20,6 +21,15 @@ struct ScoredTree {
   Tree tree;
   double lnl;
 };
+
+// Relative per-unit stage costs feeding the live progress fraction (and thus
+// the aggregator's ETA): one bootstrap replicate is the unit. Ratios derived
+// from the paper's Figs. 3/4 component breakdowns (bootstraps ~45% of a
+// serial run over 100 units, fast ~20% over 20, slow ~20% over 10, thorough
+// ~15% over 1). They shape progress reporting only — never scheduling.
+constexpr double kFastUnitWeight = 2.5;
+constexpr double kSlowUnitWeight = 4.5;
+constexpr double kThoroughUnitWeight = 25.0;
 
 }  // namespace
 
@@ -52,13 +62,29 @@ RankReport run_comprehensive_rank(
   // and the span trace behind --report-components / --trace-out.
   obs::PhaseAccumulator stage_times;
 
+  // Live progress model (obs/live.h): this rank's Table-2 work grant, so
+  // heartbeats can report units done vs granted and the rank-0 aggregator
+  // can project an ETA. Updated once per completed search unit.
+  obs::live_begin_run(
+      rank,
+      {{"bootstrap", report.counts.bootstraps, 1.0},
+       {"fast", report.counts.fast_searches, kFastUnitWeight},
+       {"slow", report.counts.slow_searches, kSlowUnitWeight},
+       {"thorough", report.counts.thorough_searches, kThoroughUnitWeight}});
+
   // --- Stage 1: rapid bootstraps ---
   std::vector<BootstrapReplicate> replicates;
   {
     obs::ScopedPhase phase("bootstrap", &stage_times);
+    obs::live_begin_stage("bootstrap");
     RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
                                 seeds.parsimony_seed);
-    replicates = bootstrapper.run(report.counts.bootstraps);
+    // The resumable path's per-replicate callback doubles as the live
+    // progress tick (bit-identical to run() otherwise).
+    BootstrapSnapshot progress_snapshot;
+    replicates = bootstrapper.run_resumable(
+        report.counts.bootstraps, progress_snapshot,
+        [](const BootstrapSnapshot&) { obs::live_unit_done(); });
   }
   for (const auto& rep : replicates)
     report.bootstrap_newicks.push_back(rep.tree.to_newick(patterns.names()));
@@ -67,6 +93,7 @@ RankReport run_comprehensive_rank(
     // The paper's mid-run barrier: waiting on slower ranks is neither
     // bootstrap nor fast-search work, so it gets its own component.
     obs::ScopedPhase phase("sync");
+    obs::live_begin_stage("sync");
     after_bootstraps();
   }
 
@@ -74,6 +101,7 @@ RankReport run_comprehensive_rank(
   std::vector<ScoredTree> fast_results;
   {
     obs::ScopedPhase phase("fast", &stage_times);
+    obs::live_begin_stage("fast");
     // Rank replicates by their (bootstrap-weighted) lnL and take the local
     // best as starting points — the local, communication-free selection of
     // paper §2.2.
@@ -90,6 +118,8 @@ RankReport run_comprehensive_rank(
       SprSearch search(cat_engine, options.fast);
       const double lnl = search.run(tree);
       fast_results.push_back(ScoredTree{std::move(tree), lnl});
+      obs::live_unit_done();
+      obs::live_report_lnl(lnl);
     }
   }
 
@@ -97,6 +127,7 @@ RankReport run_comprehensive_rank(
   std::vector<ScoredTree> slow_results;
   {
     obs::ScopedPhase phase("slow", &stage_times);
+    obs::live_begin_stage("slow");
     std::sort(fast_results.begin(), fast_results.end(),
               [](const ScoredTree& a, const ScoredTree& b) {
                 return a.lnl > b.lnl;
@@ -107,12 +138,15 @@ RankReport run_comprehensive_rank(
       SprSearch search(cat_engine, options.slow);
       const double lnl = search.run(tree);
       slow_results.push_back(ScoredTree{std::move(tree), lnl});
+      obs::live_unit_done();
+      obs::live_report_lnl(lnl);
     }
   }
 
   // --- Stage 4: one thorough search from the local best slow tree ---
   {
     obs::ScopedPhase phase("thorough", &stage_times);
+    obs::live_begin_stage("thorough");
     RAXH_ASSERT(!slow_results.empty());
     const auto best_it = std::max_element(
         slow_results.begin(), slow_results.end(),
@@ -152,6 +186,11 @@ RankReport run_comprehensive_rank(
         report.best_tree_newick = fallback.to_newick(patterns.names());
       }
     }
+    obs::live_unit_done();
+    // Heartbeats track the search-criterion (CAT) score; the final GAMMA
+    // evaluation lives on a different scale and is reported via the normal
+    // program output instead.
+    obs::live_report_lnl(report.cat_lnl);
   }
 
   report.times.bootstrap = stage_times.total("bootstrap");

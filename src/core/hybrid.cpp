@@ -1,6 +1,7 @@
 #include "core/hybrid.h"
 
 #include "likelihood/engine.h"
+#include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
 #include "tree/consensus.h"
@@ -35,6 +36,7 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
   std::vector<std::string> all_bootstraps;
   {
     obs::ScopedPhase phase("sync");
+    obs::live_begin_stage("sync");
 
     // Select the global winner (MPI_MAXLOC) and broadcast its tree — the
     // paper's "call to MPI_Bcast" that ends the run.
@@ -64,6 +66,7 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
     // Rank 0's post-search reporting (support values, bootstopping) is real
     // wall time; give it a phase so component breakdowns stay near-complete.
     obs::ScopedPhase phase("finalize");
+    obs::live_begin_stage("finalize");
     for (const auto& t : all_times) {
       RAXH_ASSERT(t.size() == 4);
       result.rank_times.push_back(StageTimes{t[0], t[1], t[2], t[3]});
@@ -98,6 +101,7 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
     }
   }
 
+  obs::live_end_run();
   Logger::instance().set_rank(-1);
   return result;
 }

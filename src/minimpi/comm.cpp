@@ -3,10 +3,27 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/hist.h"
 #include "obs/obs.h"
 #include "util/check.h"
 
 namespace raxh::mpi {
+
+namespace {
+
+// Feeds the collective-latency histogram: one sample per collective call,
+// measured from entry to completion (so it includes peer wait time — the
+// coarse-grained analogue of the crew barrier wait).
+struct ScopedCollectiveLatency {
+  bool armed = obs::enabled();
+  std::uint64_t start = armed ? obs::now_ns() : 0;
+  ~ScopedCollectiveLatency() {
+    if (armed)
+      obs::detail::hist_add(obs::Hist::kCollectiveNs, obs::now_ns() - start);
+  }
+};
+
+}  // namespace
 
 void Comm::send(int dest, int tag, const Bytes& payload) {
   current_op_->msgs_sent += 1;
@@ -56,6 +73,7 @@ std::string Comm::Stats::to_json() const {
 
 void Comm::barrier() {
   obs::Span span("mpi.barrier");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.barrier);
   const std::uint64_t wait_start = obs::now_ns();
   // Central coordinator: everyone checks in with rank 0, rank 0 releases.
@@ -72,6 +90,7 @@ void Comm::barrier() {
 
 void Comm::bcast(Bytes& data, int root) {
   obs::Span span("mpi.bcast");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.bcast);
   RAXH_EXPECTS(root >= 0 && root < size());
   if (rank() == root) {
@@ -90,6 +109,7 @@ void Comm::bcast_string(std::string& data, int root) {
 
 Comm::MaxLoc Comm::allreduce_maxloc(double value) {
   obs::Span span("mpi.allreduce");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   Packer p;
   p.put(value);
@@ -118,6 +138,7 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value) {
 
 double Comm::allreduce_sum(double value) {
   obs::Span span("mpi.allreduce");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   double total = value;
   if (rank() == 0) {
@@ -141,6 +162,7 @@ double Comm::allreduce_sum(double value) {
 
 double Comm::allreduce_max(double value) {
   obs::Span span("mpi.allreduce");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   double best = value;
   if (rank() == 0) {
@@ -164,6 +186,7 @@ double Comm::allreduce_max(double value) {
 
 long Comm::allreduce_sum_long(long value) {
   obs::Span span("mpi.allreduce");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   long total = value;
   if (rank() == 0) {
@@ -188,6 +211,7 @@ long Comm::allreduce_sum_long(long value) {
 std::vector<std::vector<double>> Comm::gather_doubles(
     const std::vector<double>& mine, int root) {
   obs::Span span("mpi.gather");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
   std::vector<std::vector<double>> out;
   if (rank() == root) {
@@ -210,6 +234,7 @@ std::vector<std::vector<double>> Comm::gather_doubles(
 std::vector<std::string> Comm::gather_strings(const std::string& mine,
                                               int root) {
   obs::Span span("mpi.gather");
+  ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
   std::vector<std::string> out;
   if (rank() == root) {

@@ -1,0 +1,184 @@
+#include "obs/hist.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace raxh::obs {
+
+namespace {
+
+// One per thread, padded so no two threads' buckets share a cache line.
+// Only the owner thread writes; snapshot readers use relaxed loads, so a
+// snapshot taken mid-run is approximate to within in-flight samples.
+struct alignas(64) HistBlock {
+  std::atomic<std::uint64_t> buckets[kNumHists][kHistBuckets] = {};
+  std::atomic<std::uint64_t> count[kNumHists] = {};
+  std::atomic<std::uint64_t> sum_ns[kNumHists] = {};
+  std::atomic<std::uint64_t> max_ns[kNumHists] = {};
+};
+
+struct HistRegistry {
+  std::mutex mutex;
+  // shared_ptr so a crew thread's samples outlive the thread (crews are torn
+  // down per analysis, but their latencies belong to the run).
+  std::vector<std::shared_ptr<HistBlock>> blocks;
+};
+
+HistRegistry& registry() {
+  static HistRegistry* r = new HistRegistry;  // leaked: static-teardown safe
+  return *r;
+}
+
+thread_local std::shared_ptr<HistBlock> t_block;
+
+HistBlock& thread_block() {
+  if (!t_block) {
+    auto fresh = std::make_shared<HistBlock>();
+    HistRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.blocks.push_back(fresh);
+    t_block = std::move(fresh);
+  }
+  return *t_block;
+}
+
+void clear_block(HistBlock& b) {
+  for (int h = 0; h < kNumHists; ++h) {
+    for (auto& bucket : b.buckets[h]) bucket.store(0, std::memory_order_relaxed);
+    b.count[h].store(0, std::memory_order_relaxed);
+    b.sum_ns[h].store(0, std::memory_order_relaxed);
+    b.max_ns[h].store(0, std::memory_order_relaxed);
+  }
+}
+
+// Owner-thread read-modify-write without a lock prefix (same idiom as the
+// counters in obs.cpp).
+void bump(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+void hist_add(Hist h, std::uint64_t ns) {
+  HistBlock& b = thread_block();
+  const int hi = static_cast<int>(h);
+  bump(b.buckets[hi][hist_bucket(ns)], 1);
+  bump(b.count[hi], 1);
+  bump(b.sum_ns[hi], ns);
+  if (ns > b.max_ns[hi].load(std::memory_order_relaxed))
+    b.max_ns[hi].store(ns, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void hist_record(Hist h, std::uint64_t ns) {
+  if (!enabled()) return;
+  detail::hist_add(h, ns);
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kCrewJobNs:
+      return "crew_job";
+    case Hist::kBarrierWaitNs:
+      return "barrier_wait";
+    case Hist::kCollectiveNs:
+      return "collective";
+    case Hist::kHistCount:
+      break;
+  }
+  return "unknown";
+}
+
+HistSnapshot hist_snapshot(Hist h) {
+  HistSnapshot snap;
+  const int hi = static_cast<int>(h);
+  HistRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& b : reg.blocks) {
+    for (int i = 0; i < kHistBuckets; ++i)
+      snap.buckets[i] += b->buckets[hi][i].load(std::memory_order_relaxed);
+    snap.count += b->count[hi].load(std::memory_order_relaxed);
+    snap.sum_ns += b->sum_ns[hi].load(std::memory_order_relaxed);
+    const std::uint64_t m = b->max_ns[hi].load(std::memory_order_relaxed);
+    if (m > snap.max_ns) snap.max_ns = m;
+  }
+  return snap;
+}
+
+std::uint64_t HistSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil so q=1 hits the last sample).
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t rank = target == 0 ? 1 : target;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      const std::uint64_t lo = hist_bucket_lower(b);
+      const std::uint64_t hi = hist_bucket_upper(b);
+      // Position of the target sample inside this bucket, interpolated
+      // linearly across the bucket's value range.
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[b]);
+      const std::uint64_t est =
+          lo + static_cast<std::uint64_t>(static_cast<double>(hi - lo) * frac);
+      // Interpolation can overshoot in the top bucket (whose upper bound is
+      // a power of two, not an observation); never report past the true max.
+      return std::min(est, max_ns);
+    }
+    seen += buckets[b];
+  }
+  return max_ns;
+}
+
+std::string hist_metrics_section() {
+  std::string out = "\"latency\":{";
+  char buf[256];
+  for (int h = 0; h < kNumHists; ++h) {
+    const HistSnapshot snap = hist_snapshot(static_cast<Hist>(h));
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\"%s\":{\"count\":%llu,\"mean_ns\":%.1f,\"max_ns\":%llu,"
+        "\"p50_ns\":%llu,\"p95_ns\":%llu,\"p99_ns\":%llu}",
+        h > 0 ? "," : "", hist_name(static_cast<Hist>(h)),
+        static_cast<unsigned long long>(snap.count), snap.mean_ns(),
+        static_cast<unsigned long long>(snap.max_ns),
+        static_cast<unsigned long long>(snap.quantile_ns(0.50)),
+        static_cast<unsigned long long>(snap.quantile_ns(0.95)),
+        static_cast<unsigned long long>(snap.quantile_ns(0.99)));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void hist_reset() {
+  HistRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& b : reg.blocks) clear_block(*b);
+}
+
+void hist_reset_for_fork() {
+  HistRegistry& reg = registry();
+  // The forked child is single-threaded; a mutex inherited mid-flight would
+  // be undefined to lock, so re-initialize it in place before clearing.
+  new (&reg.mutex) std::mutex;
+  for (auto& b : reg.blocks) clear_block(*b);
+}
+
+}  // namespace raxh::obs

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <new>
 
+#include "obs/hist.h"
+#include "obs/live.h"
 #include "obs/phase.h"
 
 namespace raxh::obs {
@@ -81,6 +83,8 @@ void atfork_child() {
   if (reg.phase_track) new (&reg.phase_track->trace_mutex) std::mutex;
   clear_all_locked(reg);
   run_phases_reset_for_fork();
+  hist_reset_for_fork();
+  live_reset_for_fork();
 }
 
 std::once_flag g_atfork_once;
@@ -124,6 +128,8 @@ void reset() {
   std::lock_guard<std::mutex> lock(reg.mutex);
   detail::clear_all_locked(reg);
   run_phases().clear();
+  hist_reset();
+  live_reset();
   set_rank(-1);
 }
 
@@ -329,7 +335,8 @@ std::string export_metrics_fragment(int my_rank,
     std::snprintf(buf, sizeof(buf), "\":%.6f", secs);
     out += buf;
   }
-  out += "}";
+  out += "},";
+  out += hist_metrics_section();
   if (!extra_sections.empty()) {
     out += ",";
     out += extra_sections;

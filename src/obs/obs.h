@@ -155,8 +155,9 @@ class Span {
 [[nodiscard]] std::string merge_trace_fragments(
     const std::vector<std::string>& fragments);
 
-// One rank's counters (+ optional pre-rendered extra sections, e.g. the comm
-// stats JSON from minimpi) as a JSON object.
+// One rank's counters, phase table, and latency histogram quantiles (see
+// hist.h) (+ optional pre-rendered extra sections, e.g. the comm stats JSON
+// from minimpi) as a JSON object.
 [[nodiscard]] std::string export_metrics_fragment(
     int rank, const std::string& extra_sections = "");
 

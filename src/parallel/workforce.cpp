@@ -1,10 +1,30 @@
 #include "parallel/workforce.h"
 
+#include "obs/hist.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/log.h"
 
 namespace raxh {
+
+namespace {
+
+// Times one crew-job execution: feeds both the trace (a "wf.job" span) and
+// the crew-job latency histogram from a single pair of clock samples.
+inline void timed_job(const std::function<void(int, int)>& job, int tid,
+                      int nthreads) {
+  if (!obs::enabled()) {
+    job(tid, nthreads);
+    return;
+  }
+  const std::uint64_t start = obs::now_ns();
+  job(tid, nthreads);
+  const std::uint64_t dur = obs::now_ns() - start;
+  obs::record_span("wf.job", start, dur);
+  obs::detail::hist_add(obs::Hist::kCrewJobNs, dur);
+}
+
+}  // namespace
 
 Stripe stripe(std::size_t total, int tid, int nthreads) {
   RAXH_EXPECTS(nthreads >= 1);
@@ -34,8 +54,7 @@ Workforce::~Workforce() {
 void Workforce::run(const std::function<void(int, int)>& job) {
   obs::count(obs::Counter::kWorkforceJobs);
   if (num_threads_ == 1) {
-    obs::Span span("wf.job");
-    job(0, 1);
+    timed_job(job, 0, 1);
     return;
   }
   {
@@ -46,21 +65,22 @@ void Workforce::run(const std::function<void(int, int)>& job) {
   }
   start_cv_.notify_all();
 
-  {
-    obs::Span span("wf.job");
-    job(0, num_threads_);  // master participates
-  }
+  timed_job(job, 0, num_threads_);  // master participates
 
   // The master's wait for the crew is the fine-grained barrier of the
-  // master/worker scheme; attribute it so thread-efficiency analyses
-  // (Figs. 5-6) can separate imbalance from kernel work.
+  // master/worker scheme; attribute it (count + latency histogram) so
+  // thread-efficiency analyses (Figs. 5-6) can separate imbalance from
+  // kernel work.
   const bool timed = obs::enabled();
   const std::uint64_t wait_start = timed ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return running_ == 0; });
   job_ = nullptr;
-  if (timed)
-    obs::count(obs::Counter::kBarrierWaitNs, obs::now_ns() - wait_start);
+  if (timed) {
+    const std::uint64_t waited = obs::now_ns() - wait_start;
+    obs::count(obs::Counter::kBarrierWaitNs, waited);
+    obs::detail::hist_add(obs::Hist::kBarrierWaitNs, waited);
+  }
 }
 
 void Workforce::worker_loop(int tid) {
@@ -77,10 +97,7 @@ void Workforce::worker_loop(int tid) {
       seen_generation = generation_;
       job = job_;
     }
-    {
-      obs::Span span("wf.job");
-      (*job)(tid, num_threads_);
-    }
+    timed_job(*job, tid, num_threads_);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--running_ == 0) done_cv_.notify_one();
