@@ -35,6 +35,17 @@
 //   --straggler-factor=X  flag a rank when its progress rate lags the
 //                         median by more than X (default 2.0)
 //
+// Fault tolerance (-f a only):
+//   --fault-tolerant      survive rank death: rank 0 detects dead peers and
+//                         re-grants their logical work shares to survivors;
+//                         the result is bit-identical to a fault-free run
+//   --checkpoint-dir=DIR  persist per-logical-rank bootstrap checkpoints to
+//                         DIR and resume from them (restart or re-grant)
+//   --fault-plan=SPEC     deterministic fault injection for testing, e.g.
+//                         "die@1,7;torn@2,12;delay@0,3,15" (kind@rank,op[,ms];
+//                         also read from RAXH_FAULT_PLAN). Implies
+//                         --fault-tolerant.
+//
 // Telemetry output paths are validated (and directories created) at startup
 // so a long run cannot silently lose its telemetry at the end.
 //
@@ -55,6 +66,7 @@
 #include "core/evaluate_mode.h"
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
+#include "minimpi/fault.h"
 #include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
@@ -74,6 +86,8 @@ void usage(const char* prog) {
       "          [--trace-out=FILE] [--metrics-out=FILE] "
       "[--report-components]\n"
       "          [--heartbeat-out=DIR] [--straggler-factor=X]\n"
+      "          [--fault-tolerant] [--checkpoint-dir=DIR] "
+      "[--fault-plan=SPEC]\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
       prog);
@@ -214,12 +228,46 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
   options.analysis.num_threads = static_cast<int>(cli.int_or("T", 1));
   options.compute_support = true;
   options.run_bootstopping = true;
+  options.analysis.checkpoint_dir = cli.value_or("-checkpoint-dir", "");
+  options.fault_tolerant = cli.has("-fault-tolerant");
   const int ranks = static_cast<int>(cli.int_or("np", 1));
   const std::string name = cli.value_or("n", "raxh");
 
+  // Fault injection (testing): --fault-plan wins over RAXH_FAULT_PLAN. A
+  // plan without recovery would just crash the job, so a plan implies
+  // --fault-tolerant.
+  std::string plan_spec = cli.value_or("-fault-plan", "");
+  if (plan_spec.empty())
+    if (const char* env = std::getenv("RAXH_FAULT_PLAN")) plan_spec = env;
+  mpi::FaultPlan plan;
+  if (!plan_spec.empty()) {
+    try {
+      plan = mpi::FaultPlan::parse(plan_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad fault plan: %s\n", e.what());
+      return 1;
+    }
+    options.fault_tolerant = true;
+    std::printf("fault plan active: %s\n", plan.to_spec().c_str());
+  }
+  if (!options.analysis.checkpoint_dir.empty() &&
+      !dir_accepts_files(options.analysis.checkpoint_dir)) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-dir=%s: cannot create or write the "
+                 "checkpoint directory\n",
+                 options.analysis.checkpoint_dir.c_str());
+    return 1;
+  }
+
   const ObsOptions obs_opts = obs_from_cli(cli);
   WallTimer wall;
-  mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
+  mpi::run_process_ranks(ranks, [&](mpi::Comm& inner_comm) {
+    // With a fault plan, every rank talks through the injecting decorator;
+    // its op counter drives the plan deterministically on both backends.
+    std::unique_ptr<mpi::FaultyComm> faulty;
+    if (!plan.empty())
+      faulty = std::make_unique<mpi::FaultyComm>(inner_comm, plan);
+    mpi::Comm& comm = faulty ? *faulty : inner_comm;
     // Live telemetry threads must be born after the fork (forked ranks share
     // no address space, and threads do not survive fork): one heartbeat
     // writer per rank, plus the tailing aggregator on rank 0.
@@ -241,6 +289,15 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
     if (heartbeat) heartbeat->stop();
     if (aggregator) aggregator->stop();
     if (comm.rank() == 0) {
+      if (!result.failed_ranks.empty()) {
+        std::printf("survived %zu rank failure(s):",
+                    result.failed_ranks.size());
+        for (const int r : result.failed_ranks) std::printf(" %d", r);
+        std::printf(" (work re-granted; result identical to fault-free)\n");
+      }
+      if (result.resumed_replicates > 0)
+        std::printf("resumed %d bootstrap replicate(s) from checkpoints\n",
+                    result.resumed_replicates);
       std::printf("winner: rank %d, final GAMMA lnL %.6f\n",
                   result.winner_rank, result.best_lnl);
       std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
@@ -254,7 +311,14 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
                     result.bootstop.converged ? "converged" : "not converged",
                     result.bootstop.mean_correlation);
     }
-    finalize_obs(comm, obs_opts);
+    // The telemetry merge is built on full collectives; with dead ranks in
+    // the communicator it cannot complete, so skip it rather than hang.
+    // `failed_ranks` came from the FINISH message, so live ranks agree.
+    if (result.failed_ranks.empty()) {
+      finalize_obs(comm, obs_opts);
+    } else if (comm.rank() == 0 && obs_opts.any()) {
+      std::printf("skipping telemetry merge (rank failures occurred)\n");
+    }
   });
   std::printf("wall time: %.2f s\n", wall.seconds());
   return 0;

@@ -158,8 +158,8 @@ AdaptiveBootstrapResult run_adaptive_bootstrap(
     // rebuilds each rank's local BipartitionTable, merges them, and runs the
     // FC convergence test over the merged replicate set.
     std::string blob;
-    for (const auto& nwk : snapshot.replicate_newicks) {
-      blob += nwk;
+    for (const auto& raw : snapshot.replicate_trees) {
+      blob += Tree::import_raw(raw).to_newick(patterns.names());
       blob += '\n';
     }
     const auto gathered = comm.gather_strings(blob, 0);

@@ -26,4 +26,9 @@ std::optional<BootstrapSnapshot> load_bootstrap_checkpoint(
 // saves to `path` after every replicate.
 std::function<void(const BootstrapSnapshot&)> checkpoint_to(std::string path);
 
+// The per-logical-rank checkpoint file inside a checkpoint directory. Keyed
+// by *logical* rank so a survivor re-granted a dead rank's bootstraps finds
+// (and resumes) the dead rank's snapshot.
+std::string rank_checkpoint_path(const std::string& dir, int rank);
+
 }  // namespace raxh

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "likelihood/engine.h"
 #include "obs/live.h"
 #include "obs/obs.h"
@@ -37,8 +38,13 @@ RankReport run_comprehensive_rank(
     const PatternAlignment& patterns, const ComprehensiveOptions& options,
     int rank, int nranks, Workforce* crew,
     const std::function<void()>& after_bootstraps,
-    const std::function<bool(double)>& select_thorough) {
+    const std::function<bool(double)>& select_thorough,
+    const std::function<void()>& on_unit) {
   RAXH_EXPECTS(rank >= 0 && rank < nranks);
+  const auto unit_done = [&on_unit] {
+    obs::live_unit_done();
+    if (on_unit) on_unit();
+  };
 
   RankReport report;
   report.rank = rank;
@@ -80,11 +86,31 @@ RankReport run_comprehensive_rank(
     RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
                                 seeds.parsimony_seed);
     // The resumable path's per-replicate callback doubles as the live
-    // progress tick (bit-identical to run() otherwise).
+    // progress tick and checkpoint persist (bit-identical to run()
+    // otherwise). Checkpoints are keyed by the *logical* rank, so a
+    // re-granted share resumes the dead rank's own snapshot.
     BootstrapSnapshot progress_snapshot;
+    std::string checkpoint_path;
+    if (!options.checkpoint_dir.empty()) {
+      checkpoint_path = rank_checkpoint_path(options.checkpoint_dir, rank);
+      if (auto loaded = load_bootstrap_checkpoint(checkpoint_path)) {
+        // A snapshot from a finished or over-granted previous run replays
+        // only up to this run's grant.
+        if (loaded->next_replicate <= report.counts.bootstraps)
+          progress_snapshot = std::move(*loaded);
+      }
+      report.resumed_replicates = progress_snapshot.next_replicate;
+      if (report.resumed_replicates > 0)
+        log_info("rank %d resuming bootstraps from checkpoint (%d/%d done)",
+                 rank, report.resumed_replicates, report.counts.bootstraps);
+    }
     replicates = bootstrapper.run_resumable(
         report.counts.bootstraps, progress_snapshot,
-        [](const BootstrapSnapshot&) { obs::live_unit_done(); });
+        [&](const BootstrapSnapshot& snapshot) {
+          if (!checkpoint_path.empty())
+            save_bootstrap_checkpoint(checkpoint_path, snapshot);
+          unit_done();
+        });
   }
   for (const auto& rep : replicates)
     report.bootstrap_newicks.push_back(rep.tree.to_newick(patterns.names()));
@@ -118,7 +144,7 @@ RankReport run_comprehensive_rank(
       SprSearch search(cat_engine, options.fast);
       const double lnl = search.run(tree);
       fast_results.push_back(ScoredTree{std::move(tree), lnl});
-      obs::live_unit_done();
+      unit_done();
       obs::live_report_lnl(lnl);
     }
   }
@@ -138,7 +164,7 @@ RankReport run_comprehensive_rank(
       SprSearch search(cat_engine, options.slow);
       const double lnl = search.run(tree);
       slow_results.push_back(ScoredTree{std::move(tree), lnl});
-      obs::live_unit_done();
+      unit_done();
       obs::live_report_lnl(lnl);
     }
   }
@@ -186,7 +212,7 @@ RankReport run_comprehensive_rank(
         report.best_tree_newick = fallback.to_newick(patterns.names());
       }
     }
-    obs::live_unit_done();
+    unit_done();
     // Heartbeats track the search-criterion (CAT) score; the final GAMMA
     // evaluation lives on a different scale and is reported via the normal
     // program output instead.

@@ -28,6 +28,11 @@ struct ComprehensiveOptions {
   std::int64_t bootstrap_seed = 12345;  // -x
   int num_threads = 1;               // fine-grained crew size (-T)
   double initial_alpha = 0.5;        // GAMMA shape for the final evaluation
+  // When non-empty, each logical rank persists its bootstrap progress to
+  // <dir>/rank<r>.ckpt after every replicate and resumes from it on the next
+  // run — bit-identically, so a restarted (or re-granted) share produces the
+  // same replicates an uninterrupted run would have.
+  std::string checkpoint_dir;
   // Search intensity knobs (tests shrink these for speed).
   SearchSettings fast = fast_settings();
   SearchSettings slow = slow_settings();
@@ -53,6 +58,7 @@ struct RankReport {
   double cat_lnl = 0.0;               // CAT lnL at the end of the search
   StageTimes times;
   std::vector<std::string> bootstrap_newicks;  // this rank's replicates
+  int resumed_replicates = 0;         // replicates restored from a checkpoint
 };
 
 // Run rank `rank` of `nranks`. `after_bootstraps` fires between stages 1 and
@@ -65,10 +71,16 @@ struct RankReport {
 // wires it to an allreduce so only the globally best rank searches (the
 // serial-equivalent policy). A rank that skips stage 4 reports its best slow
 // tree, GAMMA-evaluated.
+//
+// `on_unit` fires after every completed work unit (each bootstrap replicate
+// and each fast/slow/thorough search). The fault-tolerant driver wires it to
+// Comm::fault_tick so seeded fault plans can strike mid-stage; it must not
+// affect the computation.
 RankReport run_comprehensive_rank(
     const PatternAlignment& patterns, const ComprehensiveOptions& options,
     int rank, int nranks, Workforce* crew,
     const std::function<void()>& after_bootstraps = {},
-    const std::function<bool(double)>& select_thorough = {});
+    const std::function<bool(double)>& select_thorough = {},
+    const std::function<void()>& on_unit = {});
 
 }  // namespace raxh

@@ -1,5 +1,7 @@
 #include "core/hybrid.h"
 
+#include <optional>
+
 #include "likelihood/engine.h"
 #include "obs/live.h"
 #include "obs/obs.h"
@@ -10,21 +12,100 @@
 
 namespace raxh {
 
-HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
-                                      const PatternAlignment& patterns,
-                                      const HybridOptions& options) {
+namespace {
+
+// Fault-tolerant protocol tags, outside user space and the collectives'
+// 1000000+ range. The protocol is a star around rank 0 (the job controller):
+//  * barrier  — worker sends "arrived", root answers "go" (replaces the
+//    paper's post-bootstrap MPI_Barrier);
+//  * report   — worker ships its packed RankReport to root;
+//  * control  — root sends REGRANT <logical rank> or FINISH <winner + meta>
+//    (the latter replaces the final MPI_Bcast).
+constexpr int kFtBarrierTag = 900001;
+constexpr int kFtReportTag = 900002;
+constexpr int kFtControlTag = 900003;
+
+constexpr std::uint8_t kCtrlRegrant = 1;
+constexpr std::uint8_t kCtrlFinish = 2;
+
+mpi::Bytes pack_report(const RankReport& r) {
+  mpi::Packer p;
+  p.put<std::int32_t>(r.rank);
+  p.put_string(r.best_tree_newick);
+  p.put(r.best_lnl);
+  p.put(r.cat_lnl);
+  p.put_doubles(
+      {r.times.bootstrap, r.times.fast, r.times.slow, r.times.thorough});
+  p.put<std::int32_t>(r.resumed_replicates);
+  p.put<std::uint64_t>(r.bootstrap_newicks.size());
+  for (const auto& nwk : r.bootstrap_newicks) p.put_string(nwk);
+  return p.take();
+}
+
+RankReport unpack_report(const mpi::Bytes& bytes) {
+  mpi::Unpacker u(bytes);
+  RankReport r;
+  r.rank = u.get<std::int32_t>();
+  r.best_tree_newick = u.get_string();
+  r.best_lnl = u.get<double>();
+  r.cat_lnl = u.get<double>();
+  const std::vector<double> t = u.get_doubles();
+  RAXH_ASSERT(t.size() == 4);
+  r.times = StageTimes{t[0], t[1], t[2], t[3]};
+  r.resumed_replicates = u.get<std::int32_t>();
+  const auto nboots = u.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nboots; ++i)
+    r.bootstrap_newicks.push_back(u.get_string());
+  return r;
+}
+
+// Rank 0's post-search reporting (support values, bootstopping) — real wall
+// time, so it gets its own phase in the component breakdown. `blobs` holds
+// newline-joined replicate newicks, one entry per logical rank.
+void finalize_on_root(const PatternAlignment& patterns,
+                      const HybridOptions& options,
+                      const std::vector<std::string>& blobs,
+                      HybridResult& result) {
+  obs::ScopedPhase phase("finalize");
+  obs::live_begin_stage("finalize");
+
+  std::vector<Tree> replicate_trees;
+  for (const auto& blob : blobs) {
+    std::size_t pos = 0;
+    while (pos < blob.size()) {
+      const std::size_t end = blob.find('\n', pos);
+      const std::string line = blob.substr(pos, end - pos);
+      if (!line.empty())
+        replicate_trees.push_back(Tree::parse_newick(line, patterns.names()));
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+  }
+  result.total_bootstrap_trees = static_cast<int>(replicate_trees.size());
+
+  if (options.compute_support && !replicate_trees.empty()) {
+    BipartitionTable table;
+    for (const auto& t : replicate_trees) table.add_tree(t);
+    const Tree best_tree =
+        Tree::parse_newick(result.best_tree_newick, patterns.names());
+    result.support_tree_newick =
+        annotate_support(best_tree, patterns.names(), table);
+  }
+  if (options.run_bootstopping && replicate_trees.size() >= 2) {
+    result.bootstop = frequency_criterion(replicate_trees);
+  }
+}
+
+// The paper's communication pattern, verbatim: Barrier after the bootstraps,
+// MAXLOC + Bcast of the winner at the end, report-only gathers. Any rank
+// death hangs or aborts — that is the pre-fault-tolerance contract.
+HybridResult run_plain(mpi::Comm& comm, const PatternAlignment& patterns,
+                       const HybridOptions& options, Workforce* crew) {
   const int rank = comm.rank();
   const int nranks = comm.size();
-  Logger::instance().set_rank(nranks > 1 ? rank : -1);
-  obs::set_rank(rank);
 
-  Workforce crew(options.analysis.num_threads);
-  Workforce* crew_ptr =
-      options.analysis.num_threads > 1 ? &crew : nullptr;
-
-  // The paper's mid-run synchronization: MPI_Barrier after the bootstraps.
   RankReport report = run_comprehensive_rank(
-      patterns, options.analysis, rank, nranks, crew_ptr,
+      patterns, options.analysis, rank, nranks, crew,
       [&comm] { comm.barrier(); });
 
   HybridResult result;
@@ -63,43 +144,240 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
   }
 
   if (rank == 0) {
-    // Rank 0's post-search reporting (support values, bootstopping) is real
-    // wall time; give it a phase so component breakdowns stay near-complete.
-    obs::ScopedPhase phase("finalize");
-    obs::live_begin_stage("finalize");
     for (const auto& t : all_times) {
       RAXH_ASSERT(t.size() == 4);
       result.rank_times.push_back(StageTimes{t[0], t[1], t[2], t[3]});
     }
     for (const auto& l : all_lnls) result.rank_lnls.push_back(l.at(0));
+    finalize_on_root(patterns, options, all_bootstraps, result);
+  }
+  return result;
+}
 
-    // Parse every rank's replicates; fill the bipartition table.
-    std::vector<Tree> replicate_trees;
-    for (const auto& blob : all_bootstraps) {
-      std::size_t pos = 0;
-      while (pos < blob.size()) {
-        const std::size_t end = blob.find('\n', pos);
-        const std::string line = blob.substr(pos, end - pos);
-        if (!line.empty())
-          replicate_trees.push_back(Tree::parse_newick(line, patterns.names()));
-        if (end == std::string::npos) break;
-        pos = end + 1;
+// The fault-tolerant driver. Same work, star-shaped communication: rank 0
+// plays job controller, detects dead peers through RankFailed, and re-grants
+// their unfinished *logical* shares round-robin to survivors (or runs them
+// itself when no worker is left). Logical share k always runs with seeds
+// derived from k — never from the physical rank executing it — so the final
+// tree and lnL are bit-identical to a fault-free run.
+HybridResult run_fault_tolerant(mpi::Comm& comm,
+                                const PatternAlignment& patterns,
+                                const HybridOptions& options, Workforce* crew) {
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  const auto tick = [&comm] { comm.fault_tick(); };
+
+  if (rank != 0) {
+    // Worker: run the original share (with the FT barrier in the paper's
+    // barrier slot), then serve REGRANT orders until FINISH arrives. A
+    // re-granted share skips the barrier — that synchronization point is
+    // already globally past.
+    const auto run_share = [&](int logical, bool with_barrier) {
+      std::function<void()> barrier;
+      if (with_barrier)
+        barrier = [&comm] {
+          comm.send(0, kFtBarrierTag, {});
+          comm.recv(0, kFtBarrierTag);
+        };
+      const RankReport rep =
+          run_comprehensive_rank(patterns, options.analysis, logical, nranks,
+                                 crew, barrier, {}, tick);
+      comm.send(0, kFtReportTag, pack_report(rep));
+    };
+    run_share(rank, /*with_barrier=*/true);
+
+    HybridResult result;
+    for (;;) {
+      const mpi::Bytes msg = comm.recv(0, kFtControlTag);
+      mpi::Unpacker u(msg);
+      const auto op = u.get<std::uint8_t>();
+      if (op == kCtrlRegrant) {
+        const int logical = u.get<std::int32_t>();
+        log_info("rank %d re-granted logical share %d", rank, logical);
+        run_share(logical, /*with_barrier=*/false);
+        continue;
       }
-    }
-    result.total_bootstrap_trees = static_cast<int>(replicate_trees.size());
-
-    if (options.compute_support && !replicate_trees.empty()) {
-      BipartitionTable table;
-      for (const auto& t : replicate_trees) table.add_tree(t);
-      const Tree best_tree =
-          Tree::parse_newick(result.best_tree_newick, patterns.names());
-      result.support_tree_newick =
-          annotate_support(best_tree, patterns.names(), table);
-    }
-    if (options.run_bootstopping && replicate_trees.size() >= 2) {
-      result.bootstop = frequency_criterion(replicate_trees);
+      RAXH_ASSERT(op == kCtrlFinish);
+      result.best_tree_newick = u.get_string();
+      result.best_lnl = u.get<double>();
+      result.winner_rank = u.get<std::int32_t>();
+      const auto nfailed = u.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < nfailed; ++i)
+        result.failed_ranks.push_back(u.get<std::int32_t>());
+      result.resumed_replicates = u.get<std::int32_t>();
+      return result;
     }
   }
+
+  // --- Rank 0: controller + its own logical share 0 ---
+  std::vector<bool> dead(nranks, false);
+  const auto mark_dead = [&](int w, const char* where) {
+    if (dead[w]) return;
+    dead[w] = true;
+    obs::count(obs::Counter::kRankFailures);
+    log_warn("rank %d failed (detected at %s); its work will be re-granted",
+             w, where);
+  };
+
+  // Reports keyed by *logical* rank; a missing entry is an unfinished share.
+  std::vector<std::optional<RankReport>> reports(nranks);
+  const auto try_recv_report = [&](int w) {
+    try {
+      RankReport rep = unpack_report(comm.recv(w, kFtReportTag));
+      RAXH_ASSERT(rep.rank >= 0 && rep.rank < nranks);
+      reports[rep.rank] = std::move(rep);
+    } catch (const mpi::RankFailed&) {
+      mark_dead(w, "report collection");
+    }
+  };
+
+  RankReport own = run_comprehensive_rank(
+      patterns, options.analysis, 0, nranks, crew,
+      [&] {
+        // The FT barrier: collect an arrival from every worker still
+        // believed live (a failed recv marks the worker dead — its share is
+        // re-granted later), then release the survivors.
+        for (int w = 1; w < nranks; ++w) {
+          if (dead[w]) continue;
+          try {
+            comm.recv(w, kFtBarrierTag);
+          } catch (const mpi::RankFailed&) {
+            mark_dead(w, "barrier");
+          }
+        }
+        for (int w = 1; w < nranks; ++w) {
+          if (dead[w]) continue;
+          try {
+            comm.send(w, kFtBarrierTag, {});
+          } catch (const mpi::RankFailed&) {
+            mark_dead(w, "barrier release");
+          }
+        }
+      },
+      {}, tick);
+  reports[0] = std::move(own);
+
+  HybridResult result;
+  {
+    obs::ScopedPhase phase("sync");
+    obs::live_begin_stage("sync");
+
+    // First round of reports from every worker that survived the barrier.
+    for (int w = 1; w < nranks; ++w)
+      if (!dead[w]) try_recv_report(w);
+
+    // Re-grant loop: hand each unfinished logical share to the next live
+    // worker, round-robin, until every share has reported. A worker that
+    // dies mid-regrant just sends the share back into the pool. With no
+    // workers left the controller runs the share itself — the run degrades
+    // to serial rather than failing.
+    const auto next_pending = [&] {
+      for (int k = 0; k < nranks; ++k)
+        if (!reports[k]) return k;
+      return -1;
+    };
+    int cursor = 1;
+    for (int k = next_pending(); k != -1; k = next_pending()) {
+      int w = -1;
+      for (int i = 0; i < nranks - 1; ++i) {
+        const int cand = 1 + (cursor - 1 + i) % (nranks - 1);
+        if (!dead[cand]) {
+          w = cand;
+          break;
+        }
+      }
+      obs::count(obs::Counter::kUnitsRegranted);
+      if (w == -1) {
+        log_warn("no surviving workers; controller re-running share %d", k);
+        reports[k] = run_comprehensive_rank(patterns, options.analysis, k,
+                                            nranks, crew, {}, {}, tick);
+        continue;
+      }
+      cursor = 1 + w % (nranks - 1);
+      log_info("re-granting logical share %d to rank %d", k, w);
+      mpi::Packer order;
+      order.put<std::uint8_t>(kCtrlRegrant);
+      order.put<std::int32_t>(k);
+      try {
+        comm.send(w, kFtControlTag, order.take());
+      } catch (const mpi::RankFailed&) {
+        mark_dead(w, "regrant order");
+        continue;
+      }
+      try_recv_report(w);  // a failure leaves the share pending; loop retries
+    }
+
+    // Deterministic winner selection over logical shares — the same strict
+    // max / lowest-rank-wins scan allreduce_maxloc performs, so the
+    // fault-tolerant path picks the identical winner.
+    int winner = 0;
+    for (int k = 1; k < nranks; ++k)
+      if (reports[k]->best_lnl > reports[winner]->best_lnl) winner = k;
+    result.best_lnl = reports[winner]->best_lnl;
+    result.winner_rank = winner;
+    result.best_tree_newick = reports[winner]->best_tree_newick;
+    for (int w = 1; w < nranks; ++w)
+      if (dead[w]) result.failed_ranks.push_back(w);
+    for (int k = 0; k < nranks; ++k)
+      result.resumed_replicates += reports[k]->resumed_replicates;
+
+    // FINISH to the survivors (the Bcast's replacement). A send can still
+    // hit a rank that died after its last report; that only shrinks the
+    // audience.
+    mpi::Packer fin;
+    fin.put<std::uint8_t>(kCtrlFinish);
+    fin.put_string(result.best_tree_newick);
+    fin.put(result.best_lnl);
+    fin.put<std::int32_t>(result.winner_rank);
+    fin.put<std::uint64_t>(result.failed_ranks.size());
+    for (const int f : result.failed_ranks) fin.put<std::int32_t>(f);
+    fin.put<std::int32_t>(result.resumed_replicates);
+    const mpi::Bytes fin_bytes = fin.take();
+    for (int w = 1; w < nranks; ++w) {
+      if (dead[w]) continue;
+      try {
+        comm.send(w, kFtControlTag, fin_bytes);
+      } catch (const mpi::RankFailed&) {
+        mark_dead(w, "finish broadcast");
+      }
+    }
+  }
+
+  // Rank 0 holds every share's report, so the report-only data needs no
+  // gathers: assemble it locally, in logical-rank order.
+  std::vector<std::string> blobs;
+  for (int k = 0; k < nranks; ++k) {
+    result.rank_times.push_back(reports[k]->times);
+    result.rank_lnls.push_back(reports[k]->best_lnl);
+    std::string blob;
+    for (const auto& nwk : reports[k]->bootstrap_newicks) {
+      blob += nwk;
+      blob += '\n';
+    }
+    blobs.push_back(std::move(blob));
+  }
+  finalize_on_root(patterns, options, blobs, result);
+  return result;
+}
+
+}  // namespace
+
+HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
+                                      const PatternAlignment& patterns,
+                                      const HybridOptions& options) {
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  Logger::instance().set_rank(nranks > 1 ? rank : -1);
+  obs::set_rank(rank);
+
+  Workforce crew(options.analysis.num_threads);
+  Workforce* crew_ptr =
+      options.analysis.num_threads > 1 ? &crew : nullptr;
+
+  HybridResult result =
+      options.fault_tolerant
+          ? run_fault_tolerant(comm, patterns, options, crew_ptr)
+          : run_plain(comm, patterns, options, crew_ptr);
 
   obs::live_end_run();
   Logger::instance().set_rank(-1);

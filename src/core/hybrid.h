@@ -15,10 +15,17 @@
 namespace raxh {
 
 struct HybridResult {
-  // Valid on every rank (Bcast):
+  // Valid on every rank (Bcast, or the FINISH message in fault-tolerant
+  // mode):
   std::string best_tree_newick;
   double best_lnl = 0.0;
-  int winner_rank = 0;
+  int winner_rank = 0;  // logical rank whose share produced the best tree
+
+  // Fault-tolerant mode only: physical ranks that died during the run (as
+  // known when the run finished) and the total number of bootstrap
+  // replicates restored from checkpoints rather than recomputed.
+  std::vector<int> failed_ranks;
+  int resumed_replicates = 0;
 
   // Valid on rank 0 only (Gather; report-only data, not part of the paper's
   // minimal communication pattern):
@@ -33,6 +40,13 @@ struct HybridOptions {
   ComprehensiveOptions analysis;
   bool compute_support = true;   // build the BS-annotated best tree on rank 0
   bool run_bootstopping = false;  // run the FC convergence test on rank 0
+  // Survive rank death: rank 0 coordinates a star-shaped protocol instead of
+  // the bare collectives, detects dead peers via RankFailed, and re-grants
+  // their unfinished logical shares to survivors. Because a share's results
+  // depend only on its *logical* rank (seed + 10000*r), a re-granted share
+  // reproduces the dead rank's results bit-identically, so the final tree
+  // and lnL equal the fault-free run's.
+  bool fault_tolerant = false;
 };
 
 // Collective: every rank of `comm` must call. Each rank creates its own

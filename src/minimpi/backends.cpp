@@ -1,10 +1,19 @@
 // The two Comm backends: in-process threads (testing) and forked processes
 // over a socketpair mesh (deployment).
+//
+// Both backends share one failure model: a rank that stops participating —
+// normal completion, injected death (RankDeath), or a real crash — becomes
+// observable to its peers as RankFailed on the next op touching it, after
+// any messages it sent before dying have been drained (TCP-like semantics).
+// The process backend gets this from EOF/EPIPE on the socket mesh; the
+// thread backend replicates it with a per-rank dead flag in the hub.
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +35,7 @@ namespace {
 struct Message {
   int tag;
   Bytes payload;
+  bool torn = false;  // fault injection: sender crashed mid-write
 };
 
 // One FIFO channel per ordered (src, dst) pair.
@@ -36,13 +46,39 @@ struct Channel {
 };
 
 struct ThreadHub {
-  explicit ThreadHub(int n) : nranks(n), channels(static_cast<std::size_t>(n) * n) {}
+  explicit ThreadHub(int n)
+      : nranks(n),
+        channels(static_cast<std::size_t>(n) * n),
+        dead(std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(n))) {
+    for (int r = 0; r < n; ++r) dead[static_cast<std::size_t>(r)] = false;
+  }
   int nranks;
   std::vector<std::unique_ptr<Channel>> channels;  // [src * n + dst]
+  std::unique_ptr<std::atomic<bool>[]> dead;       // rank exited (any reason)
 
   Channel& channel(int src, int dst) {
     auto& slot = channels[static_cast<std::size_t>(src) * nranks + dst];
     return *slot;
+  }
+
+  [[nodiscard]] bool is_dead(int r) const {
+    return dead[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  }
+
+  // The thread-backend analogue of a process closing its sockets: flag the
+  // rank and wake every receiver blocked on one of its channels.
+  void mark_dead(int r) {
+    dead[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
+    for (int dst = 0; dst < nranks; ++dst) {
+      if (dst == r) continue;
+      Channel& ch = channel(r, dst);
+      {
+        // Pairs with the receiver's predicate check under the same mutex so
+        // the wakeup cannot be missed.
+        std::lock_guard<std::mutex> lock(ch.mutex);
+      }
+      ch.cv.notify_all();
+    }
   }
 };
 
@@ -54,22 +90,30 @@ class ThreadComm final : public Comm {
   [[nodiscard]] int size() const override { return hub_->nranks; }
 
   void do_send(int dest, int tag, const Bytes& payload) override {
-    RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
-    Channel& ch = hub_->channel(rank_, dest);
-    {
-      std::lock_guard<std::mutex> lock(ch.mutex);
-      ch.queue.push_back(Message{tag, payload});
-    }
-    ch.cv.notify_one();
+    do_send_impl(dest, tag, payload, false, payload.size());
+  }
+
+  void raw_send_torn(int dest, int tag, const Bytes& payload,
+                     std::size_t keep_bytes) override {
+    do_send_impl(dest, tag, payload, true, keep_bytes);
   }
 
   Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     Channel& ch = hub_->channel(src, rank_);
     std::unique_lock<std::mutex> lock(ch.mutex);
-    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    ch.cv.wait(lock,
+               [&] { return !ch.queue.empty() || hub_->is_dead(src); });
+    // Messages queued before the peer died stay deliverable (the process
+    // backend likewise reads buffered data before hitting EOF).
+    if (ch.queue.empty())
+      throw RankFailed(src, "minimpi: rank " + std::to_string(src) +
+                                " died (channel closed)");
     Message m = std::move(ch.queue.front());
     ch.queue.pop_front();
+    if (m.torn)
+      throw RankFailed(src, "minimpi: rank " + std::to_string(src) +
+                                " died mid-send (torn payload)");
     // Deterministic protocols receive in send order; a tag mismatch is a
     // protocol bug, not a runtime condition.
     RAXH_ASSERT(m.tag == tag);
@@ -77,17 +121,39 @@ class ThreadComm final : public Comm {
   }
 
  private:
+  void do_send_impl(int dest, int tag, const Bytes& payload, bool torn,
+                    std::size_t keep_bytes) {
+    RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
+    if (hub_->is_dead(dest))
+      throw RankFailed(dest, "minimpi: send to dead rank " +
+                                 std::to_string(dest));
+    Channel& ch = hub_->channel(rank_, dest);
+    {
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      Message m{tag, payload, torn};
+      if (torn) m.payload.resize(std::min(keep_bytes, m.payload.size()));
+      ch.queue.push_back(std::move(m));
+    }
+    ch.cv.notify_one();
+  }
+
   ThreadHub* hub_;
   int rank_;
 };
 
 // ---------- process backend ----------
 
-void write_all(int fd, const void* data, std::size_t n) {
+// write/read results that mean "the peer is gone" rather than "I/O is
+// broken": EPIPE/ECONNRESET on write, EOF or ECONNRESET on read.
+void write_all(int fd, int peer, const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
     const ssize_t w = ::write(fd, p, n);
     if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw RankFailed(peer, "minimpi: rank " + std::to_string(peer) +
+                                   " died (EPIPE on send)");
       std::perror("minimpi write");
       std::abort();
     }
@@ -96,12 +162,19 @@ void write_all(int fd, const void* data, std::size_t n) {
   }
 }
 
-void read_all(int fd, void* data, std::size_t n) {
+void read_all(int fd, int peer, void* data, std::size_t n) {
   auto* p = static_cast<std::uint8_t*>(data);
   while (n > 0) {
     const ssize_t r = ::read(fd, p, n);
-    if (r <= 0) {
-      std::perror("minimpi read (peer gone?)");
+    if (r == 0)
+      throw RankFailed(peer, "minimpi: rank " + std::to_string(peer) +
+                                 " died (EOF on mesh socket)");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET)
+        throw RankFailed(peer, "minimpi: rank " + std::to_string(peer) +
+                                   " died (connection reset)");
+      std::perror("minimpi read");
       std::abort();
     }
     p += r;
@@ -130,18 +203,34 @@ class ProcessComm final : public Comm {
     const int fd = fds_[static_cast<std::size_t>(dest)];
     std::uint64_t header[2] = {static_cast<std::uint64_t>(tag),
                                payload.size()};
-    write_all(fd, header, sizeof(header));
-    if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+    write_all(fd, dest, header, sizeof(header));
+    if (!payload.empty())
+      write_all(fd, dest, payload.data(), payload.size());
+  }
+
+  // Advertise the full length but stop writing partway: once this rank
+  // exits, the receiver's read_all hits EOF mid-payload — exactly what a
+  // crash between two writes looks like on a real mesh.
+  void raw_send_torn(int dest, int tag, const Bytes& payload,
+                     std::size_t keep_bytes) override {
+    RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
+    const int fd = fds_[static_cast<std::size_t>(dest)];
+    std::uint64_t header[2] = {static_cast<std::uint64_t>(tag),
+                               payload.size()};
+    write_all(fd, dest, header, sizeof(header));
+    const std::size_t keep = std::min(keep_bytes, payload.size());
+    if (keep > 0) write_all(fd, dest, payload.data(), keep);
   }
 
   Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     const int fd = fds_[static_cast<std::size_t>(src)];
     std::uint64_t header[2];
-    read_all(fd, header, sizeof(header));
+    read_all(fd, src, header, sizeof(header));
     RAXH_ASSERT(static_cast<int>(header[0]) == tag);
     Bytes payload(static_cast<std::size_t>(header[1]));
-    if (!payload.empty()) read_all(fd, payload.data(), payload.size());
+    if (!payload.empty())
+      read_all(fd, src, payload.data(), payload.size());
     return payload;
   }
 
@@ -160,19 +249,42 @@ void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn) {
       hub.channels[static_cast<std::size_t>(s) * nranks + d] =
           std::make_unique<Channel>();
 
+  // An unrecovered peer failure on rank 0 is the caller's to handle (the
+  // fault-tolerant driver catches RankFailed internally; anything reaching
+  // the harness means the run cannot produce a result).
+  std::exception_ptr rank0_failure;
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&hub, &fn, r] {
+    threads.emplace_back([&hub, &fn, &rank0_failure, r] {
       ThreadComm comm(&hub, r);
-      fn(comm);
+      try {
+        fn(comm);
+      } catch (const RankDeath&) {
+        // Injected death: unwound cleanly; peers see RankFailed.
+      } catch (const RankFailed& f) {
+        if (r == 0) {
+          rank0_failure = std::current_exception();
+        } else {
+          std::fprintf(stderr,
+                       "[minimpi] rank %d: unrecovered peer failure: %s\n", r,
+                       f.what());
+          std::abort();
+        }
+      }
+      hub.mark_dead(r);
     });
   }
   for (auto& t : threads) t.join();
+  if (rank0_failure) std::rethrow_exception(rank0_failure);
 }
 
 void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   RAXH_EXPECTS(nranks >= 1);
+  // A write to a dead peer must surface as EPIPE (mapped to RankFailed),
+  // not kill the process with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
   if (nranks == 1) {
     ProcessComm comm(0, {-1});
     fn(comm);
@@ -212,28 +324,54 @@ void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
     }
     if (pid == 0) {
       close_all_except(r);
+      int exit_code = 0;
       {
         ProcessComm comm(r, std::move(mesh[static_cast<std::size_t>(r)]));
-        fn(comm);
+        try {
+          fn(comm);
+        } catch (const RankDeath&) {
+          // Injected death: exit abruptly; the closing sockets deliver EOF.
+          exit_code = kRankDeathExit;
+        } catch (const RankFailed& f) {
+          std::fprintf(stderr,
+                       "[minimpi] rank %d: unrecovered peer failure: %s\n", r,
+                       f.what());
+          exit_code = 1;
+        }
       }
-      std::_Exit(0);
+      std::_Exit(exit_code);
     }
     children.push_back(pid);
   }
 
   close_all_except(0);
+  std::exception_ptr rank0_failure;
   {
     ProcessComm comm(0, std::move(mesh[0]));
-    fn(comm);
+    try {
+      fn(comm);
+    } catch (const RankFailed&) {
+      rank0_failure = std::current_exception();
+    }
+  }
+  if (rank0_failure) {
+    // The job cannot finish; don't leave children blocked on a silent mesh.
+    for (const pid_t pid : children) ::kill(pid, SIGKILL);
   }
   for (const pid_t pid : children) {
     int status = 0;
     ::waitpid(pid, &status, 0);
+    if (rank0_failure) continue;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == kRankDeathExit) {
+      // Injected rank death; survivors (or the caller) own recovery.
+      continue;
+    }
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       std::fprintf(stderr, "[minimpi] child rank exited abnormally\n");
       std::abort();
     }
   }
+  if (rank0_failure) std::rethrow_exception(rank0_failure);
 }
 
 }  // namespace raxh::mpi

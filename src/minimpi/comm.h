@@ -15,12 +15,39 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace raxh::mpi {
 
 using Bytes = std::vector<std::uint8_t>;
+
+// Thrown when a communication op touches a rank that is gone: the process
+// backend maps EOF / EPIPE / ECONNRESET on the mesh to this, the thread
+// backend throws it when a peer's rank thread has exited and its channel is
+// drained. Fault-tolerant drivers catch it and re-grant the dead rank's
+// work; everything else treats it as fatal (the harnesses print a clean
+// error instead of hanging forever on a dead peer).
+class RankFailed : public std::runtime_error {
+ public:
+  RankFailed(int failed_rank, const std::string& what)
+      : std::runtime_error(what), rank(failed_rank) {}
+  int rank;
+};
+
+// The unwind signal for an *injected* rank death (minimpi/fault.h): thrown
+// through the dying rank's stack; the rank harnesses catch it, mark the rank
+// dead, and let the remaining ranks observe RankFailed. Not an error type —
+// it deliberately does not derive from std::exception so generic handlers
+// cannot swallow it.
+struct RankDeath {
+  int rank;
+};
+
+// Exit status of a process-backed rank that died by fault injection; the
+// parent in run_process_ranks treats it as a rank failure, not a crash.
+inline constexpr int kRankDeathExit = 86;
 
 class Comm {
  public:
@@ -51,8 +78,33 @@ class Comm {
 
   // Blocking tagged point-to-point. recv blocks until a message with the
   // exact (src, tag) arrives; messages from one src preserve send order.
+  // Either may throw RankFailed when the peer is dead (see class comment).
   void send(int dest, int tag, const Bytes& payload);
   Bytes recv(int src, int tag);
+
+  // --- transport access for decorators (minimpi/fault.h) ---
+  // Bypass the stats-counting layer and talk straight to the backend; only
+  // fault-injection wrappers should need these.
+  void raw_send(int dest, int tag, const Bytes& payload) {
+    do_send(dest, tag, payload);
+  }
+  Bytes raw_recv(int src, int tag) { return do_recv(src, tag); }
+  // Deliver a deliberately torn message: the receiver must observe the same
+  // RankFailed it would see if the sender crashed mid-write. The default
+  // (for backends without torn-write support) sends nothing, which yields the
+  // same observable outcome once the sender dies.
+  virtual void raw_send_torn(int dest, int tag, const Bytes& payload,
+                             std::size_t keep_bytes) {
+    (void)dest;
+    (void)tag;
+    (void)payload;
+    (void)keep_bytes;
+  }
+
+  // Progress hook for fault injection: analysis loops call this once per
+  // completed work unit so seeded fault plans can strike between collectives
+  // (mid-bootstrap, mid-search). A plain Comm ignores it.
+  virtual void fault_tick() {}
 
   // --- collectives (implemented over send/recv; every rank must call) ---
   void barrier();
@@ -147,12 +199,19 @@ class Unpacker {
 };
 
 // Run `fn(comm)` on `nranks` thread-backed ranks; returns when all finish.
-// Exceptions escaping a rank abort the program (as an MPI error would).
+// A rank that finishes (or dies via RankDeath) is marked dead so late recvs
+// from it raise RankFailed instead of hanging — mirroring the EOF a closed
+// socket gives the process backend. Other exceptions escaping a rank abort
+// the program (as an MPI error would), except RankFailed from rank 0, which
+// propagates to the caller after the remaining ranks are joined.
 void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
 // Run `fn(comm)` on `nranks` process-backed ranks. The calling process
 // becomes rank 0 (its fn return is the caller's); ranks 1.. are forked
-// children that _exit after fn. Call before creating any threads.
+// children that _exit after fn. Call before creating any threads. A child
+// that dies via RankDeath exits with kRankDeathExit and is tolerated; an
+// unhandled RankFailed on rank 0 kills the remaining children and
+// propagates.
 void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
 }  // namespace raxh::mpi

@@ -1,0 +1,237 @@
+#include "minimpi/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace raxh::mpi {
+
+namespace {
+
+const char* kind_name(FaultAction::Kind k) {
+  switch (k) {
+    case FaultAction::Kind::kDie:
+      return "die";
+    case FaultAction::Kind::kDrop:
+      return "drop";
+    case FaultAction::Kind::kTorn:
+      return "torn";
+    case FaultAction::Kind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::runtime_error("fault plan '" + spec + "': " + why);
+}
+
+void validate(const FaultPlan& plan, const std::string& spec) {
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    const FaultAction& a = plan.actions[i];
+    if (a.op < 1) bad_spec(spec, "op indices are 1-based");
+    if (a.rank < 0) bad_spec(spec, "negative rank");
+    if (a.lethal() && a.rank == 0)
+      bad_spec(spec, "lethal actions on rank 0 are not allowed (rank 0 is "
+                     "the job controller)");
+    if (a.kind == FaultAction::Kind::kDelay && a.delay_ms < 0)
+      bad_spec(spec, "negative delay");
+    for (std::size_t j = 0; j < i; ++j)
+      if (plan.actions[j].rank == a.rank && plan.actions[j].op == a.op)
+        bad_spec(spec, "duplicate action at rank " + std::to_string(a.rank) +
+                           ", op " + std::to_string(a.op));
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos) bad_spec(spec, "missing '@' in '" + item + "'");
+    const std::string kind = item.substr(0, at);
+    FaultAction a;
+    if (kind == "die")
+      a.kind = FaultAction::Kind::kDie;
+    else if (kind == "drop")
+      a.kind = FaultAction::Kind::kDrop;
+    else if (kind == "torn")
+      a.kind = FaultAction::Kind::kTorn;
+    else if (kind == "delay")
+      a.kind = FaultAction::Kind::kDelay;
+    else
+      bad_spec(spec, "unknown kind '" + kind + "'");
+
+    // rank ',' op [',' ms]
+    int fields[3] = {0, 0, 0};
+    int nfields = 0;
+    std::size_t fpos = at + 1;
+    while (fpos <= item.size() && nfields < 3) {
+      const std::size_t fend = std::min(item.find(',', fpos), item.size());
+      const std::string tok = item.substr(fpos, fend - fpos);
+      if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos)
+        bad_spec(spec, "bad number '" + tok + "' in '" + item + "'");
+      fields[nfields++] = std::stoi(tok);
+      if (fend == item.size()) break;
+      fpos = fend + 1;
+    }
+    const int expected = a.kind == FaultAction::Kind::kDelay ? 3 : 2;
+    if (nfields != expected)
+      bad_spec(spec, "'" + item + "' needs " + std::to_string(expected) +
+                         " numeric fields");
+    a.rank = fields[0];
+    a.op = fields[1];
+    a.delay_ms = fields[2];
+    plan.actions.push_back(a);
+  }
+  validate(plan, spec);
+  return plan;
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed, int nranks, int max_op,
+                              int max_lethal) {
+  RAXH_EXPECTS(nranks >= 2);
+  RAXH_EXPECTS(max_op >= 1);
+  RAXH_EXPECTS(max_lethal >= 1);
+  Xoshiro256 rng(seed);
+  FaultPlan plan;
+
+  // Distinct victim ranks in [1, nranks): shuffle then take a prefix.
+  std::vector<int> victims;
+  for (int r = 1; r < nranks; ++r) victims.push_back(r);
+  std::shuffle(victims.begin(), victims.end(), rng);
+  const int nlethal = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(std::min(
+                                  max_lethal,
+                                  static_cast<int>(victims.size())))));
+  constexpr FaultAction::Kind kLethalKinds[] = {FaultAction::Kind::kDie,
+                                                FaultAction::Kind::kDrop,
+                                                FaultAction::Kind::kTorn};
+  for (int i = 0; i < nlethal; ++i) {
+    FaultAction a;
+    a.kind = kLethalKinds[rng.next_below(3)];
+    a.rank = victims[static_cast<std::size_t>(i)];
+    a.op = 1 + static_cast<int>(
+                   rng.next_below(static_cast<std::uint64_t>(max_op)));
+    plan.actions.push_back(a);
+  }
+
+  // Up to two small delays anywhere (non-lethal timing shaker). Skip
+  // (rank, op) pairs already taken by a lethal action.
+  const int ndelays = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < ndelays; ++i) {
+    FaultAction a;
+    a.kind = FaultAction::Kind::kDelay;
+    a.rank = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(nranks)));
+    a.op = 1 + static_cast<int>(
+                   rng.next_below(static_cast<std::uint64_t>(max_op)));
+    a.delay_ms = 1 + static_cast<int>(rng.next_below(5));
+    bool taken = false;
+    for (const FaultAction& prev : plan.actions)
+      if (prev.rank == a.rank && prev.op == a.op) taken = true;
+    if (!taken) plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultAction& a : actions) {
+    if (!out.empty()) out += ';';
+    out += kind_name(a.kind);
+    out += '@';
+    out += std::to_string(a.rank);
+    out += ',';
+    out += std::to_string(a.op);
+    if (a.kind == FaultAction::Kind::kDelay) {
+      out += ',';
+      out += std::to_string(a.delay_ms);
+    }
+  }
+  return out;
+}
+
+FaultyComm::FaultyComm(Comm& inner, const FaultPlan& plan) : inner_(&inner) {
+  for (const FaultAction& a : plan.actions)
+    if (a.rank == inner.rank()) actions_.push_back(a);
+}
+
+const FaultAction* FaultyComm::next_op() {
+  ++op_count_;
+  for (const FaultAction& a : actions_)
+    if (static_cast<std::uint64_t>(a.op) == op_count_) {
+      obs::count(obs::Counter::kFaultsInjected);
+      return &a;
+    }
+  return nullptr;
+}
+
+void FaultyComm::die() { throw RankDeath{rank()}; }
+
+void FaultyComm::fault_tick() {
+  const FaultAction* a = next_op();
+  if (!a) return;
+  switch (a->kind) {
+    case FaultAction::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+      return;
+    case FaultAction::Kind::kDie:
+    case FaultAction::Kind::kDrop:
+    case FaultAction::Kind::kTorn:
+      // No message in flight at a tick: every lethal kind is a plain death.
+      die();
+  }
+}
+
+void FaultyComm::do_send(int dest, int tag, const Bytes& payload) {
+  const FaultAction* a = next_op();
+  if (a) {
+    switch (a->kind) {
+      case FaultAction::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+        break;
+      case FaultAction::Kind::kDie:
+        die();
+      case FaultAction::Kind::kDrop:
+        // Crash before the write hit the wire: nothing is sent.
+        die();
+      case FaultAction::Kind::kTorn:
+        // Crash mid-write: the receiver sees a truncated payload, then EOF.
+        inner_->raw_send_torn(dest, tag, payload, payload.size() / 2);
+        die();
+    }
+  }
+  inner_->raw_send(dest, tag, payload);
+}
+
+Bytes FaultyComm::do_recv(int src, int tag) {
+  const FaultAction* a = next_op();
+  if (a) {
+    switch (a->kind) {
+      case FaultAction::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+        break;
+      case FaultAction::Kind::kDie:
+      case FaultAction::Kind::kDrop:
+      case FaultAction::Kind::kTorn:
+        // drop/torn are send-shaped; on a recv op they degrade to death.
+        die();
+    }
+  }
+  return inner_->raw_recv(src, tag);
+}
+
+}  // namespace raxh::mpi

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the minimpi runtime.
+//
+// A FaultPlan is a seeded, fully explicit list of fault actions, each keyed
+// to a (victim rank, op index) pair, where a rank's op index counts its own
+// transport operations — every send, every recv, and every fault_tick() the
+// analysis loop issues per completed work unit. Because each rank's op
+// stream is a deterministic function of the protocol (minimpi is strictly
+// blocking and, in the fault-tolerant driver, star-shaped around rank 0),
+// the same plan replays identically on ProcessComm and ThreadComm.
+//
+// Lethal actions (die / drop / torn) model crash-consistency: a rank that
+// drops or tears a message also dies, because in a blocking runtime a lost
+// message from a live rank is indistinguishable from a deadlock. Peers
+// observe the death as RankFailed (EOF/EPIPE on the process mesh, a closed
+// channel on the thread hub) — never a hang.
+//
+// Plans never kill rank 0: rank 0 is the job controller (losing it loses
+// the job, as in any practical MPI deployment), and keeping it alive is
+// what makes every other rank's op stream — and therefore the injected
+// behaviour — backend-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace raxh::mpi {
+
+struct FaultAction {
+  enum class Kind {
+    kDie,    // exit before performing the op
+    kDrop,   // skip the send, then die (crash before the write hit the wire)
+    kTorn,   // send header + half the payload, then die (crash mid-write)
+    kDelay,  // sleep delay_ms before the op, then proceed (non-lethal)
+  };
+  Kind kind = Kind::kDie;
+  int rank = 0;      // victim rank (lethal kinds require rank >= 1)
+  int op = 1;        // fires at the victim's op-th transport op (1-based)
+  int delay_ms = 0;  // kDelay only
+
+  [[nodiscard]] bool lethal() const { return kind != Kind::kDelay; }
+};
+
+// A parsed, validated fault plan.
+//
+// Spec grammar (also accepted from the RAXH_FAULT_PLAN environment variable):
+//   plan   := action (';' action)*              (empty spec = no faults)
+//   action := kind '@' rank ',' op [',' ms]
+//   kind   := 'die' | 'drop' | 'torn' | 'delay'
+// Example: "die@1,7;torn@2,12;delay@0,3,15"
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+
+  // Parse a spec string; throws std::runtime_error with a pointed message on
+  // malformed input (bad kind, lethal action on rank 0, duplicate
+  // (rank, op), non-positive op).
+  static FaultPlan parse(const std::string& spec);
+
+  // Seeded random plan over `nranks` ranks: 1..max_lethal lethal actions on
+  // distinct ranks in [1, nranks), op uniform in [1, max_op], plus up to two
+  // small delays on any rank. Identical (seed, nranks, max_op) inputs yield
+  // identical plans — the chaos suite's replay key.
+  static FaultPlan generate(std::uint64_t seed, int nranks, int max_op,
+                            int max_lethal = 2);
+
+  // Round-trips through parse(): serialize for logs and repro lines.
+  [[nodiscard]] std::string to_spec() const;
+};
+
+// Decorator over any Comm backend that executes a FaultPlan against the
+// wrapped rank's op stream. Collectives inherited from Comm route through
+// do_send/do_recv, so every transport op of the protocol is counted. The
+// decorator keeps its own (identically counted) stats; the inner comm is
+// used purely as a transport.
+class FaultyComm final : public Comm {
+ public:
+  // `inner` must outlive this. Only actions for inner.rank() are retained.
+  FaultyComm(Comm& inner, const FaultPlan& plan);
+
+  [[nodiscard]] int rank() const override { return inner_->rank(); }
+  [[nodiscard]] int size() const override { return inner_->size(); }
+
+  // Counts one op; applies die/delay actions. Called by analysis loops once
+  // per completed work unit (see Comm::fault_tick).
+  void fault_tick() override;
+
+  // Ops performed so far (tests; also handy in failure logs).
+  [[nodiscard]] std::uint64_t ops() const { return op_count_; }
+
+  void raw_send_torn(int dest, int tag, const Bytes& payload,
+                     std::size_t keep_bytes) override {
+    inner_->raw_send_torn(dest, tag, payload, keep_bytes);
+  }
+
+ protected:
+  void do_send(int dest, int tag, const Bytes& payload) override;
+  Bytes do_recv(int src, int tag) override;
+
+ private:
+  // Advance the op counter and return the action firing at this op, if any.
+  const FaultAction* next_op();
+  [[noreturn]] void die();
+
+  Comm* inner_;
+  std::vector<FaultAction> actions_;  // this rank's actions only
+  std::uint64_t op_count_ = 0;
+};
+
+}  // namespace raxh::mpi

@@ -231,7 +231,8 @@ bool find_string(const std::string& line, const char* key, std::string* out) {
 
 std::string format_heartbeat_line(const ProgressSnapshot& snap,
                                   std::uint64_t ts_ns,
-                                  std::uint64_t newview_calls) {
+                                  std::uint64_t newview_calls,
+                                  std::uint64_t rank_failures) {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof(buf), "{\"ts_ns\":%llu,\"rank\":%d,\"phase\":\"",
@@ -250,8 +251,15 @@ std::string format_heartbeat_line(const ProgressSnapshot& snap,
   } else {
     out += "null";
   }
-  std::snprintf(buf, sizeof(buf), ",\"newview_calls\":%llu,\"done\":%s}",
-                static_cast<unsigned long long>(newview_calls),
+  std::snprintf(buf, sizeof(buf), ",\"newview_calls\":%llu",
+                static_cast<unsigned long long>(newview_calls));
+  out += buf;
+  if (rank_failures > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"rank_failures\":%llu",
+                  static_cast<unsigned long long>(rank_failures));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ",\"done\":%s}",
                 snap.phase == "done" ? "true" : "false");
   out += buf;
   return out;
@@ -281,6 +289,8 @@ std::optional<Heartbeat> parse_heartbeat_line(const std::string& line) {
   }
   if (find_number(line, "newview_calls", &v))
     hb.newview_calls = static_cast<std::uint64_t>(v);
+  if (find_number(line, "rank_failures", &v))
+    hb.rank_failures = static_cast<std::uint64_t>(v);
   hb.done = line.find("\"done\":true") != std::string::npos;
   return hb;
 }
@@ -306,9 +316,11 @@ struct HeartbeatWriter::Impl {
     // The model only learns the rank at live_begin_run; beats before that
     // (the immediate first one) must still carry this writer's rank.
     snap.rank = options.rank;
-    const std::uint64_t newview =
-        counters_snapshot()[Counter::kNewviewCalls];
-    out << format_heartbeat_line(snap, now_ns(), newview) << '\n';
+    const CounterSnapshot counters = counters_snapshot();
+    out << format_heartbeat_line(snap, now_ns(),
+                                 counters[Counter::kNewviewCalls],
+                                 counters[Counter::kRankFailures])
+        << '\n';
     out.flush();  // the aggregator tails this file from another process
   }
 

@@ -95,12 +95,16 @@ struct Heartbeat {
   double elapsed_s = 0.0;
   bool done = false;
   std::uint64_t newview_calls = 0;
+  std::uint64_t rank_failures = 0;  // dead peers this rank has detected
 };
 
-// Render one ndjson heartbeat line (no trailing newline).
+// Render one ndjson heartbeat line (no trailing newline). `rank_failures`
+// surfaces the fault-tolerant driver's failure events in the live stream
+// (only rank 0, the failure detector, reports nonzero values).
 [[nodiscard]] std::string format_heartbeat_line(const ProgressSnapshot& snap,
                                                 std::uint64_t ts_ns,
-                                                std::uint64_t newview_calls);
+                                                std::uint64_t newview_calls,
+                                                std::uint64_t rank_failures = 0);
 
 // Parse a heartbeat line; nullopt on malformed input (the aggregator must
 // tolerate torn final lines from a writer mid-append).

@@ -151,6 +151,12 @@ const char* counter_name(Counter c) {
       return "barrier_wait_ns";
     case Counter::kSpansDropped:
       return "spans_dropped";
+    case Counter::kFaultsInjected:
+      return "faults_injected";
+    case Counter::kRankFailures:
+      return "rank_failures";
+    case Counter::kUnitsRegranted:
+      return "units_regranted";
     case Counter::kCount:
       break;
   }

@@ -67,6 +67,9 @@ enum class Counter : int {
   kWorkforceJobs,        // jobs dispatched to the thread crew
   kBarrierWaitNs,        // ns the master spent waiting on crew completion
   kSpansDropped,         // spans evicted from full ring buffers
+  kFaultsInjected,       // fault-plan actions fired on this rank (minimpi)
+  kRankFailures,         // dead peers detected (fault-tolerant driver)
+  kUnitsRegranted,       // work units re-run on behalf of dead ranks
   kCount
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);

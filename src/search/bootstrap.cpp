@@ -27,10 +27,10 @@ std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
     const std::function<void(const BootstrapSnapshot&)>& persist) {
   RAXH_EXPECTS(count >= 1);
   RAXH_EXPECTS(snapshot.next_replicate <= count);
-  RAXH_EXPECTS(snapshot.replicate_newicks.size() ==
+  RAXH_EXPECTS(snapshot.replicate_trees.size() ==
                static_cast<std::size_t>(snapshot.next_replicate));
   RAXH_EXPECTS(snapshot.replicate_lnls.size() ==
-               snapshot.replicate_newicks.size());
+               snapshot.replicate_trees.size());
 
   std::vector<BootstrapReplicate> out;
   out.reserve(static_cast<std::size_t>(count));
@@ -47,11 +47,10 @@ std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
     if (!snapshot.cat_rates.empty())
       engine_->set_cat_assignment(snapshot.cat_rates,
                                   snapshot.cat_categories);
-    for (std::size_t i = 0; i < snapshot.replicate_newicks.size(); ++i) {
-      out.push_back(BootstrapReplicate{
-          Tree::parse_newick(snapshot.replicate_newicks[i],
-                             patterns_->names()),
-          snapshot.replicate_lnls[i]});
+    for (std::size_t i = 0; i < snapshot.replicate_trees.size(); ++i) {
+      out.push_back(
+          BootstrapReplicate{Tree::import_raw(snapshot.replicate_trees[i]),
+                             snapshot.replicate_lnls[i]});
     }
   }
 
@@ -81,8 +80,7 @@ std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
     snapshot.cat_categories.assign(
         engine_->rates().pattern_categories().begin(),
         engine_->rates().pattern_categories().end());
-    snapshot.replicate_newicks.push_back(
-        current.to_newick(patterns_->names()));
+    snapshot.replicate_trees.push_back(current.export_raw());
     snapshot.replicate_lnls.push_back(lnl);
     if (persist) persist(snapshot);
   }

@@ -29,7 +29,10 @@ struct BootstrapReplicate {
 
 // Resumable progress of a bootstrap run: the PRNG states plus the carried
 // search tree are everything needed to continue a run bit-identically
-// (core/checkpoint.h persists this to disk).
+// (core/checkpoint.h persists this to disk). Finished replicates are kept as
+// raw layouts, not newicks: downstream stages start searches from these
+// trees, and a newick round trip changes the record layout enough to steer
+// those searches onto a different (equally valid) numeric trajectory.
 struct BootstrapSnapshot {
   int next_replicate = 0;
   std::int64_t bootstrap_rng_state = 0;
@@ -37,7 +40,7 @@ struct BootstrapSnapshot {
   Tree::RawTopology current_tree;  // exact record layout of the carried tree
   std::vector<double> cat_rates;       // engine CAT category rates
   std::vector<int> cat_categories;     // engine per-pattern categories
-  std::vector<std::string> replicate_newicks;
+  std::vector<Tree::RawTopology> replicate_trees;
   std::vector<double> replicate_lnls;
 
   [[nodiscard]] bool started() const { return next_replicate > 0; }

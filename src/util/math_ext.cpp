@@ -8,12 +8,29 @@
 
 namespace raxh {
 
+namespace {
+
+// std::lgamma writes the process-global `signgam`, which races when thread
+// ranks fit GAMMA rates concurrently. Every argument here is positive (the
+// sign is always +1), so the re-entrant lgamma_r (glibc/BSD extension) is a
+// drop-in; fall back to plain lgamma elsewhere.
+double lgamma_positive(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double incomplete_gamma(double x, double alpha) {
   RAXH_EXPECTS(alpha > 0.0);
   RAXH_EXPECTS(x >= 0.0);
   if (x == 0.0) return 0.0;
 
-  const double lga = std::lgamma(alpha);
+  const double lga = lgamma_positive(alpha);
   if (x < alpha + 1.0) {
     // Series expansion: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a)_n.
     double term = 1.0 / alpha;
@@ -74,7 +91,7 @@ double point_chi2(double p, double v) {
   constexpr double e = 0.5e-6, aa = 0.6931471805;
   const double xx = 0.5 * v;
   const double c = xx - 1.0;
-  const double g = std::lgamma(xx);
+  const double g = lgamma_positive(xx);
   double ch = 0.0;
 
   if (v < -1.24 * std::log(p)) {

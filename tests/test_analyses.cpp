@@ -177,8 +177,11 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
           .export_raw();
   snapshot.cat_rates = {0.5, 1.5};
   snapshot.cat_categories = {0, 1, 1, 0};
-  snapshot.replicate_newicks = {"((a:1,b:1):1,c:1,d:1);",
-                                "((a:2,c:1):1,b:1,d:1);"};
+  snapshot.replicate_trees = {
+      Tree::parse_newick("((a:1,b:1):1,c:1,d:1);", {"a", "b", "c", "d"})
+          .export_raw(),
+      Tree::parse_newick("((a:2,c:1):1,b:1,d:1);", {"a", "b", "c", "d"})
+          .export_raw()};
   snapshot.replicate_lnls = {-123.456, -234.567};
 
   const std::string path = "/tmp/raxh_ckpt_test.txt";
@@ -194,7 +197,11 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
             snapshot.current_tree.internal_used);
   EXPECT_EQ(loaded->cat_rates, snapshot.cat_rates);
   EXPECT_EQ(loaded->cat_categories, snapshot.cat_categories);
-  EXPECT_EQ(loaded->replicate_newicks, snapshot.replicate_newicks);
+  ASSERT_EQ(loaded->replicate_trees.size(), 2u);
+  EXPECT_EQ(loaded->replicate_trees[0].back, snapshot.replicate_trees[0].back);
+  EXPECT_EQ(loaded->replicate_trees[0].length,
+            snapshot.replicate_trees[0].length);
+  EXPECT_EQ(loaded->replicate_trees[1].back, snapshot.replicate_trees[1].back);
   EXPECT_DOUBLE_EQ(loaded->replicate_lnls[0], -123.456);
   std::filesystem::remove(path);
 }

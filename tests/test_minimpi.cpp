@@ -5,8 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include "minimpi/comm.h"
+#include "minimpi/fault.h"
 
 namespace raxh::mpi {
 namespace {
@@ -238,6 +240,321 @@ TEST(CommStats, BackendsCountIdenticalTraffic) {
   EXPECT_GE(root[10], 2.0);     // gather msgs_recv
   EXPECT_GT(root[0] + root[2], 0.0);  // barrier exchanged messages
   EXPECT_EQ(root[12], 0.0);     // no stray p2p traffic outside collectives
+}
+
+// --- rank-failure detection, no fault injection involved ---
+// A peer that exits (cleanly or not) must surface as RankFailed on both
+// backends — never as a hang.
+
+TEST(RankFailure, ThreadRecvFromFinishedRankThrows) {
+  run_thread_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 1) return;  // rank 1 exits without sending
+    try {
+      comm.recv(1, 7);
+      FAIL() << "recv from a finished rank returned";
+    } catch (const RankFailed& e) {
+      EXPECT_EQ(e.rank, 1);
+    }
+  });
+}
+
+TEST(RankFailure, ThreadBufferedMessagesDrainBeforeFailure) {
+  // TCP-like semantics: what was sent before death stays deliverable, the
+  // failure surfaces only once the channel is drained. After one RankFailed
+  // the peer is known dead, so sends to it fail too.
+  run_thread_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      Packer p;
+      p.put(99);
+      comm.send(0, 7, p.bytes());
+      return;
+    }
+    const Bytes b = comm.recv(1, 7);
+    Unpacker u(b);
+    EXPECT_EQ(u.get<int>(), 99);
+    EXPECT_THROW(comm.recv(1, 7), RankFailed);
+    EXPECT_THROW(comm.send(1, 7, {}), RankFailed);
+  });
+}
+
+TEST(RankFailure, ProcessRecvFromExitedRankThrows) {
+  run_process_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 1) return;  // child exits; its mesh sockets close
+    try {
+      comm.recv(1, 7);
+      FAIL() << "recv from an exited rank returned";
+    } catch (const RankFailed& e) {
+      EXPECT_EQ(e.rank, 1);
+    }
+  });
+}
+
+TEST(RankFailure, ProcessBufferedMessagesDrainBeforeFailure) {
+  run_process_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      Packer p;
+      p.put(42);
+      comm.send(0, 9, p.bytes());
+      return;
+    }
+    const Bytes b = comm.recv(1, 9);
+    Unpacker u(b);
+    EXPECT_EQ(u.get<int>(), 42);
+    EXPECT_THROW(comm.recv(1, 9), RankFailed);  // EOF after the buffered data
+    EXPECT_THROW(comm.send(1, 9, {}), RankFailed);  // EPIPE, not SIGPIPE
+  });
+}
+
+// --- fault plans: parsing, validation, seeded generation ---
+
+TEST(FaultPlanSpec, ParsesEveryKind) {
+  const FaultPlan plan = FaultPlan::parse("die@1,7;drop@3,2;torn@2,12;delay@0,3,15");
+  ASSERT_EQ(plan.actions.size(), 4u);
+  EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kDie);
+  EXPECT_EQ(plan.actions[0].rank, 1);
+  EXPECT_EQ(plan.actions[0].op, 7);
+  EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::kDrop);
+  EXPECT_EQ(plan.actions[2].kind, FaultAction::Kind::kTorn);
+  EXPECT_EQ(plan.actions[3].kind, FaultAction::Kind::kDelay);
+  EXPECT_EQ(plan.actions[3].delay_ms, 15);
+  EXPECT_FALSE(plan.actions[3].lethal());
+  EXPECT_TRUE(plan.actions[0].lethal());
+}
+
+TEST(FaultPlanSpec, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(";;").empty());
+}
+
+TEST(FaultPlanSpec, RoundTripsThroughToSpec) {
+  const std::string spec = "die@1,7;torn@2,12;delay@0,3,15";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.to_spec(), spec);
+  EXPECT_EQ(FaultPlan::parse(plan.to_spec()).to_spec(), spec);
+}
+
+TEST(FaultPlanSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("boom@1,2"), std::runtime_error);   // kind
+  EXPECT_THROW(FaultPlan::parse("die1,2"), std::runtime_error);     // no '@'
+  EXPECT_THROW(FaultPlan::parse("die@1"), std::runtime_error);      // fields
+  EXPECT_THROW(FaultPlan::parse("die@1,2,3"), std::runtime_error);  // fields
+  EXPECT_THROW(FaultPlan::parse("delay@1,2"), std::runtime_error);  // no ms
+  EXPECT_THROW(FaultPlan::parse("die@x,2"), std::runtime_error);    // number
+  EXPECT_THROW(FaultPlan::parse("die@1,0"), std::runtime_error);    // op >= 1
+  EXPECT_THROW(FaultPlan::parse("die@0,2"), std::runtime_error);    // rank 0
+  EXPECT_THROW(FaultPlan::parse("drop@0,2"), std::runtime_error);   // rank 0
+  EXPECT_THROW(FaultPlan::parse("die@1,2;torn@1,2"), std::runtime_error);
+  EXPECT_NO_THROW(FaultPlan::parse("delay@0,2,5"));  // rank 0 delay is fine
+}
+
+TEST(FaultPlanSpec, GenerateIsDeterministicAndValid) {
+  for (std::uint64_t seed : {1ull, 42ull, 20260806ull}) {
+    const FaultPlan a = FaultPlan::generate(seed, 4, 10);
+    const FaultPlan b = FaultPlan::generate(seed, 4, 10);
+    EXPECT_EQ(a.to_spec(), b.to_spec());
+    // Generated plans satisfy the same contract hand-written specs must.
+    EXPECT_NO_THROW(FaultPlan::parse(a.to_spec()));
+    int lethal = 0;
+    for (const FaultAction& act : a.actions) {
+      EXPECT_GE(act.op, 1);
+      EXPECT_LE(act.op, 10);
+      if (act.lethal()) {
+        ++lethal;
+        EXPECT_GE(act.rank, 1);
+      }
+      EXPECT_LT(act.rank, 4);
+    }
+    EXPECT_GE(lethal, 1);
+    EXPECT_LE(lethal, 2);
+  }
+  EXPECT_NE(FaultPlan::generate(1, 4, 10).to_spec(),
+            FaultPlan::generate(2, 4, 10).to_spec());
+}
+
+// --- FaultyComm: deterministic injection against both backends ---
+
+TEST(FaultInjection, DelaysDoNotChangeResults) {
+  const FaultPlan plan = FaultPlan::parse("delay@0,1,1;delay@1,2,1");
+  run_thread_ranks(3, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    comm.barrier();
+    const auto best = comm.allreduce_maxloc(static_cast<double>(comm.rank()));
+    EXPECT_EQ(best.rank, 2);
+    std::string s = comm.rank() == 0 ? "payload" : "";
+    comm.bcast_string(s, 0);
+    EXPECT_EQ(s, "payload");
+    EXPECT_GT(comm.ops(), 0u);
+  });
+}
+
+TEST(FaultInjection, DieDeliversEarlierMessagesThenFails) {
+  const FaultPlan plan = FaultPlan::parse("die@1,2");
+  run_thread_ranks(2, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    Packer p;
+    p.put(7);
+    if (comm.rank() == 1) {
+      comm.send(0, 3, p.bytes());  // op 1: delivered
+      comm.send(0, 3, p.bytes());  // op 2: dies before the wire
+      ADD_FAILURE() << "rank 1 survived its own death";
+    } else {
+      const Bytes b = comm.recv(1, 3);
+      Unpacker u(b);
+      EXPECT_EQ(u.get<int>(), 7);
+      EXPECT_THROW(comm.recv(1, 3), RankFailed);
+    }
+  });
+}
+
+TEST(FaultInjection, DropKillsSenderBeforeTheWire) {
+  const FaultPlan plan = FaultPlan::parse("drop@1,1");
+  run_thread_ranks(2, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    if (comm.rank() == 1) {
+      comm.send(0, 3, Bytes{1, 2, 3});
+      ADD_FAILURE() << "dropped send returned";
+    } else {
+      EXPECT_THROW(comm.recv(1, 3), RankFailed);
+    }
+  });
+}
+
+TEST(FaultInjection, TornPayloadSurfacesAsRankFailedOnThreads) {
+  const FaultPlan plan = FaultPlan::parse("torn@1,1");
+  run_thread_ranks(2, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    if (comm.rank() == 1) {
+      comm.send(0, 3, Bytes{1, 2, 3, 4, 5, 6});
+      ADD_FAILURE() << "torn send returned";
+    } else {
+      EXPECT_THROW(comm.recv(1, 3), RankFailed);
+    }
+  });
+}
+
+TEST(FaultInjection, TornPayloadSurfacesAsRankFailedOnProcesses) {
+  const FaultPlan plan = FaultPlan::parse("torn@1,1");
+  run_process_ranks(2, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    if (comm.rank() == 1) {
+      comm.send(0, 3, Bytes{1, 2, 3, 4, 5, 6});
+      std::abort();  // unreachable: the torn send dies (child process)
+    } else {
+      // Header promises 6 bytes, the wire carries 3, then EOF.
+      EXPECT_THROW(comm.recv(1, 3), RankFailed);
+    }
+  });
+}
+
+TEST(FaultInjection, FaultTickCountsAsAnOp) {
+  const FaultPlan plan = FaultPlan::parse("die@1,3");
+  run_thread_ranks(2, [&plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    if (comm.rank() == 1) {
+      comm.fault_tick();               // op 1 (a completed work unit)
+      comm.send(0, 3, Bytes{1});       // op 2: delivered
+      comm.fault_tick();               // op 3: dies
+      ADD_FAILURE() << "tick past the death op";
+    } else {
+      EXPECT_EQ(comm.recv(1, 3), (Bytes{1}));
+      EXPECT_THROW(comm.recv(1, 3), RankFailed);
+    }
+  });
+}
+
+// Replay invariant: the same protocol script advances the same per-rank op
+// counters on both backends — the property that makes one fault plan mean
+// the same thing under ThreadComm and ProcessComm.
+std::vector<double> op_stream_script(bool processes, int nranks) {
+  std::vector<double> out;
+  const FaultPlan plan = FaultPlan::parse("delay@1,2,1");
+  const auto fn = [&out, &plan](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    comm.barrier();
+    std::string s = comm.rank() == 0 ? "x" : "";
+    comm.bcast_string(s, 0);
+    comm.fault_tick();
+    const auto mine = static_cast<double>(comm.ops());  // snapshot pre-gather
+    const auto rows = comm.gather_doubles({mine}, 0);
+    if (comm.rank() == 0)
+      for (const auto& row : rows) out.push_back(row.at(0));
+  };
+  if (processes)
+    run_process_ranks(nranks, fn);
+  else
+    run_thread_ranks(nranks, fn);
+  return out;
+}
+
+TEST(FaultInjection, OpStreamsMatchAcrossBackends) {
+  const auto threads = op_stream_script(false, 3);
+  const auto procs = op_stream_script(true, 3);
+  ASSERT_EQ(threads.size(), 3u);
+  EXPECT_EQ(threads, procs);
+  for (const double ops : threads) EXPECT_GT(ops, 0.0);
+}
+
+// --- protocol violations die loudly (they are bugs, not runtime states) ---
+
+TEST(ProtocolViolationDeath, TagMismatchAbortsOnThreads) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      run_thread_ranks(2,
+                       [](Comm& comm) {
+                         if (comm.rank() == 1)
+                           comm.send(0, 1, Bytes{9});
+                         else
+                           comm.recv(1, 2);  // wrong tag
+                       }),
+      "invariant");
+}
+
+TEST(ProtocolViolationDeath, TagMismatchAbortsOnProcesses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The wrong-tag recv sits on rank 0: it blocks until the message header
+  // arrives, then trips the invariant — deterministically, with no race
+  // against the peer's lifetime.
+  EXPECT_DEATH(
+      run_process_ranks(2,
+                        [](Comm& comm) {
+                          if (comm.rank() == 1)
+                            comm.send(0, 1, Bytes{9});
+                          else
+                            comm.recv(1, 2);  // wrong tag
+                        }),
+      "invariant");
+}
+
+TEST(ProtocolViolationDeath, PayloadSizeMismatchAbortsOnThreads) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      run_thread_ranks(2,
+                       [](Comm& comm) {
+                         if (comm.rank() == 1) {
+                           comm.send(0, 1, Bytes{1, 2, 3, 4});  // 4 bytes
+                         } else {
+                           const Bytes b = comm.recv(1, 1);
+                           Unpacker u(b);
+                           u.get<double>();  // expects 8
+                         }
+                       }),
+      "precondition");
+}
+
+TEST(ProtocolViolationDeath, PayloadSizeMismatchAbortsOnProcesses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      run_process_ranks(2,
+                        [](Comm& comm) {
+                          if (comm.rank() == 1) {
+                            comm.send(0, 1, Bytes{1, 2, 3, 4});
+                          } else {
+                            const Bytes b = comm.recv(1, 1);
+                            Unpacker u(b);
+                            u.get<double>();  // aborts rank 0 itself
+                          }
+                        }),
+      "precondition");
 }
 
 }  // namespace
