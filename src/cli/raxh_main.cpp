@@ -34,6 +34,17 @@
 //                         status with ETA and straggler flags
 //   --straggler-factor=X  flag a rank when its progress rate lags the
 //                         median by more than X (default 2.0)
+//   --log-level=LVL       error | warn | info | debug       [info]
+//
+// Flight recorder (always on; src/obs/flight.*):
+//   --blackbox=off        disable the in-memory flight recorder
+//   --blackbox-dir=DIR    where crash/failure black boxes land
+//                         [<name>_blackbox]
+//   --blackbox-dump       also dump every rank's black box at the end of a
+//                         successful run (for offline raxh_blackbox analysis)
+// Fatal signals (SIGSEGV/SIGBUS/SIGABRT), std::terminate, injected rank
+// deaths, and peer-failure detection all dump DIR/rank<r>.blackbox
+// automatically; decode with tools/raxh_blackbox.
 //
 // Fault tolerance (-f a only):
 //   --fault-tolerant      survive rank death: rank 0 detects dead peers and
@@ -67,6 +78,7 @@
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
 #include "minimpi/fault.h"
+#include "obs/flight.h"
 #include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
@@ -88,6 +100,8 @@ void usage(const char* prog) {
       "          [--heartbeat-out=DIR] [--straggler-factor=X]\n"
       "          [--fault-tolerant] [--checkpoint-dir=DIR] "
       "[--fault-plan=SPEC]\n"
+      "          [--log-level=error|warn|info|debug] [--blackbox=off]\n"
+      "          [--blackbox-dir=DIR] [--blackbox-dump]\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
       prog);
@@ -161,6 +175,14 @@ bool validate_obs_paths(const ObsOptions& o) {
     return false;
   }
   return true;
+}
+
+// --blackbox-dump: persist every rank's flight ring at the end of a clean
+// run so raxh_blackbox can analyze fault-free runs too. Called inside the
+// per-rank lambda, before the telemetry merge.
+void end_of_run_dump(const CliParser& cli, int rank) {
+  if (cli.has("-blackbox-dump"))
+    obs::flight::dump_now(rank, "end of run");
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {
@@ -311,6 +333,7 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
                     result.bootstop.converged ? "converged" : "not converged",
                     result.bootstop.mean_correlation);
     }
+    end_of_run_dump(cli, comm.rank());
     // The telemetry merge is built on full collectives; with dead ranks in
     // the communicator it cannot complete, so skip it rather than hang.
     // `failed_ranks` came from the FINISH message, so live ranks agree.
@@ -347,6 +370,7 @@ int run_multistart(const PatternAlignment& patterns, const CliParser& cli) {
       std::ofstream(name + "_bestTree.tre") << result.best_tree_newick << '\n';
       std::printf("wrote %s_bestTree.tre\n", name.c_str());
     }
+    end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
   });
   return 0;
@@ -376,6 +400,7 @@ int run_bootstrap_only(const PatternAlignment& patterns, const CliParser& cli) {
                   "majority-rule consensus to %s_consensus.tre\n",
                   result.replicate_newicks.size(), name.c_str(), name.c_str());
     }
+    end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
   });
   return 0;
@@ -410,6 +435,7 @@ int run_adaptive(const PatternAlignment& patterns, const CliParser& cli) {
       std::printf("wrote %zu replicates to %s_bootstrap.tre\n",
                   result.replicate_newicks.size(), name.c_str());
     }
+    end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
   });
   return 0;
@@ -457,6 +483,7 @@ int run_evaluate(const PatternAlignment& patterns, const CliParser& cli) {
   }
   std::printf("wrote %s_evaluated.tre and %s_sitelh.txt\n", name.c_str(),
               name.c_str());
+  end_of_run_dump(cli, 0);
 
   // -f e runs without a communicator: export this process's fragments alone.
   const ObsOptions obs_opts = obs_from_cli(cli);
@@ -490,11 +517,37 @@ int main(int argc, char** argv) {
   }
 
   {
+    const std::string lvl = cli.value_or("-log-level", "");
+    if (!lvl.empty()) {
+      const auto parsed = parse_log_level(lvl);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: --log-level=%s: expected error, warn, info, or "
+                     "debug\n",
+                     lvl.c_str());
+        return 2;
+      }
+      Logger::instance().set_level(*parsed);
+    }
+  }
+
+  {
     const ObsOptions obs_opts = obs_from_cli(cli);
     if (obs_opts.any()) {
       if (!validate_obs_paths(obs_opts)) return 2;
       obs::set_enabled(true);
     }
+  }
+
+  // Flight recorder: configured before any fork so every rank inherits the
+  // dump directory and the crash handlers.
+  if (cli.value_or("-blackbox", "") == "off") {
+    obs::flight::set_enabled(false);
+  } else {
+    obs::flight::set_dump_dir(
+        cli.value_or("-blackbox-dir", cli.value_or("n", "raxh") + "_blackbox")
+            .c_str());
+    obs::flight::install_crash_handlers();
   }
 
   try {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/flight.h"
 #include "util/check.h"
 
 namespace raxh {
@@ -98,6 +99,8 @@ void save_bootstrap_checkpoint(const std::string& path,
     if (!out) throw std::runtime_error("short write on checkpoint: " + tmp);
   }
   std::filesystem::rename(tmp, path);
+  obs::flight::record(obs::flight::Kind::kCkptWrite,
+                      obs::flight::name_id(path.c_str()), serialized.size());
 }
 
 std::optional<BootstrapSnapshot> load_bootstrap_checkpoint(

@@ -3,9 +3,11 @@
 #include <optional>
 
 #include "likelihood/engine.h"
+#include "obs/flight.h"
 #include "obs/live.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
+#include "obs/postmortem.h"
 #include "tree/consensus.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -176,8 +178,14 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
       std::function<void()> barrier;
       if (with_barrier)
         barrier = [&comm] {
+          static const std::uint32_t kFlightName =
+              obs::flight::name_id("ft.barrier");
+          const std::uint64_t start = obs::now_ns();
+          obs::flight::record(obs::flight::Kind::kCollBegin, kFlightName);
           comm.send(0, kFtBarrierTag, {});
           comm.recv(0, kFtBarrierTag);
+          obs::flight::record(obs::flight::Kind::kCollEnd, kFlightName,
+                              obs::now_ns() - start);
         };
       const RankReport rep =
           run_comprehensive_rank(patterns, options.analysis, logical, nranks,
@@ -193,6 +201,9 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
       const auto op = u.get<std::uint8_t>();
       if (op == kCtrlRegrant) {
         const int logical = u.get<std::int32_t>();
+        obs::flight::record(obs::flight::Kind::kRegrant,
+                            static_cast<std::uint64_t>(logical),
+                            static_cast<std::uint64_t>(rank));
         log_info("rank %d re-granted logical share %d", rank, logical);
         run_share(logical, /*with_barrier=*/false);
         continue;
@@ -215,8 +226,21 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
     if (dead[w]) return;
     dead[w] = true;
     obs::count(obs::Counter::kRankFailures);
+    obs::flight::record(obs::flight::Kind::kRankDead,
+                        static_cast<std::uint64_t>(w),
+                        obs::flight::name_id(where));
     log_warn("rank %d failed (detected at %s); its work will be re-granted",
              w, where);
+    // Sweep the black boxes: persist the survivor's own ring so the failure
+    // context is on disk even if recovery later wedges, then read the dead
+    // rank's box (it dumps before its death is observable) and name its
+    // last completed comm op in the recovery log.
+    obs::flight::dump_now(comm.rank(), "peer failure detected");
+    const std::string box = obs::flight::dump_path_for_rank(w);
+    if (const auto last = obs::pm::last_op_summary(box, w))
+      log_warn("rank %d black box: %s", w, last->c_str());
+    else
+      log_warn("rank %d black box not available at %s", w, box.c_str());
   };
 
   // Reports keyed by *logical* rank; a missing entry is an unfinished share.
@@ -237,6 +261,10 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
         // The FT barrier: collect an arrival from every worker still
         // believed live (a failed recv marks the worker dead — its share is
         // re-granted later), then release the survivors.
+        static const std::uint32_t kFlightName =
+            obs::flight::name_id("ft.barrier");
+        const std::uint64_t start = obs::now_ns();
+        obs::flight::record(obs::flight::Kind::kCollBegin, kFlightName);
         for (int w = 1; w < nranks; ++w) {
           if (dead[w]) continue;
           try {
@@ -253,6 +281,8 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
             mark_dead(w, "barrier release");
           }
         }
+        obs::flight::record(obs::flight::Kind::kCollEnd, kFlightName,
+                            obs::now_ns() - start);
       },
       {}, tick);
   reports[0] = std::move(own);
@@ -294,6 +324,9 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
         continue;
       }
       cursor = 1 + w % (nranks - 1);
+      obs::flight::record(obs::flight::Kind::kRegrant,
+                          static_cast<std::uint64_t>(k),
+                          static_cast<std::uint64_t>(w));
       log_info("re-granting logical share %d to rank %d", k, w);
       mpi::Packer order;
       order.put<std::uint8_t>(kCtrlRegrant);

@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "minimpi/comm.h"
+#include "obs/flight.h"
 #include "util/check.h"
 
 namespace raxh::mpi {
@@ -259,10 +260,14 @@ void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&hub, &fn, &rank0_failure, r] {
       ThreadComm comm(&hub, r);
+      obs::flight::set_thread_rank(r);
       try {
         fn(comm);
       } catch (const RankDeath&) {
-        // Injected death: unwound cleanly; peers see RankFailed.
+        // Injected death: unwound cleanly; peers see RankFailed. Dump the
+        // black box before mark_dead so it is complete by the time any peer
+        // can observe the failure and sweep it.
+        obs::flight::dump_now(r, "injected rank death", /*fatal=*/true);
       } catch (const RankFailed& f) {
         if (r == 0) {
           rank0_failure = std::current_exception();
@@ -287,6 +292,7 @@ void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   ::signal(SIGPIPE, SIG_IGN);
   if (nranks == 1) {
     ProcessComm comm(0, {-1});
+    obs::flight::set_thread_rank(0);
     fn(comm);
     return;
   }
@@ -327,10 +333,14 @@ void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
       int exit_code = 0;
       {
         ProcessComm comm(r, std::move(mesh[static_cast<std::size_t>(r)]));
+        obs::flight::set_thread_rank(r);
         try {
           fn(comm);
         } catch (const RankDeath&) {
           // Injected death: exit abruptly; the closing sockets deliver EOF.
+          // The black box is written first, while the mesh is still open, so
+          // peers cannot observe the death before the box is complete.
+          obs::flight::dump_now(r, "injected rank death", /*fatal=*/true);
           exit_code = kRankDeathExit;
         } catch (const RankFailed& f) {
           std::fprintf(stderr,
@@ -348,6 +358,7 @@ void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   std::exception_ptr rank0_failure;
   {
     ProcessComm comm(0, std::move(mesh[0]));
+    obs::flight::set_thread_rank(0);
     try {
       fn(comm);
     } catch (const RankFailed&) {

@@ -1,8 +1,10 @@
 #include "minimpi/comm.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flight.h"
 #include "obs/hist.h"
 #include "obs/obs.h"
 #include "util/check.h"
@@ -11,15 +13,42 @@ namespace raxh::mpi {
 
 namespace {
 
+namespace flight = obs::flight;
+
 // Feeds the collective-latency histogram: one sample per collective call,
 // measured from entry to completion (so it includes peer wait time — the
-// coarse-grained analogue of the crew barrier wait).
+// coarse-grained analogue of the crew barrier wait). Sleeps injected by a
+// fault plan on this thread are subtracted: they are chaos-test artifacts,
+// not comm latency.
 struct ScopedCollectiveLatency {
   bool armed = obs::enabled();
   std::uint64_t start = armed ? obs::now_ns() : 0;
+  std::uint64_t synth0 = armed ? obs::synthetic_delay_ns_this_thread() : 0;
   ~ScopedCollectiveLatency() {
+    if (!armed) return;
+    std::uint64_t dur = obs::now_ns() - start;
+    const std::uint64_t synth =
+        obs::synthetic_delay_ns_this_thread() - synth0;
+    dur -= std::min(dur, synth);
+    obs::detail::hist_add(obs::Hist::kCollectiveNs, dur);
+  }
+};
+
+// Flight-recorder bracket for one collective. Separate from the span/latency
+// scopes above because the recorder is always on, even with obs:: disabled.
+struct FlightCollective {
+  std::uint32_t id;
+  bool armed = flight::enabled();
+  std::uint64_t start = 0;
+  explicit FlightCollective(std::uint32_t name_id) : id(name_id) {
+    if (armed) {
+      start = obs::now_ns();
+      flight::record(flight::Kind::kCollBegin, id);
+    }
+  }
+  ~FlightCollective() {
     if (armed)
-      obs::detail::hist_add(obs::Hist::kCollectiveNs, obs::now_ns() - start);
+      flight::record(flight::Kind::kCollEnd, id, obs::now_ns() - start);
   }
 };
 
@@ -28,11 +57,24 @@ struct ScopedCollectiveLatency {
 void Comm::send(int dest, int tag, const Bytes& payload) {
   current_op_->msgs_sent += 1;
   current_op_->bytes_sent += payload.size();
+  const bool fl = flight::enabled();
+  if (fl)
+    flight::record(flight::Kind::kSendBegin, flight::peer_tag(dest, tag),
+                   payload.size());
   do_send(dest, tag, payload);
+  if (fl)
+    flight::record(flight::Kind::kSendEnd, flight::peer_tag(dest, tag),
+                   payload.size());
 }
 
 Bytes Comm::recv(int src, int tag) {
+  const bool fl = flight::enabled();
+  if (fl)
+    flight::record(flight::Kind::kRecvBegin, flight::peer_tag(src, tag));
   Bytes payload = do_recv(src, tag);
+  if (fl)
+    flight::record(flight::Kind::kRecvEnd, flight::peer_tag(src, tag),
+                   payload.size());
   current_op_->msgs_recv += 1;
   current_op_->bytes_recv += payload.size();
   return payload;
@@ -65,17 +107,22 @@ std::string Comm::Stats::to_json() const {
                   static_cast<unsigned long long>(op->bytes_recv));
     out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "\"barrier_wait_ns\":%llu}",
-                static_cast<unsigned long long>(barrier_wait_ns));
+  std::snprintf(buf, sizeof(buf),
+                "\"barrier_wait_ns\":%llu,\"synthetic_delay_ns\":%llu}",
+                static_cast<unsigned long long>(barrier_wait_ns),
+                static_cast<unsigned long long>(synthetic_delay_ns));
   out += buf;
   return out;
 }
 
 void Comm::barrier() {
   obs::Span span("mpi.barrier");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.barrier");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.barrier);
   const std::uint64_t wait_start = obs::now_ns();
+  const std::uint64_t synth0 = obs::synthetic_delay_ns_this_thread();
   // Central coordinator: everyone checks in with rank 0, rank 0 releases.
   const Bytes empty;
   if (rank() == 0) {
@@ -85,11 +132,16 @@ void Comm::barrier() {
     send(0, kTagBarrier, empty);
     recv(0, kTagBarrier);
   }
-  stats_.barrier_wait_ns += obs::now_ns() - wait_start;
+  std::uint64_t waited = obs::now_ns() - wait_start;
+  const std::uint64_t synth = obs::synthetic_delay_ns_this_thread() - synth0;
+  waited -= std::min(waited, synth);  // injected sleeps are not barrier wait
+  stats_.barrier_wait_ns += waited;
 }
 
 void Comm::bcast(Bytes& data, int root) {
   obs::Span span("mpi.bcast");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.bcast");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.bcast);
   RAXH_EXPECTS(root >= 0 && root < size());
@@ -109,6 +161,8 @@ void Comm::bcast_string(std::string& data, int root) {
 
 Comm::MaxLoc Comm::allreduce_maxloc(double value) {
   obs::Span span("mpi.allreduce");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   Packer p;
@@ -138,6 +192,8 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value) {
 
 double Comm::allreduce_sum(double value) {
   obs::Span span("mpi.allreduce");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   double total = value;
@@ -162,6 +218,8 @@ double Comm::allreduce_sum(double value) {
 
 double Comm::allreduce_max(double value) {
   obs::Span span("mpi.allreduce");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   double best = value;
@@ -186,6 +244,8 @@ double Comm::allreduce_max(double value) {
 
 long Comm::allreduce_sum_long(long value) {
   obs::Span span("mpi.allreduce");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
   long total = value;
@@ -211,6 +271,8 @@ long Comm::allreduce_sum_long(long value) {
 std::vector<std::vector<double>> Comm::gather_doubles(
     const std::vector<double>& mine, int root) {
   obs::Span span("mpi.gather");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.gather");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
   std::vector<std::vector<double>> out;
@@ -234,6 +296,8 @@ std::vector<std::vector<double>> Comm::gather_doubles(
 std::vector<std::string> Comm::gather_strings(const std::string& mine,
                                               int root) {
   obs::Span span("mpi.gather");
+  static const std::uint32_t kFlightName = flight::name_id("mpi.gather");
+  FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
   std::vector<std::string> out;

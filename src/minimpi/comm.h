@@ -70,6 +70,10 @@ class Comm {
   struct Stats {
     OpStats p2p, barrier, bcast, reduce, gather;
     std::uint64_t barrier_wait_ns = 0;  // time blocked inside barrier()
+    // Fault-plan sleeps this rank served (FaultyComm `delay` actions). Kept
+    // separate — and subtracted from this rank's own latency samples — so
+    // chaos runs don't pollute p95/p99 comm latency in --metrics-out.
+    std::uint64_t synthetic_delay_ns = 0;
     [[nodiscard]] OpStats total() const;
     [[nodiscard]] std::string to_json() const;  // {"comm":{...}} section
   };
@@ -130,6 +134,11 @@ class Comm {
   // Backend transport, wrapped by the counting send()/recv() above.
   virtual void do_send(int dest, int tag, const Bytes& payload) = 0;
   virtual Bytes do_recv(int src, int tag) = 0;
+
+  // Fault decorators report their injected sleeps (see Stats above).
+  void note_synthetic_delay_ns(std::uint64_t ns) {
+    stats_.synthetic_delay_ns += ns;
+  }
 
   static constexpr int kTagBarrier = 1000000;
   static constexpr int kTagBcast = 1000001;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/prng.h"
@@ -174,6 +175,8 @@ const FaultAction* FaultyComm::next_op() {
   for (const FaultAction& a : actions_)
     if (static_cast<std::uint64_t>(a.op) == op_count_) {
       obs::count(obs::Counter::kFaultsInjected);
+      obs::flight::record(obs::flight::Kind::kFault,
+                          static_cast<std::uint64_t>(a.kind), op_count_);
       return &a;
     }
   return nullptr;
@@ -181,12 +184,22 @@ const FaultAction* FaultyComm::next_op() {
 
 void FaultyComm::die() { throw RankDeath{rank()}; }
 
+void FaultyComm::sleep_injected(int delay_ms) {
+  const std::uint64_t start = obs::now_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  // Book the measured sleep (>= the nominal ms): oversleep is just as
+  // synthetic as the requested delay.
+  const std::uint64_t slept = obs::now_ns() - start;
+  note_synthetic_delay_ns(slept);
+  obs::add_synthetic_delay_ns(slept);
+}
+
 void FaultyComm::fault_tick() {
   const FaultAction* a = next_op();
   if (!a) return;
   switch (a->kind) {
     case FaultAction::Kind::kDelay:
-      std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+      sleep_injected(a->delay_ms);
       return;
     case FaultAction::Kind::kDie:
     case FaultAction::Kind::kDrop:
@@ -201,7 +214,7 @@ void FaultyComm::do_send(int dest, int tag, const Bytes& payload) {
   if (a) {
     switch (a->kind) {
       case FaultAction::Kind::kDelay:
-        std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+        sleep_injected(a->delay_ms);
         break;
       case FaultAction::Kind::kDie:
         die();
@@ -222,7 +235,7 @@ Bytes FaultyComm::do_recv(int src, int tag) {
   if (a) {
     switch (a->kind) {
       case FaultAction::Kind::kDelay:
-        std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+        sleep_injected(a->delay_ms);
         break;
       case FaultAction::Kind::kDie:
       case FaultAction::Kind::kDrop:

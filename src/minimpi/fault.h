@@ -104,6 +104,9 @@ class FaultyComm final : public Comm {
   // Advance the op counter and return the action firing at this op, if any.
   const FaultAction* next_op();
   [[noreturn]] void die();
+  // Serve a kDelay action; the measured sleep is booked as synthetic delay
+  // (Comm::Stats + obs) so latency accounting can subtract it.
+  void sleep_injected(int delay_ms);
 
   Comm* inner_;
   std::vector<FaultAction> actions_;  // this rank's actions only

@@ -123,6 +123,17 @@ void set_rank(int r) { detail::g_rank.store(r, std::memory_order_relaxed); }
 
 int rank() { return detail::g_rank.load(std::memory_order_relaxed); }
 
+namespace {
+thread_local std::uint64_t t_synthetic_delay_ns = 0;
+}  // namespace
+
+void add_synthetic_delay_ns(std::uint64_t ns) {
+  t_synthetic_delay_ns += ns;
+  count(Counter::kSyntheticDelayNs, ns);
+}
+
+std::uint64_t synthetic_delay_ns_this_thread() { return t_synthetic_delay_ns; }
+
 void reset() {
   auto& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
@@ -157,6 +168,8 @@ const char* counter_name(Counter c) {
       return "rank_failures";
     case Counter::kUnitsRegranted:
       return "units_regranted";
+    case Counter::kSyntheticDelayNs:
+      return "synthetic_delay_ns";
     case Counter::kCount:
       break;
   }

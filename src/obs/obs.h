@@ -70,6 +70,8 @@ enum class Counter : int {
   kFaultsInjected,       // fault-plan actions fired on this rank (minimpi)
   kRankFailures,         // dead peers detected (fault-tolerant driver)
   kUnitsRegranted,       // work units re-run on behalf of dead ranks
+  kSyntheticDelayNs,     // injected (fault-plan) sleep time, kept out of
+                         // latency histograms
   kCount
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
@@ -89,6 +91,14 @@ inline void count(Counter c, std::uint64_t n = 1) {
   if (!enabled()) return;
   detail::add_count(c, n);
 }
+
+// Synthetic-delay accounting: FaultyComm (minimpi/fault.h) reports its
+// injected sleeps here, per thread, so latency instrumentation can subtract
+// them — chaos runs must not pollute p95/p99 comm latency. Scopes snapshot
+// the thread total at entry and subtract the delta at exit. Always tracked
+// (independent of enabled(); the counter copy is gated as usual).
+void add_synthetic_delay_ns(std::uint64_t ns);
+[[nodiscard]] std::uint64_t synthetic_delay_ns_this_thread();
 
 // Summed-over-threads counter values at a point in time.
 struct CounterSnapshot {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace raxh::obs {
@@ -85,13 +86,19 @@ void run_phases_reset_for_fork() {
 }
 
 ScopedPhase::ScopedPhase(const char* name, PhaseAccumulator* local)
-    : name_(name), local_(local), start_ns_(now_ns()) {}
+    : name_(name), local_(local), start_ns_(now_ns()) {
+  flight::record(flight::Kind::kPhaseBegin, flight::name_id(name));
+}
 
 ScopedPhase::~ScopedPhase() {
   const std::uint64_t end_ns = now_ns();
   const double seconds = static_cast<double>(end_ns - start_ns_) / 1e9;
   run_phases().add(name_, seconds);
   if (local_ != nullptr) local_->add(name_, seconds);
+  // The flight event carries the same elapsed sample run_phases() gets, so
+  // raxh_blackbox's critical-path totals reconcile with the component table.
+  flight::record(flight::Kind::kPhaseEnd, flight::name_id(name_),
+                 end_ns - start_ns_);
   if (enabled())
     record_phase_span(std::string("phase:") + name_, start_ns_,
                       end_ns - start_ns_);

@@ -1,0 +1,489 @@
+#include "obs/postmortem.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+namespace raxh::obs::pm {
+
+namespace {
+
+using flight::Kind;
+
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+// Friendly names for the protocol tags seen in send/recv events. The numeric
+// values mirror minimpi's collective tags (comm.h) and the fault-tolerant
+// driver's star-protocol tags (core/hybrid.cpp).
+std::string tag_name(int tag) {
+  switch (tag) {
+    case 900001:
+      return "ft.barrier";
+    case 900002:
+      return "ft.report";
+    case 900003:
+      return "ft.control";
+    case 1000000:
+      return "barrier";
+    case 1000001:
+      return "bcast";
+    case 1000002:
+      return "reduce";
+    case 1000003:
+      return "gather";
+    default:
+      return std::to_string(tag);
+  }
+}
+
+// Mirrors FaultAction::Kind (minimpi/fault.h).
+const char* fault_kind_name(std::uint64_t k) {
+  switch (k) {
+    case 0:
+      return "die";
+    case 1:
+      return "drop";
+    case 2:
+      return "torn";
+    case 3:
+      return "delay";
+    default:
+      return "?";
+  }
+}
+
+bool is_barrier_name(const std::string& name) {
+  return name == "mpi.barrier" || name == "ft.barrier";
+}
+
+bool is_comm_end(Kind k) {
+  return k == Kind::kSendEnd || k == Kind::kRecvEnd || k == Kind::kCollEnd;
+}
+
+std::size_t rank_index(const Merged& merged, int rank) {
+  const auto it =
+      std::find(merged.ranks.begin(), merged.ranks.end(), rank);
+  return static_cast<std::size_t>(it - merged.ranks.begin());
+}
+
+std::uint64_t base_ts(const Merged& merged) {
+  return merged.events.empty() ? 0 : merged.events.front().ts_ns;
+}
+
+std::string rel_s(const Merged& merged, std::uint64_t ts) {
+  return fmt("+%.6fs", static_cast<double>(ts - base_ts(merged)) * 1e-9);
+}
+
+// Per-rank barrier episodes: each collective-end event of a barrier-shaped
+// collective, with arrival (begin) reconstructed from the recorded duration.
+struct Episode {
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t wait_ns = 0;
+};
+std::map<int, std::vector<Episode>> barrier_episodes(const Merged& merged) {
+  std::map<int, std::vector<Episode>> out;
+  for (const Event& ev : merged.events) {
+    if (ev.kind != Kind::kCollEnd || !is_barrier_name(ev.name)) continue;
+    if (ev.rank < 0) continue;
+    out[ev.rank].push_back(Episode{ev.ts_ns - std::min(ev.ts_ns, ev.b), ev.b});
+  }
+  return out;
+}
+
+// The stage `rank` was in at time `ts` (latest phase begin not yet ended).
+std::string stage_at(const Merged& merged, int rank, std::uint64_t ts) {
+  std::string stage = "?";
+  bool open = false;
+  for (const Event& ev : merged.events) {
+    if (ev.rank != rank || ev.ts_ns > ts) continue;
+    if (ev.kind == Kind::kPhaseBegin) {
+      stage = ev.name;
+      open = true;
+    } else if (ev.kind == Kind::kPhaseEnd && open && ev.name == stage) {
+      open = false;
+    }
+  }
+  return open ? stage : stage + " (ended)";
+}
+
+}  // namespace
+
+Merged merge(const std::vector<flight::Blackbox>& boxes) {
+  Merged merged;
+
+  // On the thread backend every box carries every rank's ring, so the same
+  // (pid, tid) ring appears in several dumps taken at different times — keep
+  // the copy with the furthest-advanced cursor.
+  struct RingRef {
+    const flight::Blackbox* box;
+    const flight::Blackbox::RingDump* ring;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, RingRef> rings;
+  for (const flight::Blackbox& box : boxes) {
+    if (box.fatal) merged.dead.emplace_back(box.rank, box.reason);
+    for (const flight::Blackbox::RingDump& ring : box.rings) {
+      const auto key = std::make_pair(box.pid, ring.tid);
+      const auto it = rings.find(key);
+      if (it == rings.end() || ring.head > it->second.ring->head)
+        rings[key] = RingRef{&box, &ring};
+    }
+  }
+
+  std::set<int> ranks;
+  for (const auto& [key, ref] : rings) {
+    (void)key;
+    merged.dropped += ref.ring->head - ref.ring->events.size();
+    for (const flight::DecodedEvent& ev : ref.ring->events) {
+      Event out;
+      out.ts_ns = ev.ts_ns;
+      out.kind = ev.kind;
+      out.rank = ev.rank >= 0 ? ev.rank : ref.box->rank;
+      out.tid = ref.ring->tid;
+      out.a = ev.a;
+      out.b = ev.b;
+      switch (ev.kind) {
+        case Kind::kPhaseBegin:
+        case Kind::kPhaseEnd:
+        case Kind::kCollBegin:
+        case Kind::kCollEnd:
+        case Kind::kCkptWrite:
+        case Kind::kNote:
+          out.name = ref.box->name(ev.a);
+          break;
+        case Kind::kRankDead:
+          out.name = ref.box->name(ev.b);
+          break;
+        default:
+          break;
+      }
+      if (out.rank >= 0) ranks.insert(out.rank);
+      merged.events.push_back(std::move(out));
+    }
+  }
+  for (const auto& [rank, reason] : merged.dead) {
+    (void)reason;
+    ranks.insert(rank);
+  }
+  merged.ranks.assign(ranks.begin(), ranks.end());
+  std::sort(merged.dead.begin(), merged.dead.end());
+  merged.dead.erase(std::unique(merged.dead.begin(), merged.dead.end()),
+                    merged.dead.end());
+
+  // Clock-offset estimation: all participants leave a barrier at (nearly) the
+  // same instant, so matched barrier-exit events pin the per-rank clocks to
+  // the reference rank. Median over matched episodes resists one odd sample.
+  std::sort(merged.events.begin(), merged.events.end(),
+            [](const Event& x, const Event& y) { return x.ts_ns < y.ts_ns; });
+  const auto episodes = barrier_episodes(merged);
+  int ref_rank = -1;
+  for (const auto& [rank, eps] : episodes) {
+    (void)eps;
+    if (ref_rank < 0 || rank < ref_rank) ref_rank = rank;
+  }
+  for (const int rank : merged.ranks) {
+    std::int64_t offset = 0;
+    if (ref_rank >= 0 && rank != ref_rank && episodes.count(rank)) {
+      const auto& ref_eps = episodes.at(ref_rank);
+      const auto& eps = episodes.at(rank);
+      const std::size_t n = std::min(ref_eps.size(), eps.size());
+      std::vector<std::int64_t> deltas;
+      for (std::size_t i = 0; i < n; ++i)
+        deltas.push_back(
+            static_cast<std::int64_t>(ref_eps[i].arrival_ns +
+                                      ref_eps[i].wait_ns) -
+            static_cast<std::int64_t>(eps[i].arrival_ns + eps[i].wait_ns));
+      if (!deltas.empty()) {
+        std::sort(deltas.begin(), deltas.end());
+        offset = deltas[deltas.size() / 2];
+      }
+    }
+    merged.offsets.emplace_back(rank, offset);
+    if (offset != 0)
+      for (Event& ev : merged.events)
+        if (ev.rank == rank)
+          ev.ts_ns = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(ev.ts_ns) + offset);
+  }
+  std::stable_sort(
+      merged.events.begin(), merged.events.end(),
+      [](const Event& x, const Event& y) { return x.ts_ns < y.ts_ns; });
+  return merged;
+}
+
+std::optional<Event> last_completed_comm_op(const Merged& merged, int rank) {
+  std::optional<Event> last;
+  for (const Event& ev : merged.events)
+    if (ev.rank == rank && is_comm_end(ev.kind)) last = ev;
+  return last;
+}
+
+std::string describe(const Event& ev) {
+  switch (ev.kind) {
+    case Kind::kPhaseBegin:
+      return "phase " + ev.name + " begin";
+    case Kind::kPhaseEnd:
+      return "phase " + ev.name +
+             fmt(" end (%.3fs)", static_cast<double>(ev.b) * 1e-9);
+    case Kind::kSendBegin:
+      return fmt("send -> r%d tag %s (%llu B)", flight::peer_of(ev.a),
+                 tag_name(flight::tag_of(ev.a)).c_str(),
+                 static_cast<unsigned long long>(ev.b));
+    case Kind::kSendEnd:
+      return fmt("send done -> r%d tag %s (%llu B)", flight::peer_of(ev.a),
+                 tag_name(flight::tag_of(ev.a)).c_str(),
+                 static_cast<unsigned long long>(ev.b));
+    case Kind::kRecvBegin:
+      return fmt("recv <- r%d tag %s", flight::peer_of(ev.a),
+                 tag_name(flight::tag_of(ev.a)).c_str());
+    case Kind::kRecvEnd:
+      return fmt("recv done <- r%d tag %s (%llu B)", flight::peer_of(ev.a),
+                 tag_name(flight::tag_of(ev.a)).c_str(),
+                 static_cast<unsigned long long>(ev.b));
+    case Kind::kCollBegin:
+      return ev.name + " begin";
+    case Kind::kCollEnd:
+      return ev.name + fmt(" done (%.3f ms)", static_cast<double>(ev.b) * 1e-6);
+    case Kind::kJobBegin:
+      return fmt("crew job #%llu dispatched (%llu threads)",
+                 static_cast<unsigned long long>(ev.b),
+                 static_cast<unsigned long long>(ev.a));
+    case Kind::kJobEnd:
+      return fmt("crew job joined (%.3f ms)",
+                 static_cast<double>(ev.b) * 1e-6);
+    case Kind::kCkptWrite:
+      return "checkpoint written " + ev.name +
+             fmt(" (%llu B)", static_cast<unsigned long long>(ev.b));
+    case Kind::kFault:
+      return fmt("fault injected: %s at op %llu", fault_kind_name(ev.a),
+                 static_cast<unsigned long long>(ev.b));
+    case Kind::kRankDead:
+      return fmt("death of rank %llu detected at ",
+                 static_cast<unsigned long long>(ev.a)) +
+             ev.name;
+    case Kind::kRegrant:
+      return fmt("share %llu re-granted to rank %llu",
+                 static_cast<unsigned long long>(ev.a),
+                 static_cast<unsigned long long>(ev.b));
+    case Kind::kNote:
+      return ev.name;
+  }
+  return "?";
+}
+
+std::string format_postmortem(const Merged& merged) {
+  std::string out = fmt("post-mortem: %zu event(s) across %zu rank(s)",
+                        merged.events.size(), merged.ranks.size());
+  if (merged.dropped > 0)
+    out += fmt(", %llu lost to ring wrap",
+               static_cast<unsigned long long>(merged.dropped));
+  out += "\n";
+  if (merged.dead.empty()) {
+    out += "  no death records: all dumped ranks exited normally\n";
+    return out;
+  }
+  for (const auto& [rank, reason] : merged.dead) {
+    out += fmt("  rank %d died (%s)\n", rank,
+               reason.empty() ? "no reason recorded" : reason.c_str());
+    if (const auto last = last_completed_comm_op(merged, rank))
+      out += "    last completed comm op: " + describe(*last) + " at " +
+             rel_s(merged, last->ts_ns) + "\n";
+    else
+      out += "    died before completing any comm op\n";
+  }
+  return out;
+}
+
+std::string format_timeline(const Merged& merged, std::size_t last_n) {
+  std::set<int> dead;
+  for (const auto& [rank, reason] : merged.dead) {
+    (void)reason;
+    dead.insert(rank);
+  }
+  const std::size_t n = std::min(last_n, merged.events.size());
+  std::string out = fmt("timeline: last %zu of %zu event(s)\n", n,
+                        merged.events.size());
+  for (std::size_t i = merged.events.size() - n; i < merged.events.size();
+       ++i) {
+    const Event& ev = merged.events[i];
+    const std::string rank_col =
+        ev.rank < 0 ? std::string("r?")
+                    : fmt("r%d%s", ev.rank, dead.count(ev.rank) ? "†" : "");
+    out += fmt("  %14s  %-4s t%-3u  ", rel_s(merged, ev.ts_ns).c_str(),
+               rank_col.c_str(), ev.tid) +
+           describe(ev) + "\n";
+  }
+  return out;
+}
+
+std::string format_barrier_report(const Merged& merged) {
+  const auto episodes = barrier_episodes(merged);
+  std::size_t max_episodes = 0;
+  for (const auto& [rank, eps] : episodes) {
+    (void)rank;
+    max_episodes = std::max(max_episodes, eps.size());
+  }
+  // Per-stage aggregation: who arrived last (the blocker), how long the
+  // others waited on them.
+  struct StageAgg {
+    std::size_t episodes = 0;
+    double total_wait_s = 0.0;
+    std::map<int, std::pair<std::size_t, double>> blockers;  // rank → (n, s)
+  };
+  std::map<std::string, StageAgg> stages;
+  std::vector<std::string> stage_order;
+  for (std::size_t i = 0; i < max_episodes; ++i) {
+    std::vector<std::pair<int, Episode>> participants;
+    for (const auto& [rank, eps] : episodes)
+      if (i < eps.size()) participants.emplace_back(rank, eps[i]);
+    if (participants.size() < 2) continue;
+    const auto blocker = *std::max_element(
+        participants.begin(), participants.end(),
+        [](const auto& x, const auto& y) {
+          return x.second.arrival_ns < y.second.arrival_ns;
+        });
+    double total_wait = 0.0;
+    double caused_wait = 0.0;
+    for (const auto& [rank, ep] : participants) {
+      total_wait += static_cast<double>(ep.wait_ns) * 1e-9;
+      if (rank == blocker.first) continue;
+      // The slice of this rank's wait spent purely on the blocker.
+      const std::uint64_t until_blocker =
+          blocker.second.arrival_ns > ep.arrival_ns
+              ? blocker.second.arrival_ns - ep.arrival_ns
+              : 0;
+      caused_wait +=
+          static_cast<double>(std::min(until_blocker, ep.wait_ns)) * 1e-9;
+    }
+    const std::string stage =
+        stage_at(merged, blocker.first, blocker.second.arrival_ns);
+    if (!stages.count(stage)) stage_order.push_back(stage);
+    StageAgg& agg = stages[stage];
+    agg.episodes += 1;
+    agg.total_wait_s += total_wait;
+    agg.blockers[blocker.first].first += 1;
+    agg.blockers[blocker.first].second += caused_wait;
+  }
+
+  std::string out = "barrier-wait attribution by stage:\n";
+  if (stage_order.empty()) {
+    out += "  no matched barrier episodes on record\n";
+    return out;
+  }
+  out += fmt("  %-18s %9s %12s  %s\n", "stage", "episodes", "total wait",
+             "worst blocker");
+  for (const std::string& stage : stage_order) {
+    const StageAgg& agg = stages.at(stage);
+    const auto worst = *std::max_element(
+        agg.blockers.begin(), agg.blockers.end(),
+        [](const auto& x, const auto& y) {
+          return x.second.second < y.second.second;
+        });
+    out += fmt("  %-18s %9zu %10.3f s  rank %d last to arrive in %zu "
+               "episode(s), peers waited %.3f s on it\n",
+               stage.c_str(), agg.episodes, agg.total_wait_s, worst.first,
+               worst.second.first, worst.second.second);
+  }
+  return out;
+}
+
+std::vector<StageRow> stage_table(const Merged& merged) {
+  std::vector<StageRow> rows;
+  for (const Event& ev : merged.events) {
+    if (ev.kind != Kind::kPhaseEnd || ev.rank < 0) continue;
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const StageRow& r) {
+      return r.stage == ev.name;
+    });
+    if (it == rows.end()) {
+      rows.push_back(StageRow{ev.name,
+                              std::vector<double>(merged.ranks.size(), 0.0),
+                              -1, 0.0});
+      it = rows.end() - 1;
+    }
+    it->per_rank_s[rank_index(merged, ev.rank)] +=
+        static_cast<double>(ev.b) * 1e-9;
+  }
+  for (StageRow& row : rows)
+    for (std::size_t i = 0; i < row.per_rank_s.size(); ++i)
+      if (row.slowest < 0 || row.per_rank_s[i] > row.max_s) {
+        row.max_s = row.per_rank_s[i];
+        row.slowest = merged.ranks[i];
+      }
+  return rows;
+}
+
+std::string format_critical_path(const Merged& merged) {
+  const std::vector<StageRow> rows = stage_table(merged);
+  std::string out = "critical path over phase timers:\n";
+  if (rows.empty()) {
+    out += "  no phase events on record\n";
+    return out;
+  }
+  out += fmt("  %-12s", "stage");
+  for (const int rank : merged.ranks) out += fmt(" %9s", fmt("r%d", rank).c_str());
+  out += fmt(" %12s\n", "max (rank)");
+  double critical_total = 0.0;
+  std::vector<double> rank_totals(merged.ranks.size(), 0.0);
+  for (const StageRow& row : rows) {
+    out += fmt("  %-12s", row.stage.c_str());
+    for (std::size_t i = 0; i < row.per_rank_s.size(); ++i) {
+      out += fmt(" %9.3f", row.per_rank_s[i]);
+      rank_totals[i] += row.per_rank_s[i];
+    }
+    out += fmt("   %7.3f (r%d)\n", row.max_s, row.slowest);
+    critical_total += row.max_s;
+  }
+  out += fmt("  %-12s", "total");
+  for (const double t : rank_totals) out += fmt(" %9.3f", t);
+  out += fmt("   %7.3f\n", critical_total);
+  out += fmt("  critical path (sum of per-stage maxima): %.3f s\n",
+             critical_total);
+  return out;
+}
+
+std::optional<std::string> last_op_summary(const std::string& blackbox_path,
+                                           int rank) {
+  if (blackbox_path.empty()) return std::nullopt;
+  try {
+    const Merged merged = merge({flight::read_blackbox(blackbox_path)});
+    if (const auto last = last_completed_comm_op(merged, rank))
+      return describe(*last);
+    return std::string("died before completing any comm op");
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<flight::Blackbox> read_dir(const std::string& dir,
+                                       std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec))
+    if (entry.path().extension() == ".blackbox")
+      paths.push_back(entry.path().string());
+  if (ec && errors)
+    errors->push_back("cannot read directory '" + dir + "': " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  std::vector<flight::Blackbox> boxes;
+  for (const std::string& path : paths) {
+    try {
+      boxes.push_back(flight::read_blackbox(path));
+    } catch (const std::exception& e) {
+      if (errors) errors->push_back(e.what());
+    }
+  }
+  return boxes;
+}
+
+}  // namespace raxh::obs::pm

@@ -1,0 +1,89 @@
+// Offline analysis of flight-recorder black boxes (see flight.h): merge the
+// per-rank dumps of one run into a single timeline and render the three
+// post-mortem reports the `raxh_blackbox` tool ships —
+//  * a last-N event timeline around the moment of death,
+//  * barrier-wait attribution per comprehensive-analysis stage (which rank
+//    made everyone wait, and for how long — the Table-2 view),
+//  * a critical-path summary over the per-stage phase timers that reconciles
+//    with the Figs. 3/4 component table.
+//
+// Black boxes record the monotonic clock of the process that wrote them, so
+// merging estimates a per-rank offset by aligning matched barrier-exit
+// events (every participant leaves a barrier at the same instant up to
+// messaging latency). On one host the offsets are near zero; the machinery
+// exists so multi-process timelines stay ordered even when they are not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+
+namespace raxh::obs::pm {
+
+struct Event {
+  std::uint64_t ts_ns = 0;  // offset-adjusted
+  flight::Kind kind{};
+  int rank = -1;
+  std::uint32_t tid = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string name;  // resolved name-table entry for kinds that carry one
+};
+
+struct Merged {
+  std::vector<Event> events;  // sorted by adjusted timestamp
+  std::vector<int> ranks;     // sorted, unique
+  // rank → monotonic-clock offset (ns) added to that rank's timestamps.
+  std::vector<std::pair<int, std::int64_t>> offsets;
+  // Ranks whose box was dumped as a death record, with the dump reason.
+  std::vector<std::pair<int, std::string>> dead;
+  std::uint64_t dropped = 0;  // ring-wrap losses summed over deduped rings
+};
+
+// Merge decoded boxes: dedupe rings shared between boxes of one process
+// (thread backend dumps carry every rank's ring), estimate offsets, sort.
+Merged merge(const std::vector<flight::Blackbox>& boxes);
+
+// The latest completed comm operation (send/recv/collective end) recorded by
+// `rank`, or nullopt if it died before completing any.
+std::optional<Event> last_completed_comm_op(const Merged& merged, int rank);
+
+// One-line human rendering of an event (no timestamp).
+std::string describe(const Event& ev);
+
+// Report 0 (always printed): dead ranks and their last completed comm ops.
+std::string format_postmortem(const Merged& merged);
+
+// Report 1: the last `last_n` merged events, timestamped relative to the
+// earliest event on record; dead ranks are marked.
+std::string format_timeline(const Merged& merged, std::size_t last_n = 40);
+
+// Report 2: barrier-wait attribution per stage.
+std::string format_barrier_report(const Merged& merged);
+
+// Report 3: per-stage, per-rank phase seconds + the critical path.
+struct StageRow {
+  std::string stage;
+  std::vector<double> per_rank_s;  // indexed like Merged::ranks
+  int slowest = -1;                // rank attaining the stage maximum
+  double max_s = 0.0;
+};
+std::vector<StageRow> stage_table(const Merged& merged);
+std::string format_critical_path(const Merged& merged);
+
+// Recovery-log helper: decode one box and summarize rank `rank`'s last
+// completed comm op. Returns nullopt when the box is missing or unreadable;
+// otherwise a short sentence (possibly "died before completing any comm
+// op"). Never throws — this runs inside the failure-detection path.
+std::optional<std::string> last_op_summary(const std::string& blackbox_path,
+                                           int rank);
+
+// Decode every *.blackbox under `dir` (sorted by name). Undecodable files are
+// skipped with a diagnostic appended to `errors` (when non-null).
+std::vector<flight::Blackbox> read_dir(const std::string& dir,
+                                       std::vector<std::string>* errors);
+
+}  // namespace raxh::obs::pm

@@ -1,5 +1,6 @@
 #include "parallel/workforce.h"
 
+#include "obs/flight.h"
 #include "obs/hist.h"
 #include "obs/obs.h"
 #include "util/check.h"
@@ -53,8 +54,22 @@ Workforce::~Workforce() {
 
 void Workforce::run(const std::function<void(int, int)>& job) {
   obs::count(obs::Counter::kWorkforceJobs);
+  // Crew jobs fire ~10^5/s on fine-grained kernels, so per-job flight events
+  // would blow the recorder's <2% always-on budget; sample every 64th job.
+  // The black box still shows a live, churning crew (and its job index),
+  // while the forensically dense events — comm ops, phases, faults — stay
+  // unsampled.
+  const std::uint64_t job_index = job_count_++;
+  const bool flight_on = obs::flight::enabled() && (job_index & 63) == 0;
+  const std::uint64_t flight_start = flight_on ? obs::now_ns() : 0;
+  const auto crew = static_cast<std::uint64_t>(num_threads_);
+  if (flight_on)
+    obs::flight::record(obs::flight::Kind::kJobBegin, crew, job_index);
   if (num_threads_ == 1) {
     timed_job(job, 0, 1);
+    if (flight_on)
+      obs::flight::record(obs::flight::Kind::kJobEnd, crew,
+                          obs::now_ns() - flight_start);
     return;
   }
   {
@@ -81,6 +96,9 @@ void Workforce::run(const std::function<void(int, int)>& job) {
     obs::count(obs::Counter::kBarrierWaitNs, waited);
     obs::detail::hist_add(obs::Hist::kBarrierWaitNs, waited);
   }
+  if (flight_on)
+    obs::flight::record(obs::flight::Kind::kJobEnd, crew,
+                        obs::now_ns() - flight_start);
 }
 
 void Workforce::worker_loop(int tid) {

@@ -63,6 +63,7 @@ class Workforce {
   std::uint64_t generation_ = 0;  // bumped per job; workers wait on it
   int running_ = 0;               // workers still executing current job
   bool shutdown_ = false;
+  std::uint64_t job_count_ = 0;  // total jobs dispatched (flight sampling)
 
   std::size_t reduction_slots_ = 1;
   std::vector<double> reduction_;  // [thread][slot] padded

@@ -52,6 +52,14 @@ void vlog(LogLevel level, const char* fmt, va_list args) {
 
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 std::string format_log_prefix(LogLevel level, int rank, int tid,
                               double monotonic) {
   char buf[64];

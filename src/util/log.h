@@ -6,11 +6,16 @@
 #pragma once
 
 #include <cstdarg>
+#include <optional>
 #include <string>
 
 namespace raxh {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Parse a --log-level value ("debug" | "info" | "warn" | "error");
+// nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 class Logger {
  public:

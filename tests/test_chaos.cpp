@@ -28,6 +28,8 @@
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
 #include "minimpi/fault.h"
+#include "obs/flight.h"
+#include "obs/postmortem.h"
 #include "tree/tree.h"
 
 namespace raxh {
@@ -91,9 +93,23 @@ struct Outcome {
   int resumed = 0;
 };
 
+// Every chaos run dumps its black boxes here; the dir is wiped per run so a
+// post-mortem only ever sees the current plan's boxes.
+const std::string& chaos_blackbox_dir() {
+  static const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("raxh_chaos_bb" + std::to_string(::getpid())))
+          .string();
+  return dir;
+}
+
 Outcome run_chaos(bool processes, int nranks, const mpi::FaultPlan& plan,
                   const std::string& ckpt_dir = "",
                   bool fault_tolerant = true) {
+  std::filesystem::remove_all(chaos_blackbox_dir());
+  std::filesystem::create_directories(chaos_blackbox_dir());
+  obs::flight::set_dump_dir(chaos_blackbox_dir());
+  obs::flight::reset();
   Outcome out;
   const auto fn = [&](mpi::Comm& inner) {
     std::unique_ptr<mpi::FaultyComm> faulty;
@@ -177,6 +193,30 @@ void run_seeded_plans(bool processes) {
     EXPECT_EQ(out.winner, ref.winner)
         << "plan " << i << " '" << plan.to_spec() << "'";
     total_failures += static_cast<int>(out.failed.size());
+
+    // Forensics contract: whenever ranks died, their black boxes must have
+    // landed, and the merged post-mortem must name every dead rank and its
+    // last completed comm op (or state that it died before completing one).
+    if (!out.failed.empty()) {
+      std::vector<std::string> errors;
+      const auto boxes = obs::pm::read_dir(chaos_blackbox_dir(), &errors);
+      for (const auto& err : errors)
+        ADD_FAILURE() << "plan " << i << " '" << plan.to_spec()
+                      << "': undecodable black box: " << err;
+      const obs::pm::Merged merged = obs::pm::merge(boxes);
+      const std::string report = obs::pm::format_postmortem(merged);
+      for (const int w : out.failed) {
+        EXPECT_NE(report.find("rank " + std::to_string(w) + " died"),
+                  std::string::npos)
+            << "plan " << i << " '" << plan.to_spec()
+            << "': post-mortem does not name dead rank " << w << ":\n"
+            << report;
+      }
+      EXPECT_TRUE(report.find("last completed comm op") != std::string::npos ||
+                  report.find("before completing any comm op") !=
+                      std::string::npos)
+          << "plan " << i << " '" << plan.to_spec() << "':\n" << report;
+    }
   }
   // Every generated plan carries at least one lethal action with op <= 8;
   // across the whole suite some must actually land and kill ranks —

@@ -387,6 +387,27 @@ TEST(FaultInjection, DelaysDoNotChangeResults) {
   });
 }
 
+TEST(FaultInjection, InjectedDelayIsBookedAsSyntheticNotAsLatency) {
+  // delay@1,1,60: rank 1's first transport op (the barrier send) sleeps
+  // 60 ms. The sleeper books the measured sleep as synthetic delay and
+  // subtracts it from its own barrier wait — chaos runs must not pollute
+  // the comm-latency accounting. Rank 0's wait is real (it genuinely sat in
+  // recv while rank 1 slept) and stays booked.
+  const FaultPlan plan = FaultPlan::parse("delay@1,1,60");
+  std::uint64_t synth[2] = {0, 0};
+  std::uint64_t wait[2] = {0, 0};
+  run_thread_ranks(2, [&](Comm& inner) {
+    FaultyComm comm(inner, plan);
+    comm.barrier();
+    synth[comm.rank()] = comm.stats().synthetic_delay_ns;
+    wait[comm.rank()] = comm.stats().barrier_wait_ns;
+  });
+  EXPECT_GE(synth[1], 55'000'000u);  // ~60 ms measured sleep
+  EXPECT_EQ(synth[0], 0u);
+  EXPECT_LT(wait[1], 30'000'000u);   // sleep excluded from the sleeper's wait
+  EXPECT_GE(wait[0], 40'000'000u);   // the peer's wait on the sleeper is real
+}
+
 TEST(FaultInjection, DieDeliversEarlierMessagesThenFails) {
   const FaultPlan plan = FaultPlan::parse("die@1,2");
   run_thread_ranks(2, [&plan](Comm& inner) {

@@ -249,6 +249,16 @@ TEST(LogPrefix, TimestampRankAndThreadWhenSet) {
             "[DBG +10.000s t7] ");
 }
 
+TEST(LogLevelFlag, ParsesEveryLevelAndRejectsJunk) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("WARN").has_value());
+}
+
 TEST(PhaseTimer, AccumulatesPhases) {
   PhaseTimer timer;
   timer.start("a");

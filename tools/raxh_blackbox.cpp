@@ -1,0 +1,119 @@
+// raxh_blackbox — offline analyzer for flight-recorder black boxes.
+//
+// usage: raxh_blackbox [--report=all|postmortem|timeline|barriers|critical-path]
+//                      [--last=N] <dir-or-file>...
+//
+// Each argument is either a DIR/rank<r>.blackbox file or a directory of
+// them (every *.blackbox inside is decoded). All decoded boxes are merged
+// into one cross-rank timeline (monotonic-clock offsets estimated from
+// matched barrier exits) and rendered as:
+//   postmortem     dead ranks and their last completed comm ops
+//   timeline       the last N merged events (default 40)
+//   barriers       barrier-wait attribution per analysis stage
+//   critical-path  per-stage, per-rank phase seconds + the critical path
+//
+// Corrupt or truncated boxes are rejected with a diagnostic on stderr and
+// skipped; the exit status is nonzero when nothing could be decoded.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/postmortem.h"
+
+namespace {
+
+using namespace raxh;
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--report=all|postmortem|timeline|barriers|"
+               "critical-path] [--last=N] <dir-or-file>...\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report = "all";
+  std::size_t last_n = 40;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report = arg.substr(std::strlen("--report="));
+      if (report != "all" && report != "postmortem" && report != "timeline" &&
+          report != "barriers" && report != "critical-path") {
+        std::fprintf(stderr, "error: unknown report '%s'\n", report.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--last=", 0) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(arg.c_str() + std::strlen("--last="), &end, 10);
+      if (end == nullptr || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "error: bad --last value in '%s'\n", arg.c_str());
+        return 2;
+      }
+      last_n = static_cast<std::size_t>(n);
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<obs::flight::Blackbox> boxes;
+  std::vector<std::string> errors;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      auto more = obs::pm::read_dir(input, &errors);
+      for (auto& b : more) boxes.push_back(std::move(b));
+    } else {
+      try {
+        boxes.push_back(obs::flight::read_blackbox(input));
+      } catch (const std::exception& e) {
+        errors.push_back(input + ": " + e.what());
+      }
+    }
+  }
+  for (const std::string& err : errors)
+    std::fprintf(stderr, "warning: skipped %s\n", err.c_str());
+  if (boxes.empty()) {
+    std::fprintf(stderr, "error: no decodable black boxes among the %zu "
+                 "input(s)\n", inputs.size());
+    return 1;
+  }
+
+  const obs::pm::Merged merged = obs::pm::merge(boxes);
+  std::printf("decoded %zu black box(es), %zu event(s) across %zu rank(s)",
+              boxes.size(), merged.events.size(), merged.ranks.size());
+  if (merged.dropped > 0)
+    std::printf(" (%llu oldest event(s) lost to ring wrap)",
+                static_cast<unsigned long long>(merged.dropped));
+  std::printf("\n\n");
+
+  if (report == "all" || report == "postmortem")
+    std::printf("%s\n", obs::pm::format_postmortem(merged).c_str());
+  if (report == "all" || report == "timeline")
+    std::printf("%s\n", obs::pm::format_timeline(merged, last_n).c_str());
+  if (report == "all" || report == "barriers")
+    std::printf("%s\n", obs::pm::format_barrier_report(merged).c_str());
+  if (report == "all" || report == "critical-path")
+    std::printf("%s\n", obs::pm::format_critical_path(merged).c_str());
+  return 0;
+}
