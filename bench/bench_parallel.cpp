@@ -2,18 +2,217 @@
 // thread-crew dispatch overhead (the fine-grained sync cost the performance
 // model parameterizes) and minimpi collective latency (the paper's point
 // that its MPI pattern needs no fast interconnect).
+//
+// Before the gbench suites, main() runs a CI-gated dispatch section
+// (`--dispatch-only` runs just that): the lock-free crew barrier is raced
+// against the retired mutex/CV handshake on the empty-job round-trip, and
+// the cost-aware weighted partition against uniform striping on a skewed
+// per-pattern cost profile. Results land in BENCH_dispatch.json; the gate
+// fails the run if the lock-free barrier does not beat the CV baseline at
+// 4 threads.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #define RAXH_BENCH_WITH_GBENCH
 #include "bench_util.h"
 #include "minimpi/comm.h"
+#include "obs/obs.h"
 #include "parallel/workforce.h"
 
 namespace {
 
 using namespace raxh;
+
+// ---------------------------------------------------------------------------
+// Dispatch-latency gate (BENCH_dispatch.json)
+// ---------------------------------------------------------------------------
+
+// The retired Workforce handshake, preserved as the before/after baseline:
+// a mutex + generation broadcast on one condition variable to issue, a
+// counted drain on a second to join. Kept minimal (no obs hooks) so the
+// comparison flatters the baseline, not the new barrier.
+class CvCrew {
+ public:
+  explicit CvCrew(int num_threads) : num_threads_(num_threads) {
+    for (int tid = 1; tid < num_threads; ++tid)
+      workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+
+  ~CvCrew() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void run(const std::function<void(int, int)>& job) {
+    if (num_threads_ == 1) {
+      job(0, 1);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      running_ = num_threads_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    job(0, num_threads_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(int tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int, int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock,
+                       [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(tid, num_threads_);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--running_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+};
+
+// ns per empty-job round-trip (dispatch + barrier): the pure per-job
+// synchronization cost a ~5us likelihood job pays on top of its kernel work.
+template <typename Crew>
+double empty_job_ns(Crew& crew, int jobs) {
+  std::atomic<long> sink{0};
+  const auto job = [&](int, int) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (int i = 0; i < jobs / 10; ++i) crew.run(job);  // warm-up
+  const std::uint64_t start = obs::now_ns();
+  for (int i = 0; i < jobs; ++i) crew.run(job);
+  const std::uint64_t elapsed = obs::now_ns() - start;
+  if (sink.load() == 0) std::abort();  // defeat dead-code elimination
+  return static_cast<double>(elapsed) / jobs;
+}
+
+// Makespan (ns/job) of a skewed per-pattern workload under a given
+// partition: the first eighth of the patterns cost 16x the rest (the shape
+// a few high-rate GAMMA-ish columns give). Each "pattern" spins ~cost
+// dependent multiplies, so imbalance shows up as master wait.
+double skewed_makespan_ns(Workforce& crew,
+                          const std::vector<std::size_t>& bounds,
+                          const std::vector<std::uint64_t>& costs, int jobs) {
+  std::atomic<long> guard{0};
+  const auto job = [&](int tid, int) {
+    double x = 1.0000001;
+    for (std::size_t p = bounds[static_cast<std::size_t>(tid)];
+         p < bounds[static_cast<std::size_t>(tid) + 1]; ++p)
+      for (std::uint64_t it = 0; it < costs[p]; ++it) x *= 1.0000001;
+    guard.fetch_add(x > 1.0 ? 1 : 0, std::memory_order_relaxed);
+  };
+  for (int i = 0; i < jobs / 10; ++i) crew.run(job);  // warm-up
+  const std::uint64_t start = obs::now_ns();
+  for (int i = 0; i < jobs; ++i) crew.run(job);
+  return static_cast<double>(obs::now_ns() - start) / jobs;
+}
+
+// Runs the gated dispatch comparison; returns EXIT_FAILURE if the lock-free
+// barrier loses to the CV baseline on the 4-thread empty-job case.
+int run_dispatch_gate() {
+  bench::print_header(
+      "CREW DISPATCH - lock-free barrier vs. the retired mutex/CV handshake",
+      "the per-job overhead behind the paper's Figs. 5-6 thread efficiency");
+
+  constexpr int kJobs = 20000;
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  std::vector<double> lockfree_ns, cv_ns;
+  std::printf("\nempty-job round-trip (%d jobs, median-free single run):\n",
+              kJobs);
+  std::printf("  %8s %14s %14s %9s\n", "threads", "lock-free ns", "mutex/CV ns",
+              "speedup");
+  for (int nt : thread_counts) {
+    Workforce crew(nt);
+    CvCrew baseline(nt);
+    const double lf = empty_job_ns(crew, kJobs);
+    const double cv = empty_job_ns(baseline, kJobs);
+    lockfree_ns.push_back(lf);
+    cv_ns.push_back(cv);
+    std::printf("  %8d %14.0f %14.0f %8.1fx\n", nt, lf, cv, cv / lf);
+  }
+
+  // Imbalance: uniform stripe vs. cost-aware partition on the skewed
+  // profile, 4 threads.
+  constexpr std::size_t kPatterns = 1 << 12;
+  constexpr int kImbalanceJobs = 300;
+  std::vector<std::uint64_t> costs(kPatterns, 1);
+  for (std::size_t p = 0; p < kPatterns / 8; ++p) costs[p] = 16;
+  Workforce crew4(4);
+  std::vector<std::size_t> striped(5);
+  for (int t = 0; t < 4; ++t)
+    striped[static_cast<std::size_t>(t)] = stripe(kPatterns, t, 4).begin;
+  striped[4] = kPatterns;
+  const auto weighted = weighted_partition(costs, 4);
+  const double striped_ns =
+      skewed_makespan_ns(crew4, striped, costs, kImbalanceJobs);
+  const double weighted_ns =
+      skewed_makespan_ns(crew4, weighted, costs, kImbalanceJobs);
+  std::printf("\nskewed-cost makespan, 4 threads (first 1/8 of %zu patterns "
+              "cost 16x):\n",
+              kPatterns);
+  std::printf("  %-18s %12.0f ns/job\n", "uniform stripe", striped_ns);
+  std::printf("  %-18s %12.0f ns/job  (%.2fx faster)\n", "weighted partition",
+              weighted_ns, striped_ns / weighted_ns);
+
+  const double lf4 = lockfree_ns[2], cv4 = cv_ns[2];
+  char extra[512];
+  std::snprintf(
+      extra, sizeof(extra),
+      "\"dispatch_ns_cv_t4\":%.0f,\"dispatch_speedup_t4\":%.2f,"
+      "\"dispatch_ns_t1\":%.0f,\"dispatch_ns_t2\":%.0f,"
+      "\"dispatch_ns_t8\":%.0f,\"dispatch_ns_cv_t8\":%.0f,"
+      "\"imbalance_striped_ns\":%.0f,\"imbalance_weighted_ns\":%.0f,"
+      "\"imbalance_speedup\":%.2f",
+      cv4, cv4 / lf4, lockfree_ns[0], lockfree_ns[1], lockfree_ns[3],
+      cv_ns[3], striped_ns, weighted_ns, striped_ns / weighted_ns);
+  bench::write_summary("dispatch", "dispatch_ns_lockfree_t4", lf4, "ns",
+                       extra);
+
+  if (lf4 >= cv4) {
+    std::printf("\nFAILED: lock-free dispatch (%.0f ns) does not beat the "
+                "mutex/CV baseline (%.0f ns) at 4 threads\n",
+                lf4, cv4);
+    return EXIT_FAILURE;
+  }
+  std::printf("\ndispatch gate OK: %.1fx vs. the CV baseline at 4 threads\n",
+              cv4 / lf4);
+  return EXIT_SUCCESS;
+}
 
 void BM_CrewDispatch(benchmark::State& state) {
   Workforce crew(static_cast<int>(state.range(0)));
@@ -74,5 +273,18 @@ BENCHMARK(BM_ThreadRanksBcast)->Arg(1024)->Arg(1 << 20)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  return raxh::bench::gbench_main_with_summary("parallel", argc, argv);
+  bool dispatch_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dispatch-only") == 0) {
+      dispatch_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  const int gate = run_dispatch_gate();
+  if (dispatch_only) return gate;
+  const int gbench = raxh::bench::gbench_main_with_summary("parallel", argc,
+                                                           argv);
+  return gate != EXIT_SUCCESS ? gate : gbench;
 }

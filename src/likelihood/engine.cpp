@@ -68,12 +68,15 @@ int* LikelihoodEngine::scale(int slot) {
 void LikelihoodEngine::set_weights(std::span<const int> weights) {
   RAXH_EXPECTS(weights.size() == patterns_->num_patterns());
   weights_.assign(weights.begin(), weights.end());
-  // Weights only enter weighted sums, not CLVs; no epoch bump needed.
+  // Weights only enter weighted sums, not CLVs; no model-epoch bump needed.
+  // They do drive the cost-aware crew partition, though.
+  ++weights_epoch_;
 }
 
 void LikelihoodEngine::reset_weights() {
   const auto w = patterns_->weights();
   weights_.assign(w.begin(), w.end());
+  ++weights_epoch_;
 }
 
 void LikelihoodEngine::set_gtr(const GtrParams& params) {
@@ -116,6 +119,22 @@ void LikelihoodEngine::fill_pmats(double t, std::vector<double>& pmats) const {
   }
 }
 
+void LikelihoodEngine::refresh_partition() {
+  const auto nthreads = static_cast<std::size_t>(crew_->num_threads());
+  if (part_epoch_ == weights_epoch_ && part_bounds_.size() == nthreads + 1)
+    return;
+  const std::size_t npat = patterns_->num_patterns();
+  // Per-pattern kernel cost: a GAMMA pattern stores/evaluates ncat rate
+  // categories, a CAT or uniform pattern one; the pattern weight scales the
+  // weighted-sum work. Uniform weights therefore reduce exactly to stripe().
+  const auto cats = static_cast<std::uint64_t>(clv_cats());
+  std::vector<std::uint64_t> costs(npat);
+  for (std::size_t p = 0; p < npat; ++p)
+    costs[p] = static_cast<std::uint64_t>(weights_[p]) * cats;
+  part_bounds_ = weighted_partition(costs, crew_->num_threads());
+  part_epoch_ = weights_epoch_;
+}
+
 template <typename Fn>
 void LikelihoodEngine::dispatch(Fn&& fn) {
   const std::size_t npat = patterns_->num_patterns();
@@ -124,8 +143,10 @@ void LikelihoodEngine::dispatch(Fn&& fn) {
     fn(std::size_t{0}, npat, 0);
     return;
   }
-  crew_->run([&](int tid, int nthreads) {
-    const auto [begin, end] = stripe(npat, tid, nthreads);
+  refresh_partition();
+  crew_->run([&](int tid, int) {
+    const std::size_t begin = part_bounds_[static_cast<std::size_t>(tid)];
+    const std::size_t end = part_bounds_[static_cast<std::size_t>(tid) + 1];
     obs::count(obs::Counter::kPatternsEvaluated, end - begin);
     fn(begin, end, tid);
   });
@@ -139,8 +160,10 @@ double LikelihoodEngine::dispatch_sum(Fn&& fn) {
     obs::count(obs::Counter::kReductionCalls);
     return fn(std::size_t{0}, npat, 0);
   }
-  crew_->run([&](int tid, int nthreads) {
-    const auto [begin, end] = stripe(npat, tid, nthreads);
+  refresh_partition();
+  crew_->run([&](int tid, int) {
+    const std::size_t begin = part_bounds_[static_cast<std::size_t>(tid)];
+    const std::size_t end = part_bounds_[static_cast<std::size_t>(tid) + 1];
     obs::count(obs::Counter::kPatternsEvaluated, end - begin);
     crew_->reduction(tid) = fn(begin, end, tid);
   });
@@ -325,9 +348,11 @@ kern::Derivatives LikelihoodEngine::branch_derivatives(double t) {
                                 sumtable_.data(), eigenvalues, cat_rates, t,
                                 weights_.data());
   }
+  refresh_partition();
   crew_->resize_reduction(3);
-  crew_->run([&](int tid, int nthreads) {
-    const auto [b, e] = stripe(patterns_->num_patterns(), tid, nthreads);
+  crew_->run([&](int tid, int) {
+    const std::size_t b = part_bounds_[static_cast<std::size_t>(tid)];
+    const std::size_t e = part_bounds_[static_cast<std::size_t>(tid) + 1];
     obs::count(obs::Counter::kPatternsEvaluated, e - b);
     const auto part = kern::nr_derivatives(lay, b, e, sumtable_.data(),
                                            eigenvalues, cat_rates, t,

@@ -115,12 +115,21 @@ class LikelihoodEngine {
   // Fill pmats (ncat_model * 16) for branch length t.
   void fill_pmats(double t, std::vector<double>& pmats) const;
 
-  // Striped dispatch helper: runs fn(begin, end, tid) over patterns.
+  // Partitioned dispatch helper: runs fn(begin, end, tid) over patterns,
+  // splitting by the cost-aware partition (see refresh_partition()).
   template <typename Fn>
   void dispatch(Fn&& fn);
-  // Striped dispatch with double-sum reduction of fn's return value.
+  // Partitioned dispatch with double-sum reduction of fn's return value
+  // (summed in fixed tid order — deterministic for a fixed thread count).
   template <typename Fn>
   double dispatch_sum(Fn&& fn);
+
+  // Rebuild the per-pattern cost vector (pattern weight x stored CLV
+  // categories — GAMMA patterns carry ncat categories, CAT/uniform one) and
+  // the weighted prefix-sum partition of the pattern range across the crew.
+  // Cached per weights epoch; weights are the only per-pattern cost input
+  // that changes after construction (bootstrap replicates swap them).
+  void refresh_partition();
 
   double evaluate_edge(const Tree& tree, int rec, double* per_pattern);
   void build_sumtable(const Tree& tree, int rec);
@@ -131,7 +140,13 @@ class LikelihoodEngine {
   Workforce* crew_;
 
   std::vector<int> weights_;
+  std::uint64_t weights_epoch_ = 0;  // bumped whenever weights_ changes
   std::vector<double> cat_weights_;  // GAMMA: 1/ncat each
+
+  // Cost-aware crew partition: part_bounds_[t]..part_bounds_[t+1] is thread
+  // t's pattern range; rebuilt when weights_epoch_ moves past part_epoch_.
+  std::vector<std::size_t> part_bounds_;
+  std::uint64_t part_epoch_ = ~std::uint64_t{0};
 
   std::size_t clv_stride_ = 0;  // doubles per slot
   std::vector<double> clvs_;

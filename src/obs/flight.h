@@ -44,7 +44,13 @@ enum class Kind : std::uint32_t {
   kCollEnd,         // a = name id, b = duration ns
   kJobBegin,        // crew job dispatched (every 64th job is sampled);
                     // a = crew size, b = job index
-  kJobEnd,          // a = crew size, b = duration ns (dispatch to join)
+  kJobEnd,          // a = crew size, b = duration ns (dispatch + the
+                    // master's own job execution — the master's wait for
+                    // the crew is booked separately as kJobWait, so the
+                    // duration means the same thing on the 1-thread and
+                    // crew paths)
+  kJobWait,         // a = crew size, b = ns the master waited on the crew
+                    // barrier after finishing its own share (imbalance)
   kCkptWrite,       // a = name id of path, b = serialized bytes
   kFault,           // a = FaultAction::Kind, b = 1-based op index
   kRankDead,        // a = dead rank, b = name id of detection site

@@ -259,8 +259,12 @@ std::string describe(const Event& ev) {
                  static_cast<unsigned long long>(ev.b),
                  static_cast<unsigned long long>(ev.a));
     case Kind::kJobEnd:
-      return fmt("crew job joined (%.3f ms)",
+      return fmt("crew job done on master (%.3f ms)",
                  static_cast<double>(ev.b) * 1e-6);
+    case Kind::kJobWait:
+      return fmt("crew barrier wait (%.3f ms, %llu threads)",
+                 static_cast<double>(ev.b) * 1e-6,
+                 static_cast<unsigned long long>(ev.a));
     case Kind::kCkptWrite:
       return "checkpoint written " + ev.name +
              fmt(" (%llu B)", static_cast<unsigned long long>(ev.b));

@@ -24,6 +24,7 @@
 #include "obs/flight.h"
 #include "obs/phase.h"
 #include "obs/postmortem.h"
+#include "parallel/workforce.h"
 
 namespace raxh {
 namespace {
@@ -367,6 +368,50 @@ TEST(FlightIntegration, CriticalPathReconcilesWithPhaseTimers) {
     ++stages_checked;
   }
   EXPECT_GE(stages_checked, 2) << "run too fast to compare any stage";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Flight, CrewJobDurationsConsistentAcrossPaths) {
+  // Regression: kJobEnd used to cover just the job on a 1-thread crew but
+  // dispatch + job + the master's wait on a real crew, so post-mortem
+  // critical paths double-counted imbalance as kernel work. Now kJobEnd is
+  // dispatch + the master's own share on BOTH paths, and the wait for the
+  // crew is its own kJobWait event (crew path only). A fresh crew's first
+  // job (index 0) is always inside the 1-in-64 sample.
+  const std::string dir = fresh_dir("raxh_flight_crew");
+  flight::reset();
+  flight::set_enabled(true);
+  flight::set_dump_dir(dir);
+
+  {
+    Workforce solo(1);
+    solo.run([](int, int) {});
+  }
+  {
+    Workforce crew(2);
+    crew.run([](int, int) {});
+  }
+
+  ASSERT_TRUE(flight::dump_now(0, "crew dispatch test"));
+  const auto box = flight::read_blackbox(flight::dump_path_for_rank(0));
+  int begin[2] = {0, 0}, end[2] = {0, 0}, wait[2] = {0, 0};
+  for (const auto& ev : box.all_events()) {
+    if (ev.a != 1 && ev.a != 2) continue;  // a = crew size on job events
+    const std::size_t crew_size = ev.a == 1 ? 0 : 1;
+    switch (ev.kind) {
+      case flight::Kind::kJobBegin: ++begin[crew_size]; break;
+      case flight::Kind::kJobEnd: ++end[crew_size]; break;
+      case flight::Kind::kJobWait: ++wait[crew_size]; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(begin[0], 1);
+  EXPECT_EQ(end[0], 1);
+  EXPECT_EQ(wait[0], 0);  // 1-thread crew: nothing to wait for
+  EXPECT_EQ(begin[1], 1);
+  EXPECT_EQ(end[1], 1);
+  EXPECT_EQ(wait[1], 1);  // crew path books the barrier wait separately
+  flight::set_dump_dir("");
   std::filesystem::remove_all(dir);
 }
 

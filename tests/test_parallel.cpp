@@ -1,10 +1,14 @@
-// parallel/: stripe partitioning and the thread crew (dispatch semantics,
-// reductions, reuse across jobs, exclusive-range coverage).
+// parallel/: stripe and weighted-cost partitioning, and the thread crew
+// (dispatch semantics, reductions, reuse across jobs, exception propagation,
+// owner/reentrancy contracts, oversubscription, exclusive-range coverage).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/workforce.h"
@@ -70,6 +74,92 @@ TEST(Stripe, PropertySweepSmallTotalsAndEdgeCases) {
       }
     }
   }
+}
+
+TEST(WeightedPartition, AllEqualCostsReduceExactlyToStripe) {
+  // The boundary rule (largest i with prefix[i]*nt <= total*t) collapses to
+  // floor(n*t/nt) for equal costs — bit-for-bit the stripe() cuts, so
+  // switching the engine to the weighted partition changes nothing on
+  // uniform-cost models.
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{100}, std::size_t{1001}}) {
+    for (int nt : {1, 2, 3, 8, 16}) {
+      for (std::uint64_t w : {std::uint64_t{1}, std::uint64_t{4}}) {
+        const std::vector<std::uint64_t> costs(n, w);
+        const auto bounds = weighted_partition(costs, nt);
+        ASSERT_EQ(bounds.size(), static_cast<std::size_t>(nt) + 1);
+        for (int tid = 0; tid < nt; ++tid) {
+          const auto [b, e] = stripe(n, tid, nt);
+          EXPECT_EQ(bounds[static_cast<std::size_t>(tid)], b)
+              << "n=" << n << " nt=" << nt << " w=" << w << " tid=" << tid;
+          EXPECT_EQ(bounds[static_cast<std::size_t>(tid) + 1], e);
+        }
+      }
+    }
+  }
+}
+
+TEST(WeightedPartition, AllZeroCostsFallBackToStripe) {
+  const std::vector<std::uint64_t> costs(100, 0);
+  const auto bounds = weighted_partition(costs, 7);
+  for (int tid = 0; tid < 7; ++tid)
+    EXPECT_EQ(bounds[static_cast<std::size_t>(tid)],
+              stripe(100, tid, 7).begin);
+  EXPECT_EQ(bounds[7], 100u);
+}
+
+TEST(WeightedPartition, SkewedCostsBalanceWithinOneItem) {
+  // The shape the engine sees from bootstrap weights: a heavy head. Each
+  // thread's summed cost must land within one item's cost of the ideal
+  // total/nt share — the guarantee uniform striping cannot give.
+  const std::size_t n = 4096;
+  std::vector<std::uint64_t> costs(n, 1);
+  for (std::size_t p = 0; p < n / 8; ++p) costs[p] = 16;
+  std::uint64_t total = 0, max_cost = 0;
+  for (const auto c : costs) {
+    total += c;
+    max_cost = std::max(max_cost, c);
+  }
+  for (int nt : {2, 3, 4, 8}) {
+    const auto bounds = weighted_partition(costs, nt);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(nt) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), n);
+    const double ideal = static_cast<double>(total) / nt;
+    for (int tid = 0; tid < nt; ++tid) {
+      EXPECT_LE(bounds[static_cast<std::size_t>(tid)],
+                bounds[static_cast<std::size_t>(tid) + 1]);
+      std::uint64_t load = 0;
+      for (std::size_t p = bounds[static_cast<std::size_t>(tid)];
+           p < bounds[static_cast<std::size_t>(tid) + 1]; ++p)
+        load += costs[p];
+      EXPECT_LE(static_cast<double>(load),
+                ideal + static_cast<double>(max_cost))
+          << "nt=" << nt << " tid=" << tid;
+    }
+  }
+}
+
+TEST(WeightedPartition, HandlesZeroCostRunsAndFewerItemsThanThreads) {
+  // Degenerate shapes: zero-cost holes must not break coverage or
+  // monotonicity, and n < nt must produce (possibly empty) valid ranges.
+  const std::vector<std::uint64_t> holes{0, 0, 5, 0, 0, 0, 9, 0, 1, 0};
+  for (int nt : {1, 2, 4, 16}) {
+    const auto bounds = weighted_partition(holes, nt);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(nt) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), holes.size());
+    for (int t = 0; t < nt; ++t)
+      EXPECT_LE(bounds[static_cast<std::size_t>(t)],
+                bounds[static_cast<std::size_t>(t) + 1]);
+  }
+  const std::vector<std::uint64_t> tiny{3, 1};
+  const auto bounds = weighted_partition(tiny, 8);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 2u);
+  for (int t = 0; t < 8; ++t)
+    EXPECT_LE(bounds[static_cast<std::size_t>(t)],
+              bounds[static_cast<std::size_t>(t) + 1]);
 }
 
 TEST(Workforce, SingleThreadRunsInline) {
@@ -141,9 +231,135 @@ TEST(Workforce, ReductionResetOnResize) {
   EXPECT_DOUBLE_EQ(crew.sum_reduction(), 0.0);
 }
 
+TEST(Workforce, WorkerExceptionRethrownOnMasterAndCrewSurvives) {
+  // Regression: a throwing worker used to leave the completion barrier
+  // undrained (master deadlock) and a dangling job pointer. The barrier must
+  // drain, the first exception must surface on the master, and the crew must
+  // stay fully usable afterwards.
+  Workforce crew(4);
+  std::atomic<int> ran{0};
+  const auto throwing = [&](int tid, int) {
+    ran.fetch_add(1);
+    if (tid == 2) throw std::runtime_error("boom tid 2");
+  };
+  try {
+    crew.run(throwing);
+    FAIL() << "expected the tid-2 exception to reach the master";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom tid 2");
+  }
+  EXPECT_EQ(ran.load(), 4);  // barrier drained: every share still executed
+
+  std::atomic<int> after{0};
+  for (int i = 0; i < 100; ++i)
+    crew.run([&](int, int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 400);
+}
+
+TEST(Workforce, MasterExceptionAlsoDrainsBarrier) {
+  Workforce crew(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(crew.run([&](int tid, int) {
+                 ran.fetch_add(1);
+                 if (tid == 0) throw std::runtime_error("master boom");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);
+  std::atomic<int> after{0};
+  crew.run([&](int, int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 3);
+}
+
+TEST(Workforce, SingleThreadExceptionPropagates) {
+  Workforce crew(1);
+  EXPECT_THROW(
+      crew.run([](int, int) { throw std::runtime_error("solo boom"); }),
+      std::runtime_error);
+  int calls = 0;
+  crew.run([&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Workforce, RepeatedThrowingJobsKeepCrewUsable) {
+  // Error state must be per job, not sticky: alternating throwing and clean
+  // jobs for many rounds.
+  Workforce crew(4);
+  std::atomic<long> clean{0};
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(crew.run([&](int, int) {
+                   throw std::runtime_error("round boom");
+                 }),
+                 std::runtime_error);
+    crew.run([&](int, int) { clean.fetch_add(1); });
+  }
+  EXPECT_EQ(clean.load(), 50 * 4);
+}
+
+TEST(WorkforceDeathTest, RunFromNonOwnerThreadAborts) {
+  // run() is owner-thread-only: dispatch state (generation, job pointer,
+  // reentrancy flag) is single-master by design.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Workforce crew(2);
+        std::thread outsider([&] { crew.run([](int, int) {}); });
+        outsider.join();
+      },
+      "owner_");
+}
+
+TEST(WorkforceDeathTest, ReentrantRunAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Workforce crew(1);
+        crew.run([&](int, int) { crew.run([](int, int) {}); });
+      },
+      "in_run_");
+}
+
+TEST(Workforce, OversubscribedCrewStress) {
+  // More crew threads than the machine has cores: the tiered barrier must
+  // fall back to yield/park (and the master's inline help) instead of
+  // burning a full pause-spin budget per job, and every share must still
+  // run exactly once per job.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int nt =
+      static_cast<int>(std::max(8u, std::min(2 * (hw == 0 ? 4u : hw), 64u)));
+  Workforce crew(nt);
+  std::atomic<long> counter{0};
+  constexpr int kJobs = 2000;
+  for (int i = 0; i < kJobs; ++i)
+    crew.run(
+        [&](int, int) { counter.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(counter.load(), static_cast<long>(kJobs) * nt);
+}
+
+TEST(Workforce, ReductionDeterministicAcrossRuns) {
+  // Which thread executes a share may differ run to run (a slow worker's
+  // share is helped inline by the master), but reduction slots are per tid
+  // and summed in fixed order — repeated runs must be bit-identical.
+  const std::size_t n = 10007;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::sin(static_cast<double>(i)) * 1e-3;
+  Workforce crew(4);
+  const auto once = [&] {
+    crew.run([&](int tid, int nt) {
+      const auto [b, e] = stripe(n, tid, nt);
+      double sum = 0.0;
+      for (std::size_t i = b; i < e; ++i) sum += data[i];
+      crew.reduction(tid) = sum;
+    });
+    return crew.sum_reduction();
+  };
+  const double first = once();
+  for (int round = 0; round < 20; ++round) EXPECT_EQ(once(), first);
+}
+
 TEST(Workforce, JobsSeeLatestData) {
   // Data written between jobs must be visible inside the next job (the
-  // mutex handoff provides the ordering).
+  // release generation broadcast / acquire pickup provides the ordering).
   Workforce crew(4);
   std::vector<int> data(4, 0);
   for (int round = 1; round <= 10; ++round) {
