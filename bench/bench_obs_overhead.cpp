@@ -181,7 +181,8 @@ int main() {
     obs::live_begin_run(0, {{"bench", kRounds * kEvalsPerRound, 1.0}});
     {
       obs::HeartbeatWriter writer(
-          obs::HeartbeatOptions{"bench_out/obs_heartbeat", 0, 50});
+          obs::HeartbeatOptions{"bench_out/obs_heartbeat", 0, 50, {},
+                                nullptr});
       heartbeat_s.push_back(f.time_round(true));
     }
 

@@ -1,0 +1,129 @@
+// raxhd — the long-lived analysis daemon. Accepts concurrent comprehensive
+// analyses over a unix-domain socket (and optionally loopback TCP), runs
+// them on a shared pool of thread-backed minimpi ranks, and serves results
+// bit-identical to one-shot `raxh -f a` runs with the same seeds.
+//
+//   --socket=PATH          unix-domain listener            [/tmp/raxhd.sock]
+//   --tcp-port=N           loopback TCP listener; 0 = off  [0]
+//   --jobs=N               concurrent executor slots       [4]
+//   --cache-mb=N           alignment cache budget in MiB   [64]
+//   --lookahead=N          admission pipeline depth        [2]
+//   --artifact-dir=DIR     per-job checkpoints land here, namespaced by
+//                          job id (jobs submitted with checkpoint=true)
+//   --max-ranks=N          per-job rank cap                [16]
+//   --max-threads=N        per-job threads-per-rank cap    [16]
+//   --stream-interval-ms=N STREAM event cadence            [100]
+//   --log-level=LVL        error | warn | info | debug     [info]
+//
+// Shutdown: SIGTERM/SIGINT, or a SHUTDOWN frame (raxhd_client shutdown).
+// Either way the daemon cancels outstanding jobs cooperatively, drains
+// connections, unlinks the socket, and exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "obs/obs.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace raxh;
+
+// Signal handlers may only touch lock-free state; the server polls this
+// atomic in run_until_shutdown(). One global is the price of signal-safety.
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [--socket=PATH] [--tcp-port=N] [--jobs=N] [--cache-mb=N]\n"
+      "          [--lookahead=N] [--artifact-dir=DIR] [--max-ranks=N]\n"
+      "          [--max-threads=N] [--stream-interval-ms=N]\n"
+      "          [--log-level=error|warn|info|debug]\n"
+      "Long-lived analysis daemon; submit jobs with raxhd_client or\n"
+      "`raxh --connect`.\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  if (cli.has("h") || cli.has("-help")) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  {
+    const std::string lvl = cli.value_or("-log-level", "");
+    if (!lvl.empty()) {
+      const auto parsed = parse_log_level(lvl);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: --log-level=%s: expected error, warn, info, or "
+                     "debug\n",
+                     lvl.c_str());
+        return 2;
+      }
+      Logger::instance().set_level(*parsed);
+    }
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = cli.value_or("-socket", "/tmp/raxhd.sock");
+  options.tcp_port = static_cast<int>(cli.int_or("-tcp-port", 0));
+  options.stream_interval_ms =
+      static_cast<int>(cli.int_or("-stream-interval-ms", 100));
+  options.service.max_concurrent_jobs = static_cast<int>(cli.int_or("-jobs", 4));
+  options.service.cache_bytes =
+      static_cast<std::size_t>(cli.int_or("-cache-mb", 64)) << 20;
+  options.service.admission_lookahead =
+      static_cast<int>(cli.int_or("-lookahead", 2));
+  options.service.artifact_dir = cli.value_or("-artifact-dir", "");
+  options.service.max_ranks_per_job =
+      static_cast<int>(cli.int_or("-max-ranks", 16));
+  options.service.max_threads_per_rank =
+      static_cast<int>(cli.int_or("-max-threads", 16));
+
+  if (options.service.max_concurrent_jobs < 1 ||
+      options.service.admission_lookahead < 1 ||
+      options.stream_interval_ms < 1) {
+    std::fprintf(stderr,
+                 "error: --jobs, --lookahead, and --stream-interval-ms must "
+                 "be positive\n");
+    return 2;
+  }
+
+  // The cache hit/miss and job counters are the daemon's service-level
+  // telemetry; they cost nothing measurable, so they are always on here.
+  obs::set_enabled(true);
+
+  try {
+    serve::Server server(options);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // dropped clients surface as write errors
+    server.start();
+    server.run_until_shutdown();
+    g_server = nullptr;
+    const auto stats = server.service().cache_stats();
+    std::printf("raxhd: exiting (cache: %llu hits, %llu misses, %llu "
+                "evictions, %zu bytes in %zu entries)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions), stats.bytes,
+                stats.entries);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "raxhd: fatal: %s\n", e.what());
+    return 1;
+  }
+}

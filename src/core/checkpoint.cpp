@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/flight.h"
+#include "obs/live.h"
 #include "util/check.h"
 
 namespace raxh {
@@ -183,6 +184,13 @@ std::function<void(const BootstrapSnapshot&)> checkpoint_to(std::string path) {
 
 std::string rank_checkpoint_path(const std::string& dir, int rank) {
   return dir + "/rank" + std::to_string(rank) + ".ckpt";
+}
+
+std::string rank_checkpoint_path(const std::string& dir,
+                                 const std::string& job_id, int rank) {
+  if (job_id.empty()) return rank_checkpoint_path(dir, rank);
+  return dir + "/job" + obs::sanitize_job_id(job_id) + ".rank" +
+         std::to_string(rank) + ".ckpt";
 }
 
 }  // namespace raxh

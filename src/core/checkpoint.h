@@ -31,4 +31,13 @@ std::function<void(const BootstrapSnapshot&)> checkpoint_to(std::string path);
 // (and resumes) the dead rank's snapshot.
 std::string rank_checkpoint_path(const std::string& dir, int rank);
 
+// Job-namespaced variant: dir/job<id>.rank<r>.ckpt. Rank-only keying let two
+// concurrent jobs sharing one checkpoint directory silently clobber (and
+// cross-resume!) each other's snapshots; every job-aware caller must use
+// this form. An empty job id degrades to the legacy rank-only path; the id
+// is sanitized (obs::sanitize_job_id) so it can never introduce a path
+// component.
+std::string rank_checkpoint_path(const std::string& dir,
+                                 const std::string& job_id, int rank);
+
 }  // namespace raxh

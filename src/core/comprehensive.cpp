@@ -35,14 +35,16 @@ constexpr double kThoroughUnitWeight = 25.0;
 }  // namespace
 
 RankReport run_comprehensive_rank(
-    const PatternAlignment& patterns, const ComprehensiveOptions& options,
-    int rank, int nranks, Workforce* crew,
+    const JobContext& ctx, const PatternAlignment& patterns,
+    const ComprehensiveOptions& options, int rank, int nranks, Workforce* crew,
     const std::function<void()>& after_bootstraps,
     const std::function<bool(double)>& select_thorough,
     const std::function<void()>& on_unit) {
   RAXH_EXPECTS(rank >= 0 && rank < nranks);
-  const auto unit_done = [&on_unit] {
-    obs::live_unit_done();
+  obs::LiveModel& live = ctx.live_for_rank(rank);
+  const auto unit_done = [&] {
+    live.unit_done();
+    ctx.throw_if_cancelled();
     if (on_unit) on_unit();
   };
 
@@ -53,7 +55,7 @@ RankReport run_comprehensive_rank(
   report.counts = schedule.per_rank;
 
   const RankSeeds seeds =
-      seeds_for_rank(options.parsimony_seed, options.bootstrap_seed, rank);
+      ctx.seeds_for(options.parsimony_seed, options.bootstrap_seed, rank);
 
   // Model setup: empirical base frequencies, unit exchangeabilities; the
   // searches optimize from there. The search engine uses CAT (as the paper's
@@ -71,7 +73,7 @@ RankReport run_comprehensive_rank(
   // Live progress model (obs/live.h): this rank's Table-2 work grant, so
   // heartbeats can report units done vs granted and the rank-0 aggregator
   // can project an ETA. Updated once per completed search unit.
-  obs::live_begin_run(
+  live.begin_run(
       rank,
       {{"bootstrap", report.counts.bootstraps, 1.0},
        {"fast", report.counts.fast_searches, kFastUnitWeight},
@@ -82,17 +84,21 @@ RankReport run_comprehensive_rank(
   std::vector<BootstrapReplicate> replicates;
   {
     obs::ScopedPhase phase("bootstrap", &stage_times);
-    obs::live_begin_stage("bootstrap");
+    live.begin_stage("bootstrap");
     RapidBootstrap bootstrapper(cat_engine, patterns, seeds.bootstrap_seed,
-                                seeds.parsimony_seed);
+                                seeds.parsimony_seed, ctx.cancel);
     // The resumable path's per-replicate callback doubles as the live
     // progress tick and checkpoint persist (bit-identical to run()
-    // otherwise). Checkpoints are keyed by the *logical* rank, so a
-    // re-granted share resumes the dead rank's own snapshot.
+    // otherwise). Checkpoints are keyed by the job id plus the *logical*
+    // rank: the job id keeps concurrent jobs sharing one checkpoint
+    // directory from clobbering each other, the logical rank lets a
+    // survivor re-granted a dead rank's bootstraps resume that rank's own
+    // snapshot.
     BootstrapSnapshot progress_snapshot;
     std::string checkpoint_path;
     if (!options.checkpoint_dir.empty()) {
-      checkpoint_path = rank_checkpoint_path(options.checkpoint_dir, rank);
+      checkpoint_path =
+          rank_checkpoint_path(options.checkpoint_dir, ctx.job_id, rank);
       if (auto loaded = load_bootstrap_checkpoint(checkpoint_path)) {
         // A snapshot from a finished or over-granted previous run replays
         // only up to this run's grant.
@@ -119,7 +125,7 @@ RankReport run_comprehensive_rank(
     // The paper's mid-run barrier: waiting on slower ranks is neither
     // bootstrap nor fast-search work, so it gets its own component.
     obs::ScopedPhase phase("sync");
-    obs::live_begin_stage("sync");
+    live.begin_stage("sync");
     after_bootstraps();
   }
 
@@ -127,7 +133,7 @@ RankReport run_comprehensive_rank(
   std::vector<ScoredTree> fast_results;
   {
     obs::ScopedPhase phase("fast", &stage_times);
-    obs::live_begin_stage("fast");
+    live.begin_stage("fast");
     // Rank replicates by their (bootstrap-weighted) lnL and take the local
     // best as starting points — the local, communication-free selection of
     // paper §2.2.
@@ -138,14 +144,16 @@ RankReport run_comprehensive_rank(
     });
     const auto nfast = static_cast<std::size_t>(report.counts.fast_searches);
     cat_engine.reset_weights();
+    SearchSettings fast_with_cancel = options.fast;
+    fast_with_cancel.cancel = ctx.cancel;
     for (std::size_t i = 0; i < nfast && i < order.size(); ++i) {
       Tree tree = replicates[order[i]].tree;
       cat_engine.optimize_cat_rates(tree);
-      SprSearch search(cat_engine, options.fast);
+      SprSearch search(cat_engine, fast_with_cancel);
       const double lnl = search.run(tree);
       fast_results.push_back(ScoredTree{std::move(tree), lnl});
       unit_done();
-      obs::live_report_lnl(lnl);
+      live.report_lnl(lnl);
     }
   }
 
@@ -153,26 +161,28 @@ RankReport run_comprehensive_rank(
   std::vector<ScoredTree> slow_results;
   {
     obs::ScopedPhase phase("slow", &stage_times);
-    obs::live_begin_stage("slow");
+    live.begin_stage("slow");
     std::sort(fast_results.begin(), fast_results.end(),
               [](const ScoredTree& a, const ScoredTree& b) {
                 return a.lnl > b.lnl;
               });
     const auto nslow = static_cast<std::size_t>(report.counts.slow_searches);
+    SearchSettings slow_with_cancel = options.slow;
+    slow_with_cancel.cancel = ctx.cancel;
     for (std::size_t i = 0; i < nslow && i < fast_results.size(); ++i) {
       Tree tree = fast_results[i].tree;
-      SprSearch search(cat_engine, options.slow);
+      SprSearch search(cat_engine, slow_with_cancel);
       const double lnl = search.run(tree);
       slow_results.push_back(ScoredTree{std::move(tree), lnl});
       unit_done();
-      obs::live_report_lnl(lnl);
+      live.report_lnl(lnl);
     }
   }
 
   // --- Stage 4: one thorough search from the local best slow tree ---
   {
     obs::ScopedPhase phase("thorough", &stage_times);
-    obs::live_begin_stage("thorough");
+    live.begin_stage("thorough");
     RAXH_ASSERT(!slow_results.empty());
     const auto best_it = std::max_element(
         slow_results.begin(), slow_results.end(),
@@ -182,7 +192,9 @@ RankReport run_comprehensive_rank(
     const bool run_thorough =
         !select_thorough || select_thorough(best_it->lnl);
     if (run_thorough) {
-      SprSearch search(cat_engine, options.thorough);
+      SearchSettings thorough_with_cancel = options.thorough;
+      thorough_with_cancel.cancel = ctx.cancel;
+      SprSearch search(cat_engine, thorough_with_cancel);
       report.cat_lnl = search.run(searched);
     } else {
       report.cat_lnl = best_it->lnl;
@@ -216,7 +228,7 @@ RankReport run_comprehensive_rank(
     // Heartbeats track the search-criterion (CAT) score; the final GAMMA
     // evaluation lives on a different scale and is reported via the normal
     // program output instead.
-    obs::live_report_lnl(report.cat_lnl);
+    live.report_lnl(report.cat_lnl);
   }
 
   report.times.bootstrap = stage_times.total("bootstrap");
@@ -227,6 +239,17 @@ RankReport run_comprehensive_rank(
   log_debug("rank %d/%d done: lnL=%.4f (CAT %.4f)", rank, nranks,
             report.best_lnl, report.cat_lnl);
   return report;
+}
+
+RankReport run_comprehensive_rank(
+    const PatternAlignment& patterns, const ComprehensiveOptions& options,
+    int rank, int nranks, Workforce* crew,
+    const std::function<void()>& after_bootstraps,
+    const std::function<bool(double)>& select_thorough,
+    const std::function<void()>& on_unit) {
+  return run_comprehensive_rank(default_job_context(), patterns, options,
+                                rank, nranks, crew, after_bootstraps,
+                                select_thorough, on_unit);
 }
 
 }  // namespace raxh

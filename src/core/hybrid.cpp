@@ -64,12 +64,12 @@ RankReport unpack_report(const mpi::Bytes& bytes) {
 // Rank 0's post-search reporting (support values, bootstopping) — real wall
 // time, so it gets its own phase in the component breakdown. `blobs` holds
 // newline-joined replicate newicks, one entry per logical rank.
-void finalize_on_root(const PatternAlignment& patterns,
+void finalize_on_root(const JobContext& ctx, const PatternAlignment& patterns,
                       const HybridOptions& options,
                       const std::vector<std::string>& blobs,
                       HybridResult& result) {
   obs::ScopedPhase phase("finalize");
-  obs::live_begin_stage("finalize");
+  ctx.live_for_rank(0).begin_stage("finalize");
 
   std::vector<Tree> replicate_trees;
   for (const auto& blob : blobs) {
@@ -101,13 +101,14 @@ void finalize_on_root(const PatternAlignment& patterns,
 // The paper's communication pattern, verbatim: Barrier after the bootstraps,
 // MAXLOC + Bcast of the winner at the end, report-only gathers. Any rank
 // death hangs or aborts — that is the pre-fault-tolerance contract.
-HybridResult run_plain(mpi::Comm& comm, const PatternAlignment& patterns,
+HybridResult run_plain(const JobContext& ctx, mpi::Comm& comm,
+                       const PatternAlignment& patterns,
                        const HybridOptions& options, Workforce* crew) {
   const int rank = comm.rank();
   const int nranks = comm.size();
 
   RankReport report = run_comprehensive_rank(
-      patterns, options.analysis, rank, nranks, crew,
+      ctx, patterns, options.analysis, rank, nranks, crew,
       [&comm] { comm.barrier(); });
 
   HybridResult result;
@@ -119,7 +120,7 @@ HybridResult run_plain(mpi::Comm& comm, const PatternAlignment& patterns,
   std::vector<std::string> all_bootstraps;
   {
     obs::ScopedPhase phase("sync");
-    obs::live_begin_stage("sync");
+    ctx.live_for_rank(rank).begin_stage("sync");
 
     // Select the global winner (MPI_MAXLOC) and broadcast its tree — the
     // paper's "call to MPI_Bcast" that ends the run.
@@ -151,7 +152,7 @@ HybridResult run_plain(mpi::Comm& comm, const PatternAlignment& patterns,
       result.rank_times.push_back(StageTimes{t[0], t[1], t[2], t[3]});
     }
     for (const auto& l : all_lnls) result.rank_lnls.push_back(l.at(0));
-    finalize_on_root(patterns, options, all_bootstraps, result);
+    finalize_on_root(ctx, patterns, options, all_bootstraps, result);
   }
   return result;
 }
@@ -162,7 +163,7 @@ HybridResult run_plain(mpi::Comm& comm, const PatternAlignment& patterns,
 // itself when no worker is left). Logical share k always runs with seeds
 // derived from k — never from the physical rank executing it — so the final
 // tree and lnL are bit-identical to a fault-free run.
-HybridResult run_fault_tolerant(mpi::Comm& comm,
+HybridResult run_fault_tolerant(const JobContext& ctx, mpi::Comm& comm,
                                 const PatternAlignment& patterns,
                                 const HybridOptions& options, Workforce* crew) {
   const int rank = comm.rank();
@@ -188,8 +189,8 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
                               obs::now_ns() - start);
         };
       const RankReport rep =
-          run_comprehensive_rank(patterns, options.analysis, logical, nranks,
-                                 crew, barrier, {}, tick);
+          run_comprehensive_rank(ctx, patterns, options.analysis, logical,
+                                 nranks, crew, barrier, {}, tick);
       comm.send(0, kFtReportTag, pack_report(rep));
     };
     run_share(rank, /*with_barrier=*/true);
@@ -256,7 +257,7 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
   };
 
   RankReport own = run_comprehensive_rank(
-      patterns, options.analysis, 0, nranks, crew,
+      ctx, patterns, options.analysis, 0, nranks, crew,
       [&] {
         // The FT barrier: collect an arrival from every worker still
         // believed live (a failed recv marks the worker dead — its share is
@@ -290,7 +291,7 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
   HybridResult result;
   {
     obs::ScopedPhase phase("sync");
-    obs::live_begin_stage("sync");
+    ctx.live_for_rank(0).begin_stage("sync");
 
     // First round of reports from every worker that survived the barrier.
     for (int w = 1; w < nranks; ++w)
@@ -319,8 +320,8 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
       obs::count(obs::Counter::kUnitsRegranted);
       if (w == -1) {
         log_warn("no surviving workers; controller re-running share %d", k);
-        reports[k] = run_comprehensive_rank(patterns, options.analysis, k,
-                                            nranks, crew, {}, {}, tick);
+        reports[k] = run_comprehensive_rank(ctx, patterns, options.analysis,
+                                            k, nranks, crew, {}, {}, tick);
         continue;
       }
       cursor = 1 + w % (nranks - 1);
@@ -389,19 +390,24 @@ HybridResult run_fault_tolerant(mpi::Comm& comm,
     }
     blobs.push_back(std::move(blob));
   }
-  finalize_on_root(patterns, options, blobs, result);
+  finalize_on_root(ctx, patterns, options, blobs, result);
   return result;
 }
 
 }  // namespace
 
-HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
+HybridResult run_hybrid_comprehensive(const JobContext& ctx, mpi::Comm& comm,
                                       const PatternAlignment& patterns,
                                       const HybridOptions& options) {
   const int rank = comm.rank();
   const int nranks = comm.size();
-  Logger::instance().set_rank(nranks > 1 ? rank : -1);
-  obs::set_rank(rank);
+  // Process-wide rank attribution (logger prefix, obs counter tagging) is
+  // only safe to touch when this process hosts exactly one rank of one job —
+  // a served job shares the daemon process with its siblings.
+  if (ctx.owns_process_globals) {
+    Logger::instance().set_rank(nranks > 1 ? rank : -1);
+    obs::set_rank(rank);
+  }
 
   Workforce crew(options.analysis.num_threads);
   Workforce* crew_ptr =
@@ -409,12 +415,19 @@ HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
 
   HybridResult result =
       options.fault_tolerant
-          ? run_fault_tolerant(comm, patterns, options, crew_ptr)
-          : run_plain(comm, patterns, options, crew_ptr);
+          ? run_fault_tolerant(ctx, comm, patterns, options, crew_ptr)
+          : run_plain(ctx, comm, patterns, options, crew_ptr);
 
-  obs::live_end_run();
-  Logger::instance().set_rank(-1);
+  ctx.live_for_rank(rank).end_run();
+  if (ctx.owns_process_globals) Logger::instance().set_rank(-1);
   return result;
+}
+
+HybridResult run_hybrid_comprehensive(mpi::Comm& comm,
+                                      const PatternAlignment& patterns,
+                                      const HybridOptions& options) {
+  return run_hybrid_comprehensive(default_job_context(), comm, patterns,
+                                  options);
 }
 
 }  // namespace raxh

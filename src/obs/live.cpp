@@ -25,10 +25,15 @@ namespace raxh::obs {
 
 namespace {
 
-// Updates arrive per search unit (tens per run) and reads at heartbeat rate
-// (a few Hz), so one mutex-protected struct is the whole model — nothing
-// here is near the likelihood hot path.
-struct ProgressModel {
+double plan_total_weight(const std::vector<StagePlan>& plan) {
+  double total = 0.0;
+  for (const auto& s : plan) total += s.units * s.unit_weight;
+  return total;
+}
+
+}  // namespace
+
+struct LiveModel::Impl {
   std::mutex mutex;
   int rank = -1;
   std::vector<StagePlan> plan;
@@ -40,50 +45,40 @@ struct ProgressModel {
   double best_lnl = 0.0;
   bool has_lnl = false;
   std::uint64_t begin_ns = 0;
-  std::uint64_t end_ns = 0;     // nonzero once live_end_run ran
+  std::uint64_t end_ns = 0;     // nonzero once end_run ran
   bool running = false;
+
+  void clear_locked() {
+    rank = -1;
+    plan.clear();
+    current_stage = -1;
+    phase.clear();
+    units_done = 0;
+    units_total = 0;
+    weight_done = 0.0;
+    best_lnl = 0.0;
+    has_lnl = false;
+    begin_ns = 0;
+    end_ns = 0;
+    running = false;
+  }
 };
 
-ProgressModel& model() {
-  static ProgressModel* m = new ProgressModel;  // leaked: teardown safe
-  return *m;
-}
+LiveModel::LiveModel() : impl_(new Impl) {}
+LiveModel::~LiveModel() { delete impl_; }
 
-double plan_total_weight(const std::vector<StagePlan>& plan) {
-  double total = 0.0;
-  for (const auto& s : plan) total += s.units * s.unit_weight;
-  return total;
-}
-
-void clear_locked(ProgressModel& m) {
-  m.rank = -1;
-  m.plan.clear();
-  m.current_stage = -1;
-  m.phase.clear();
-  m.units_done = 0;
-  m.units_total = 0;
-  m.weight_done = 0.0;
-  m.best_lnl = 0.0;
-  m.has_lnl = false;
-  m.begin_ns = 0;
-  m.end_ns = 0;
-  m.running = false;
-}
-
-}  // namespace
-
-void live_begin_run(int rank, std::vector<StagePlan> plan) {
-  ProgressModel& m = model();
+void LiveModel::begin_run(int rank, std::vector<StagePlan> plan) {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
-  clear_locked(m);
+  m.clear_locked();
   m.rank = rank;
   m.plan = std::move(plan);
   m.begin_ns = now_ns();
   m.running = true;
 }
 
-void live_begin_stage(const std::string& name) {
-  ProgressModel& m = model();
+void LiveModel::begin_stage(const std::string& name) {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
   // Credit whatever the previous planned stage completed before moving on.
   if (m.current_stage >= 0) {
@@ -103,14 +98,14 @@ void live_begin_stage(const std::string& name) {
   }
 }
 
-void live_unit_done() {
-  ProgressModel& m = model();
+void LiveModel::unit_done() {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
   ++m.units_done;
 }
 
-void live_report_lnl(double lnl) {
-  ProgressModel& m = model();
+void LiveModel::report_lnl(double lnl) {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
   if (!m.has_lnl || lnl > m.best_lnl) {
     m.best_lnl = lnl;
@@ -118,8 +113,8 @@ void live_report_lnl(double lnl) {
   }
 }
 
-void live_end_run() {
-  ProgressModel& m = model();
+void LiveModel::end_run() {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
   if (m.current_stage >= 0) {
     const StagePlan& prev = m.plan[static_cast<std::size_t>(m.current_stage)];
@@ -133,8 +128,8 @@ void live_end_run() {
   m.running = false;
 }
 
-ProgressSnapshot live_snapshot() {
-  ProgressModel& m = model();
+ProgressSnapshot LiveModel::snapshot() {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
   ProgressSnapshot snap;
   snap.rank = m.rank;
@@ -161,19 +156,37 @@ ProgressSnapshot live_snapshot() {
   return snap;
 }
 
-void live_reset() {
-  ProgressModel& m = model();
+void LiveModel::reset() {
+  Impl& m = *impl_;
   std::lock_guard<std::mutex> lock(m.mutex);
-  clear_locked(m);
+  m.clear_locked();
 }
 
-void live_reset_for_fork() {
-  ProgressModel& m = model();
+void LiveModel::reset_for_fork() {
+  Impl& m = *impl_;
   // Single-threaded forked child; the inherited mutex state is undefined to
   // lock, so re-initialize it in place before clearing.
   new (&m.mutex) std::mutex;
-  clear_locked(m);
+  m.clear_locked();
 }
+
+LiveModel& default_live_model() {
+  static LiveModel* m = new LiveModel;  // leaked: teardown safe
+  return *m;
+}
+
+void live_begin_run(int rank, std::vector<StagePlan> plan) {
+  default_live_model().begin_run(rank, std::move(plan));
+}
+void live_begin_stage(const std::string& name) {
+  default_live_model().begin_stage(name);
+}
+void live_unit_done() { default_live_model().unit_done(); }
+void live_report_lnl(double lnl) { default_live_model().report_lnl(lnl); }
+void live_end_run() { default_live_model().end_run(); }
+ProgressSnapshot live_snapshot() { return default_live_model().snapshot(); }
+void live_reset() { default_live_model().reset(); }
+void live_reset_for_fork() { default_live_model().reset_for_fork(); }
 
 // ---------------------------------------------------------------------------
 // Heartbeat wire format
@@ -299,6 +312,25 @@ std::string heartbeat_path(const std::string& dir, int rank) {
   return dir + "/rank" + std::to_string(rank) + ".ndjson";
 }
 
+std::string sanitize_job_id(const std::string& job_id) {
+  std::string out;
+  out.reserve(job_id.size());
+  for (const char ch : job_id) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' ||
+                    ch == '.';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+std::string heartbeat_path(const std::string& dir, const std::string& job_id,
+                           int rank) {
+  if (job_id.empty()) return heartbeat_path(dir, rank);
+  return dir + "/job" + sanitize_job_id(job_id) + ".rank" +
+         std::to_string(rank) + ".ndjson";
+}
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
@@ -312,8 +344,9 @@ struct HeartbeatWriter::Impl {
   bool stopping = false;
 
   void beat() {
-    ProgressSnapshot snap = live_snapshot();
-    // The model only learns the rank at live_begin_run; beats before that
+    LiveModel& model = options.model ? *options.model : default_live_model();
+    ProgressSnapshot snap = model.snapshot();
+    // The model only learns the rank at begin_run; beats before that
     // (the immediate first one) must still carry this writer's rank.
     snap.rank = options.rank;
     const CounterSnapshot counters = counters_snapshot();
@@ -341,11 +374,12 @@ HeartbeatWriter::HeartbeatWriter(HeartbeatOptions options)
   impl_->options = std::move(options);
   std::error_code ec;
   std::filesystem::create_directories(impl_->options.dir, ec);
-  impl_->out.open(heartbeat_path(impl_->options.dir, impl_->options.rank),
-                  std::ios::trunc);
+  const std::string path = heartbeat_path(
+      impl_->options.dir, impl_->options.job_id, impl_->options.rank);
+  impl_->out.open(path, std::ios::trunc);
   if (!impl_->out) {
     log_warn("heartbeat: cannot write %s; live telemetry disabled",
-             heartbeat_path(impl_->options.dir, impl_->options.rank).c_str());
+             path.c_str());
     return;
   }
   impl_->monitor = std::thread([this] { impl_->loop(); });

@@ -52,27 +52,68 @@ struct ProgressSnapshot {
   bool running = false;     // between live_begin_run and live_end_run
 };
 
-// Install this rank's plan and start the run clock. Resets prior state.
+// One progress model instance. Historically this was a process-wide
+// singleton — fine while a process hosted exactly one analysis. The serving
+// layer (src/serve/) runs N concurrent jobs in one process tree, each with
+// its own LiveModel per logical rank, so the model is now an instantiable
+// class; the live_* free functions below keep the old API by delegating to a
+// process-default instance (used by the one-shot CLI path, where each
+// ProcessComm rank is its own process).
+//
+// All methods are thread-safe: updates arrive per search unit (tens per
+// run) and reads at heartbeat/stream rate (a few Hz), so one mutex-protected
+// struct is the whole model — nothing here is near the likelihood hot path.
+class LiveModel {
+ public:
+  LiveModel();
+  ~LiveModel();
+  LiveModel(const LiveModel&) = delete;
+  LiveModel& operator=(const LiveModel&) = delete;
+
+  // Install this rank's plan and start the run clock. Resets prior state.
+  void begin_run(int rank, std::vector<StagePlan> plan);
+
+  // Enter a stage. Names in the plan reset the unit counters to that stage's
+  // grant; other names (e.g. "sync", "finalize") just relabel the phase.
+  void begin_stage(const std::string& name);
+
+  // One unit of the current stage completed.
+  void unit_done();
+
+  // Report a log-likelihood; the model keeps the maximum. Callers must feed
+  // scores under one criterion only (the comprehensive run reports its CAT
+  // search scores) — mixing criteria would make the max meaningless.
+  void report_lnl(double lnl);
+
+  // Mark the run finished: fraction snaps to 1, phase to "done".
+  void end_run();
+
+  [[nodiscard]] ProgressSnapshot snapshot();
+
+  // Clears the model (tests; obs::reset()).
+  void reset();
+  // Fork-child reinitialization: the inherited mutex state is undefined to
+  // lock, so it is re-initialized in place before clearing. Only for the
+  // single-threaded child of a fork.
+  void reset_for_fork();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// The process-default model the live_* free functions operate on.
+[[nodiscard]] LiveModel& default_live_model();
+
+// Free-function API over the default model (one-shot CLI path).
 void live_begin_run(int rank, std::vector<StagePlan> plan);
-
-// Enter a stage. Names in the plan reset the unit counters to that stage's
-// grant; other names (e.g. "sync", "finalize") just relabel the phase.
 void live_begin_stage(const std::string& name);
-
-// One unit of the current stage completed.
 void live_unit_done();
-
-// Report a log-likelihood; the model keeps the maximum. Callers must feed
-// scores under one criterion only (the comprehensive run reports its CAT
-// search scores) — mixing criteria would make the max meaningless.
 void live_report_lnl(double lnl);
-
-// Mark the run finished: fraction snaps to 1, phase to "done".
 void live_end_run();
-
 [[nodiscard]] ProgressSnapshot live_snapshot();
 
-// Clears the model (tests; obs::reset()).
+// Clears the default model (tests; obs::reset()).
 void live_reset();
 // Fork-child reinitialization (called from obs's pthread_atfork child
 // handler; not for general use).
@@ -114,6 +155,19 @@ struct Heartbeat {
 // Per-rank heartbeat file path under `dir`.
 [[nodiscard]] std::string heartbeat_path(const std::string& dir, int rank);
 
+// Job-namespaced variant: dir/job<id>.rank<r>.ndjson. Two concurrent jobs
+// sharing one telemetry directory must never write the same file; an empty
+// job id degrades to the legacy per-rank path. The id is sanitized (alnum,
+// '-', '_', '.') so a job name cannot escape the directory.
+[[nodiscard]] std::string heartbeat_path(const std::string& dir,
+                                         const std::string& job_id, int rank);
+
+// The sanitizer behind all job-namespaced artifact paths (heartbeats here,
+// checkpoints in core/checkpoint.h): any character outside [A-Za-z0-9._-]
+// becomes '_', so ids compose into file names but never into new path
+// components.
+[[nodiscard]] std::string sanitize_job_id(const std::string& job_id);
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
@@ -122,6 +176,8 @@ struct HeartbeatOptions {
   std::string dir;        // created if missing
   int rank = 0;
   int interval_ms = 250;  // sampling period of the monitor thread
+  std::string job_id;     // non-empty: write the job-namespaced path
+  LiveModel* model = nullptr;  // sample this model; null = the default model
 };
 
 // Publishes this rank's progress as ndjson heartbeats from a monitor thread.

@@ -170,6 +170,18 @@ const char* counter_name(Counter c) {
       return "units_regranted";
     case Counter::kSyntheticDelayNs:
       return "synthetic_delay_ns";
+    case Counter::kAlignParses:
+      return "align_parses";
+    case Counter::kAlignCacheHits:
+      return "align_cache_hits";
+    case Counter::kAlignCacheMisses:
+      return "align_cache_misses";
+    case Counter::kAlignCacheEvictions:
+      return "align_cache_evictions";
+    case Counter::kServeJobsSubmitted:
+      return "serve_jobs_submitted";
+    case Counter::kServeJobsCompleted:
+      return "serve_jobs_completed";
     case Counter::kCount:
       break;
   }

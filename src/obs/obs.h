@@ -72,6 +72,13 @@ enum class Counter : int {
   kUnitsRegranted,       // work units re-run on behalf of dead ranks
   kSyntheticDelayNs,     // injected (fault-plan) sleep time, kept out of
                          // latency histograms
+  kAlignParses,          // alignments parsed + pattern-compressed (serve
+                         // admission; a cache hit must NOT increment this)
+  kAlignCacheHits,       // content-addressed alignment cache hits
+  kAlignCacheMisses,     // ... and misses (admission had to parse)
+  kAlignCacheEvictions,  // LRU evictions under the cache byte budget
+  kServeJobsSubmitted,   // jobs accepted by the serving layer
+  kServeJobsCompleted,   // jobs that reached a terminal state
   kCount
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);

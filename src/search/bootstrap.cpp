@@ -9,11 +9,13 @@ namespace raxh {
 RapidBootstrap::RapidBootstrap(LikelihoodEngine& engine,
                                const PatternAlignment& patterns,
                                std::int64_t bootstrap_seed,
-                               std::int64_t parsimony_seed)
+                               std::int64_t parsimony_seed,
+                               const std::atomic<bool>* cancel)
     : engine_(&engine),
       patterns_(&patterns),
       bootstrap_rng_(bootstrap_seed),
-      parsimony_rng_(parsimony_seed) {
+      parsimony_rng_(parsimony_seed),
+      cancel_(cancel) {
   RAXH_EXPECTS(engine.rates().kind() == RateKind::kCat);
 }
 
@@ -55,6 +57,9 @@ std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
   }
 
   for (int rep = snapshot.next_replicate; rep < count; ++rep) {
+    // Cancellation unwinds between replicates; the snapshot already holds
+    // every finished replicate, so a later resume is bit-identical.
+    throw_if_cancelled(cancel_);
     const std::vector<int> weights =
         bootstrap_weights(*patterns_, bootstrap_rng_);
     engine_->set_weights(weights);
@@ -67,7 +72,9 @@ std::vector<BootstrapReplicate> RapidBootstrap::run_resumable(
       engine_->optimize_cat_rates(current);
     }
 
-    SprSearch search(*engine_, bootstrap_settings());
+    SearchSettings settings = bootstrap_settings();
+    settings.cancel = cancel_;
+    SprSearch search(*engine_, settings);
     const double lnl = search.run(current);
     out.push_back(BootstrapReplicate{current, lnl});
 

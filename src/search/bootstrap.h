@@ -50,9 +50,14 @@ struct BootstrapSnapshot {
 class RapidBootstrap {
  public:
   // `engine` must be CAT-based over `patterns`; seeds follow the paper's
-  // reproducibility scheme (already rank-shifted by the caller).
+  // reproducibility scheme (already rank-shifted by the caller). `cancel`
+  // (may be null) is polled before each replicate — and inside each
+  // replicate's SPR rounds — unwinding with JobCancelled; a checkpointed run
+  // that was cancelled resumes bit-identically from its last persisted
+  // replicate.
   RapidBootstrap(LikelihoodEngine& engine, const PatternAlignment& patterns,
-                 std::int64_t bootstrap_seed, std::int64_t parsimony_seed);
+                 std::int64_t bootstrap_seed, std::int64_t parsimony_seed,
+                 const std::atomic<bool>* cancel = nullptr);
 
   // Run `count` replicates; restores the original weights afterwards.
   std::vector<BootstrapReplicate> run(int count);
@@ -70,6 +75,7 @@ class RapidBootstrap {
   const PatternAlignment* patterns_;
   Lcg bootstrap_rng_;
   Lcg parsimony_rng_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 // Standard (non-rapid) bootstrapping, RAxML's "-b": every replicate starts

@@ -166,6 +166,7 @@ double SprSearch::run(Tree& tree) {
   stats_.initial_lnl = lnl;
 
   for (int round = 0; round < settings_.max_rounds; ++round) {
+    throw_if_cancelled(settings_.cancel);
     ++stats_.rounds;
     bool improved = false;
     double next = sweep(tree, lnl, improved);

@@ -5,12 +5,14 @@
 // re-optimization, and iterate to convergence.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
 #include "likelihood/engine.h"
 #include "likelihood/evaluator.h"
 #include "tree/tree.h"
+#include "util/cancel.h"
 
 namespace raxh {
 
@@ -21,6 +23,10 @@ struct SearchSettings {
   double epsilon = 0.1;       // minimum lnL gain to keep iterating
   double accept_epsilon = 1e-5;  // minimum gain to accept a single move
   int smooth_passes = 1;      // branch-smoothing passes between rounds
+  // Cooperative cancellation (serving layer / JobContext): checked once per
+  // SPR round so a long thorough search unwinds with JobCancelled within one
+  // sweep of a CANCEL, not only at the next stage boundary. Null = never.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Presets for the four stages of the comprehensive analysis (paper §2):

@@ -1,0 +1,83 @@
+// The admission pipeline: a dedicated reader thread that turns raw SUBMIT
+// payloads into run-ready, pattern-compressed alignments off the worker
+// path. Parsing and compression are the dominant non-search cost of a small
+// job; doing them on a single pipeline thread (a) keeps worker ranks busy
+// with likelihood work only, and (b) serializes cache fills so one alignment
+// submitted N times concurrently is compressed once.
+//
+// Admission is double-buffered: at most `lookahead` admitted-but-unstarted
+// jobs exist at a time (default 2 — one running set being fed, one prepared
+// behind it). The pipeline stalls, not the submitters: SUBMIT always queues
+// instantly, and the reader thread picks the highest-priority (FIFO within
+// priority) pending ticket whenever a lookahead slot is free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+
+namespace raxh::serve {
+
+struct AdmissionTicket {
+  std::string job_id;
+  std::shared_ptr<const std::string> raw;  // alignment bytes (shared, large)
+  std::string model;
+  int priority = 0;
+  std::uint64_t seq = 0;  // submission order; FIFO tiebreak within priority
+};
+
+struct AdmissionOutcome {
+  std::string job_id;
+  std::shared_ptr<const PatternAlignment> patterns;  // null on error
+  bool cache_hit = false;
+  std::string error;  // non-empty: parse/validation failure
+};
+
+class AdmissionPipeline {
+ public:
+  // `on_admitted` fires on the pipeline thread for every processed ticket
+  // (success or failure); it must be fast and must not call back into the
+  // pipeline other than job_started()/discard().
+  AdmissionPipeline(AlignmentCache* cache, int lookahead,
+                    std::function<void(AdmissionOutcome)> on_admitted);
+  ~AdmissionPipeline();
+  AdmissionPipeline(const AdmissionPipeline&) = delete;
+  AdmissionPipeline& operator=(const AdmissionPipeline&) = delete;
+
+  void enqueue(AdmissionTicket ticket);
+
+  // Remove a still-pending ticket (job cancelled while queued). Returns
+  // false if the ticket already entered processing.
+  bool discard(const std::string& job_id);
+
+  // The scheduler started (or abandoned) an admitted job: frees one
+  // lookahead slot, letting the reader thread prepare the next ticket.
+  void job_started();
+
+  // Drain-stop: finish the in-flight ticket, drop pending ones, join.
+  void stop();
+
+ private:
+  void run();
+  [[nodiscard]] AdmissionOutcome process(const AdmissionTicket& ticket);
+
+  AlignmentCache* cache_;
+  const int lookahead_;
+  std::function<void(AdmissionOutcome)> on_admitted_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<AdmissionTicket> pending_;
+  int admitted_unstarted_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace raxh::serve

@@ -1,0 +1,98 @@
+#include "serve/cache.h"
+
+#include "obs/obs.h"
+
+namespace raxh::serve {
+
+namespace {
+
+std::string make_key(const std::string& raw, const std::string& model) {
+  // The fingerprint stands in for the alignment bytes; the model string is
+  // appended verbatim behind a separator no hex digest contains.
+  char hex[17];
+  std::uint64_t h = AlignmentCache::fingerprint(raw);
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  hex[16] = '\0';
+  std::string key(hex, 16);
+  key.push_back('\0');
+  key += model;
+  return key;
+}
+
+}  // namespace
+
+AlignmentCache::AlignmentCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::uint64_t AlignmentCache::fingerprint(const std::string& raw) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : raw) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t AlignmentCache::approx_bytes(const PatternAlignment& p) {
+  std::size_t n = p.num_taxa() * p.num_patterns() * sizeof(DnaState);
+  n += p.num_patterns() * sizeof(int);
+  n += p.num_sites() * sizeof(std::size_t);
+  for (const auto& name : p.names()) n += name.size() + sizeof(std::string);
+  return n;
+}
+
+std::shared_ptr<const PatternAlignment> AlignmentCache::find(
+    const std::string& raw, const std::string& model) {
+  const std::string key = make_key(raw, model);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    obs::count(obs::Counter::kAlignCacheMisses);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  obs::count(obs::Counter::kAlignCacheHits);
+  return it->second->patterns;
+}
+
+void AlignmentCache::insert(const std::string& raw, const std::string& model,
+                            std::shared_ptr<const PatternAlignment> patterns) {
+  const std::string key = make_key(raw, model);
+  const std::size_t entry_bytes = approx_bytes(*patterns);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(patterns), entry_bytes});
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    obs::count(obs::Counter::kAlignCacheEvictions);
+  }
+}
+
+CacheStats AlignmentCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace raxh::serve

@@ -1,0 +1,78 @@
+// Content-addressed cache of pattern-compressed alignments. PHYLIP parsing
+// and site-pattern compression are the daemon's admission cost; submissions
+// that share an alignment (bootstrap sweeps, seed scans, re-runs) should pay
+// it once. The key is (FNV-1a 64 over the raw alignment bytes, model config
+// string): seeds and replicate counts are deliberately excluded so two jobs
+// differing only in those hit, while a single-byte alignment edit or a model
+// change misses. Entries are immutable shared_ptrs — a hit is handed to a
+// job while eviction can proceed concurrently.
+//
+// Eviction is exact LRU under a byte budget: a hit refreshes recency, an
+// insert evicts least-recently-used entries until the budget holds again.
+// The entry being inserted is never evicted by its own insert, so a single
+// alignment larger than the whole budget still serves its submitting job
+// (the cache transiently exceeds the budget by that one entry).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bio/patterns.h"
+
+namespace raxh::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;       // current resident estimate
+  std::size_t entries = 0;
+  std::size_t capacity = 0;    // byte budget
+};
+
+class AlignmentCache {
+ public:
+  explicit AlignmentCache(std::size_t capacity_bytes);
+
+  // Lookup by raw alignment bytes + model config. A hit refreshes recency
+  // and bumps the hit counters (CacheStats and obs); a miss bumps the miss
+  // counters and returns null — the caller parses, compresses, and insert()s.
+  [[nodiscard]] std::shared_ptr<const PatternAlignment> find(
+      const std::string& raw, const std::string& model);
+
+  // Insert a freshly compressed alignment, evicting LRU entries until the
+  // byte budget holds. Re-inserting an existing key refreshes its entry.
+  void insert(const std::string& raw, const std::string& model,
+              std::shared_ptr<const PatternAlignment> patterns);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  // FNV-1a 64 over `raw` — the content half of the cache key, exposed so
+  // tests can assert addressing behaviour directly.
+  [[nodiscard]] static std::uint64_t fingerprint(const std::string& raw);
+
+  // The byte-budget estimate of one compressed alignment: pattern matrix +
+  // weights + site map + names. An estimate, not an exact heap measurement —
+  // it only needs to be deterministic and proportional for LRU accounting.
+  [[nodiscard]] static std::size_t approx_bytes(const PatternAlignment& p);
+
+ private:
+  struct Entry {
+    std::string key;  // fingerprint-hex + '\0' + model
+    std::shared_ptr<const PatternAlignment> patterns;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace raxh::serve

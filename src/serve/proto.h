@@ -1,0 +1,131 @@
+// Wire protocol of the raxhd analysis service: length-prefixed binary frames
+// over a unix-domain (or TCP) stream socket.
+//
+//   frame  := u32 length (little-endian, of what follows) | u8 opcode | body
+//   body   := opcode-specific, serialized with minimpi's Packer/Unpacker —
+//             the same pair the rank mesh uses, so the daemon adds no second
+//             serialization idiom.
+//
+// Requests are SUBMIT/STATUS/STREAM/RESULT/CANCEL/LIST/SHUTDOWN; every
+// request is answered by exactly one OK or ERR frame, except STREAM, which
+// interposes any number of EVENT frames (progress snapshots) before its
+// final OK. The structs here are shared verbatim by the server
+// (serve/service.h) and the client library (serve/client.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace raxh::serve {
+
+enum class Op : std::uint8_t {
+  // Requests.
+  kSubmit = 1,    // JobRequest            -> OK: job id string
+  kStatus = 2,    // job id string         -> OK: JobStatus
+  kStream = 3,    // job id string         -> EVENT: JobStatus ... OK: JobStatus
+  kResult = 4,    // job id string         -> OK: JobResult (ERR if not done)
+  kCancel = 5,    // job id string         -> OK: empty
+  kList = 6,      // empty                 -> OK: u32 n, n * JobStatus
+  kShutdown = 7,  // empty                 -> OK: empty, then server exits
+  // Responses.
+  kOk = 128,
+  kErr = 129,    // string: human-readable error
+  kEvent = 130,  // JobStatus (STREAM progress tick)
+};
+
+// A frame too large to be a legitimate request (alignments are the largest
+// payload; 256 MiB is far beyond any data set this code targets). Oversized
+// lengths are treated as protocol corruption, not as allocations to attempt.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+struct Frame {
+  Op op = Op::kErr;
+  mpi::Bytes body;
+};
+
+// Blocking frame I/O over a connected stream socket, EINTR-safe. read_frame
+// returns false on clean EOF at a frame boundary; throws std::runtime_error
+// on mid-frame EOF, I/O errors, or an oversized length prefix.
+bool read_frame(int fd, Frame& out);
+void write_frame(int fd, Op op, const mpi::Bytes& body);
+
+// ---------------------------------------------------------------------------
+// SUBMIT payload
+// ---------------------------------------------------------------------------
+
+struct JobRequest {
+  std::string name;             // client label; the server assigns the id
+  std::string model = "GTRCAT";  // model config: part of the cache key
+  std::string alignment;        // raw PHYLIP bytes (hashed for the cache)
+  int priority = 0;             // higher admits/schedules first; FIFO within
+  int nranks = 1;               // coarse-grained logical ranks
+  int num_threads = 1;          // fine-grained crew width per rank
+  int bootstraps = 20;          // -N
+  std::int64_t parsimony_seed = 12345;
+  std::int64_t bootstrap_seed = 12345;
+  bool checkpoint = false;      // persist per-rank bootstrap checkpoints
+  // Search intensity overrides, 0 = the stage preset's default. Tests and
+  // benchmarks shrink these; production submissions leave them 0.
+  int fast_rounds = 0;
+  int slow_rounds = 0;
+  int thorough_rounds = 0;
+};
+
+void pack_request(mpi::Packer& p, const JobRequest& r);
+JobRequest unpack_request(mpi::Unpacker& u);
+
+// ---------------------------------------------------------------------------
+// STATUS / EVENT payload
+// ---------------------------------------------------------------------------
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,   // submitted, awaiting admission (parse + compress)
+  kReady = 1,    // admitted, awaiting a scheduler slot
+  kRunning = 2,
+  kDone = 3,
+  kFailed = 4,
+  kCancelled = 5,
+};
+
+[[nodiscard]] const char* job_state_name(JobState s);
+[[nodiscard]] inline bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+struct JobStatus {
+  std::string id;
+  std::string name;
+  JobState state = JobState::kQueued;
+  std::string error;       // non-empty iff kFailed
+  bool cache_hit = false;  // admission reused a cached compressed alignment
+  double fraction = 0.0;   // mean progress over the job's logical ranks
+  std::string phase;       // rank 0's current stage
+  double best_lnl = 0.0;
+  bool has_lnl = false;
+  double queue_s = 0.0;  // submit -> start (or now, while waiting)
+  double run_s = 0.0;    // start -> finish (or now, while running)
+};
+
+void pack_status(mpi::Packer& p, const JobStatus& s);
+JobStatus unpack_status(mpi::Unpacker& u);
+
+// ---------------------------------------------------------------------------
+// RESULT payload
+// ---------------------------------------------------------------------------
+
+struct JobResult {
+  std::string best_tree_newick;
+  double best_lnl = 0.0;
+  int winner_rank = 0;
+  std::string support_tree_newick;  // bootstrap-annotated best tree
+  int total_bootstrap_trees = 0;
+};
+
+void pack_result(mpi::Packer& p, const JobResult& r);
+JobResult unpack_result(mpi::Unpacker& u);
+
+}  // namespace raxh::serve

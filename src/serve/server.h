@@ -1,0 +1,71 @@
+// The socket front of raxhd: listeners (a unix-domain socket, optionally a
+// loopback TCP port) accept connections, a handler thread per connection
+// reads frames and drives the ServiceCore. Thread-per-connection is the
+// right weight here — clients are a handful of submit/status/stream tools,
+// not an internet-facing fleet — and it lets STREAM block its own connection
+// while EVENT frames tick without an async state machine.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace raxh::serve {
+
+struct ServerOptions {
+  std::string socket_path;  // unix-domain listener (required)
+  int tcp_port = 0;  // loopback TCP listener; 0 = none, -1 = ephemeral
+  int stream_interval_ms = 100;  // EVENT cadence of STREAM
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + spawn accept threads. Throws on bind failure (stale
+  // socket files are unlinked first).
+  void start();
+
+  // Block until a SHUTDOWN request or request_shutdown() (e.g. from a
+  // SIGTERM handler), then drain: cancel jobs, close connections, join.
+  void run_until_shutdown();
+
+  // Async shutdown trigger; safe to call from a signal handler's flag path
+  // (it only stores an atomic — run_until_shutdown polls it).
+  void request_shutdown() { shutdown_requested_.store(true); }
+
+  [[nodiscard]] ServiceCore& service() { return *service_; }
+  // The TCP port actually bound (for tcp_port = -1 ephemeral tests).
+  [[nodiscard]] int bound_tcp_port() const { return bound_tcp_port_; }
+
+ private:
+  void accept_loop(int listen_fd);
+  void handle_connection(int fd);
+  void handle_frame(int fd, const Frame& frame);
+  void stream_job(int fd, const std::string& id);
+
+  ServerOptions options_;
+  std::unique_ptr<ServiceCore> service_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<int> listen_fds_;
+  int bound_tcp_port_ = 0;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool started_ = false;
+};
+
+}  // namespace raxh::serve

@@ -1,0 +1,31 @@
+// Cooperative job cancellation. A cancel token is one atomic flag owned by
+// whoever controls the job's lifecycle (the serving layer's job table, a
+// test); the analysis code polls it at natural unit boundaries — between
+// bootstrap replicates, between SPR rounds — and unwinds with JobCancelled.
+//
+// JobCancelled deliberately derives from std::exception (unlike mpi::
+// RankDeath): cancellation is a *requested* outcome that generic cleanup may
+// observe, not a fault that must escape every handler. Harnesses that run a
+// job's ranks must catch it at the rank boundary (src/serve does) so it
+// never reaches minimpi's abort-on-escape backstop.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace raxh {
+
+struct JobCancelled : std::runtime_error {
+  JobCancelled() : std::runtime_error("job cancelled") {}
+};
+
+// Null-tolerant flag check: no token means "never cancelled".
+inline bool cancel_requested(const std::atomic<bool>* token) {
+  return token != nullptr && token->load(std::memory_order_relaxed);
+}
+
+inline void throw_if_cancelled(const std::atomic<bool>* token) {
+  if (cancel_requested(token)) throw JobCancelled();
+}
+
+}  // namespace raxh

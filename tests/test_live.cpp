@@ -233,7 +233,7 @@ TEST_F(LiveTest, WriterProducesParseableNdjson) {
   obs::live_begin_run(7, {{"a", 4, 1.0}});
   obs::live_begin_stage("a");
   {
-    obs::HeartbeatWriter writer(obs::HeartbeatOptions{dir, 7, 10});
+    obs::HeartbeatWriter writer(obs::HeartbeatOptions{dir, 7, 10, {}, nullptr});
     for (int i = 0; i < 4; ++i) {
       obs::live_unit_done();
       std::this_thread::sleep_for(std::chrono::milliseconds(15));
@@ -264,8 +264,8 @@ TEST_F(LiveTest, ScanToleratesTornLinesAndAggregates) {
   const std::string dir = ::testing::TempDir() + "raxh_live_scan";
   obs::live_reset();
   {
-    obs::HeartbeatWriter w0(obs::HeartbeatOptions{dir, 0, 1000});
-    obs::HeartbeatWriter w1(obs::HeartbeatOptions{dir, 1, 1000});
+    obs::HeartbeatWriter w0(obs::HeartbeatOptions{dir, 0, 1000, {}, nullptr});
+    obs::HeartbeatWriter w1(obs::HeartbeatOptions{dir, 1, 1000, {}, nullptr});
   }  // one beat each
   {
     // Overwrite with controlled content: rank 0 progressing, rank 1's file

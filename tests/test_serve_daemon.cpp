@@ -1,0 +1,200 @@
+// The socket layer of raxhd: framing over unix-domain and loopback TCP,
+// SUBMIT/STATUS/STREAM/RESULT/LIST/CANCEL/SHUTDOWN round-trips through a
+// live Server, protocol-corruption handling (a garbage frame gets an ERR
+// and a closed connection, not a wedged daemon), and shutdown draining.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bio/io.h"
+#include "bio/seqsim.h"
+#include "serve/client.h"
+#include "serve/proto.h"
+#include "serve/server.h"
+
+namespace raxh {
+namespace {
+
+std::string phylip_text(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.taxa = 8;
+  cfg.distinct_sites = 90;
+  cfg.total_sites = 120;
+  cfg.seed = seed;
+  std::ostringstream out;
+  write_phylip(out, simulate_alignment(cfg).alignment);
+  return out.str();
+}
+
+serve::JobRequest small_request(std::string alignment, std::string name) {
+  serve::JobRequest r;
+  r.alignment = std::move(alignment);
+  r.name = std::move(name);
+  r.bootstraps = 6;
+  r.fast_rounds = 1;
+  r.slow_rounds = 1;
+  r.thorough_rounds = 2;
+  return r;
+}
+
+// A Server on a fresh socket path in the temp dir; the drainer thread
+// unblocks run_until_shutdown so the test body can use the client API
+// synchronously and just join at the end.
+struct DaemonFixture {
+  explicit DaemonFixture(int tcp_port = 0) {
+    socket_path = (std::filesystem::temp_directory_path() /
+                   ("raxhd_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++) + ".sock"))
+                      .string();
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.tcp_port = tcp_port;
+    options.stream_interval_ms = 20;
+    options.service.max_concurrent_jobs = 2;
+    server = std::make_unique<serve::Server>(options);
+    server->start();
+    drainer = std::thread([this] { server->run_until_shutdown(); });
+  }
+
+  ~DaemonFixture() {
+    server->request_shutdown();
+    drainer.join();
+    server.reset();
+  }
+
+  static int counter;
+  std::string socket_path;
+  std::unique_ptr<serve::Server> server;
+  std::thread drainer;
+};
+
+int DaemonFixture::counter = 0;
+
+TEST(ServeDaemon, EndToEndOverUnixSocket) {
+  DaemonFixture daemon;
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+
+  const std::string id = client.submit(small_request(phylip_text(1), "e2e"));
+  EXPECT_FALSE(id.empty());
+
+  // STREAM delivers progress events, then the terminal status as the
+  // closing OK frame.
+  int events = 0;
+  const serve::JobStatus final_status =
+      client.stream(id, [&](const serve::JobStatus& s) {
+        EXPECT_EQ(s.id, id);
+        EXPECT_FALSE(serve::is_terminal(s.state));
+        ++events;
+      });
+  EXPECT_GE(events, 1);
+  EXPECT_EQ(final_status.state, serve::JobState::kDone);
+  EXPECT_EQ(final_status.fraction, 1.0);
+
+  const serve::JobResult result = client.result(id);
+  EXPECT_FALSE(result.best_tree_newick.empty());
+  EXPECT_FALSE(result.support_tree_newick.empty());
+  EXPECT_EQ(result.total_bootstrap_trees, 6);
+  EXPECT_LT(result.best_lnl, 0.0);
+
+  const auto all = client.list();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].id, id);
+
+  // Errors travel back as ServeError, connection intact afterwards.
+  EXPECT_THROW(client.status("nope"), serve::ServeError);
+  EXPECT_EQ(client.status(id).state, serve::JobState::kDone);
+}
+
+TEST(ServeDaemon, EphemeralTcpListener) {
+  DaemonFixture daemon(/*tcp_port=*/-1);
+  ASSERT_GT(daemon.server->bound_tcp_port(), 0);
+  serve::Client client = serve::Client::connect(
+      "127.0.0.1:" + std::to_string(daemon.server->bound_tcp_port()));
+  const std::string id = client.submit(small_request(phylip_text(2), "tcp"));
+  const serve::JobStatus final_status = client.stream(id, {});
+  EXPECT_EQ(final_status.state, serve::JobState::kDone);
+}
+
+TEST(ServeDaemon, CancelOverSocket) {
+  DaemonFixture daemon;
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+  serve::JobRequest r = small_request(phylip_text(3), "doomed");
+  r.bootstraps = 60;
+  const std::string id = client.submit(r);
+  client.cancel(id);
+  const serve::JobStatus final_status = client.stream(id, {});
+  EXPECT_EQ(final_status.state, serve::JobState::kCancelled);
+  EXPECT_THROW(client.result(id), serve::ServeError);
+}
+
+TEST(ServeDaemon, GarbageFrameGetsErrAndClose) {
+  DaemonFixture daemon;
+  // Hand-rolled connection so we can violate the protocol.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, daemon.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // A length prefix far beyond kMaxFrameBytes: the server must answer with
+  // an ERR frame and drop the connection instead of trying to allocate it.
+  const std::uint8_t poison[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(fd, poison, sizeof(poison)), 4);
+  serve::Frame reply;
+  ASSERT_TRUE(serve::read_frame(fd, reply));
+  EXPECT_EQ(reply.op, serve::Op::kErr);
+  EXPECT_FALSE(serve::read_frame(fd, reply));  // server closed its end
+  ::close(fd);
+
+  // The daemon survived the bad client: a well-formed connection still works.
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+  EXPECT_TRUE(client.list().empty());
+}
+
+TEST(ServeDaemon, UnknownOpcodeIsAnError) {
+  DaemonFixture daemon;
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+  // LIST with a stray opcode value through the raw framing layer.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, daemon.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  serve::write_frame(fd, static_cast<serve::Op>(42), {});
+  serve::Frame reply;
+  ASSERT_TRUE(serve::read_frame(fd, reply));
+  EXPECT_EQ(reply.op, serve::Op::kErr);
+  ::close(fd);
+}
+
+TEST(ServeDaemon, ShutdownViaProtocolDrainsAndUnlinks) {
+  auto daemon = std::make_unique<DaemonFixture>();
+  const std::string socket_path = daemon->socket_path;
+  {
+    serve::Client client = serve::Client::connect_unix(socket_path);
+    serve::JobRequest r = small_request(phylip_text(4), "drained");
+    r.bootstraps = 60;
+    client.submit(r);
+    client.shutdown_server();  // OK reply, then the daemon begins draining
+  }
+  daemon.reset();  // joins run_until_shutdown: cancels the job, closes all
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+}  // namespace
+}  // namespace raxh
