@@ -1,12 +1,19 @@
 // Serving-layer throughput: the raxhd ServiceCore driven directly (no
 // sockets), measuring end-to-end job latency and jobs/minute at 1, 4, and
 // 16 concurrent executor slots, plus the admission cost the content-
-// addressed alignment cache removes (cold parse+compress vs warm hit).
+// addressed alignment cache removes (cold parse+compress vs warm hit), and
+// the latency of a Prometheus scrape while the 4-slot batch is running
+// (the scrape walks every live job's counters, so it must stay cheap
+// under load or monitoring would perturb the thing it monitors).
 // All jobs share one alignment, the daemon's sweet spot: replicate sweeps
 // and seed scans over a common input pay the parse once.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -14,6 +21,7 @@
 #include "bio/patterns.h"
 #include "bio/seqsim.h"
 #include "serve/cache.h"
+#include "serve/introspect.h"
 #include "serve/service.h"
 #include "util/timer.h"
 
@@ -81,12 +89,31 @@ int main() {
   std::ostringstream csv;
   csv << "slots,jobs,wall_s,jobs_per_min,mean_latency_s\n";
   double jobs_per_min_c4 = 0.0;
+  double scrape_p50_ms = 0.0, scrape_p99_ms = 0.0;
+  std::size_t scrape_count = 0;
   for (const int slots : {1, 4, 16}) {
     serve::ServiceOptions opts;
     opts.max_concurrent_jobs = slots;
     opts.admission_lookahead = slots;
     serve::ServiceCore svc(opts);
     const int njobs = 2 * slots < 8 ? 8 : 2 * slots;
+
+    // At the 4-slot point, a scraper hammers the metrics renderer while
+    // the batch runs, the way a Prometheus server polls a busy daemon.
+    std::atomic<bool> scraping{slots == 4};
+    std::vector<double> scrape_ms;
+    std::thread scraper;
+    if (scraping.load()) {
+      scraper = std::thread([&svc, &scraping, &scrape_ms] {
+        while (scraping.load(std::memory_order_relaxed)) {
+          WallTimer t;
+          const std::string text = serve::render_metrics(svc, nullptr);
+          scrape_ms.push_back(t.seconds() * 1e3);
+          if (text.empty()) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
 
     WallTimer wall;
     std::vector<std::string> ids;
@@ -107,6 +134,16 @@ int main() {
       latency_sum += s.queue_s + s.run_s;
     }
     const double wall_s = wall.seconds();
+    if (scraper.joinable()) {
+      scraping.store(false);
+      scraper.join();
+      std::sort(scrape_ms.begin(), scrape_ms.end());
+      scrape_count = scrape_ms.size();
+      if (scrape_count > 0) {
+        scrape_p50_ms = scrape_ms[scrape_count / 2];
+        scrape_p99_ms = scrape_ms[(scrape_count * 99) / 100];
+      }
+    }
     const double jobs_per_min = njobs * 60.0 / wall_s;
     const double mean_latency = latency_sum / njobs;
     if (slots == 4) jobs_per_min_c4 = jobs_per_min;
@@ -116,11 +153,17 @@ int main() {
         << ',' << mean_latency << '\n';
   }
 
+  std::printf("\nmetrics scrape under load (4 slots, %zu scrapes): "
+              "p50 %.3f ms, p99 %.3f ms\n",
+              scrape_count, scrape_p50_ms, scrape_p99_ms);
+
   bench::write_output("serve.csv", csv.str());
-  char extra[160];
+  char extra[256];
   std::snprintf(extra, sizeof(extra),
-                "\"cold_admission_ms\":%.3f,\"warm_admission_ms\":%.4f",
-                cold_ms, warm_ms);
+                "\"cold_admission_ms\":%.3f,\"warm_admission_ms\":%.4f,"
+                "\"scrape_p50_ms\":%.3f,\"scrape_p99_ms\":%.3f,"
+                "\"scrapes_under_load\":%zu",
+                cold_ms, warm_ms, scrape_p50_ms, scrape_p99_ms, scrape_count);
   bench::write_summary("serve", "jobs_per_min_4slots", jobs_per_min_c4,
                        "jobs/min", extra);
   return 0;

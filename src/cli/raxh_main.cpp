@@ -85,6 +85,7 @@
 #include "obs/phase.h"
 #include "tree/consensus.h"
 #include "util/cli.h"
+#include "util/fscheck.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -136,30 +137,15 @@ ObsOptions obs_from_cli(const CliParser& cli) {
   return o;
 }
 
-// A telemetry path that turns out to be unwritable after hours of tree search
-// is a silent data loss; probe every output location before any work starts.
-bool dir_accepts_files(const std::filesystem::path& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);  // fine if it already exists
-  const std::filesystem::path probe = dir / ".raxh_write_probe";
-  {
-    std::ofstream f(probe);
-    if (!f) return false;
-  }
-  std::filesystem::remove(probe, ec);
-  return true;
-}
-
 bool validate_obs_paths(const ObsOptions& o) {
+  // util/fscheck.h probes: paths must prove writable before any work starts.
   const std::pair<const char*, const std::string*> files[] = {
       {"--trace-out", &o.trace_out}, {"--metrics-out", &o.metrics_out}};
   for (const auto& [flag, path] : files) {
     if (path->empty()) continue;
-    std::filesystem::path parent = std::filesystem::path(*path).parent_path();
-    if (parent.empty()) parent = ".";
-    if (!dir_accepts_files(parent)) {
-      std::fprintf(stderr, "error: %s=%s: directory '%s' is not writable\n",
-                   flag, path->c_str(), parent.string().c_str());
+    if (!file_path_writable(*path)) {
+      std::fprintf(stderr, "error: %s=%s: directory is not writable\n", flag,
+                   path->c_str());
       return false;
     }
   }

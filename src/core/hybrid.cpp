@@ -5,6 +5,7 @@
 #include "likelihood/engine.h"
 #include "obs/flight.h"
 #include "obs/live.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
 #include "obs/postmortem.h"
@@ -408,6 +409,12 @@ HybridResult run_hybrid_comprehensive(const JobContext& ctx, mpi::Comm& comm,
     Logger::instance().set_rank(nranks > 1 ? rank : -1);
     obs::set_rank(rank);
   }
+  // Per-job attribution (served jobs): bind this rank thread to the job's
+  // telemetry block on trace lane `rank`. Bound before the crew spawns so
+  // the workers inherit the binding. No-op (null scope) for one-shot runs.
+  obs::JobScope job_attribution(ctx.obs_job, rank);
+  if (ctx.obs_job)
+    ctx.obs_job->set_lane_name(rank, "rank " + std::to_string(rank));
 
   Workforce crew(options.analysis.num_threads);
   Workforce* crew_ptr =

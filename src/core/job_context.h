@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 
 namespace raxh::obs {
 class LiveModel;
+class JobObs;
 }  // namespace raxh::obs
 
 namespace raxh {
@@ -31,6 +33,16 @@ struct JobContext {
   // Identifies this job in logs and namespaces every per-job artifact path
   // (checkpoints, heartbeats). Empty = legacy single-job layout.
   std::string job_id;
+
+  // Optional owner label (daemon --tenant on SUBMIT) and trace correlation
+  // id; both are attribution-only and never affect the computation.
+  std::string tenant;
+  std::string trace_id;
+
+  // When set, every rank thread of the job (and the crews it spawns) binds
+  // this block so counters/histograms/spans are charged to the job as well
+  // as the process-global pool. Null = no per-job attribution (one-shot CLI).
+  std::shared_ptr<obs::JobObs> obs_job;
 
   // Base seeds of the job's reproducibility chain; per-logical-rank seeds
   // derive from these via the paper's §2.4 stride (see seeds_for()). The

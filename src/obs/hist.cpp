@@ -9,6 +9,7 @@
 #include <new>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace raxh::obs {
@@ -78,6 +79,8 @@ void hist_add(Hist h, std::uint64_t ns) {
   bump(b.sum_ns[hi], ns);
   if (ns > b.max_ns[hi].load(std::memory_order_relaxed))
     b.max_ns[hi].store(ns, std::memory_order_relaxed);
+  // Mirror into the bound job's block (serving layer), as in obs add_count.
+  if (JobObs* job = t_job_sink) job->add_hist(h, ns);
 }
 
 }  // namespace detail
@@ -95,6 +98,12 @@ const char* hist_name(Hist h) {
       return "barrier_wait";
     case Hist::kCollectiveNs:
       return "collective";
+    case Hist::kAdmissionNs:
+      return "admission";
+    case Hist::kQueueWaitNs:
+      return "queue_wait";
+    case Hist::kExecNs:
+      return "exec";
     case Hist::kHistCount:
       break;
   }

@@ -25,6 +25,10 @@ enum class Hist : int {
   kCrewJobNs = 0,    // one crew thread executing one dispatched job
   kBarrierWaitNs,    // master blocked waiting for crew completion
   kCollectiveNs,     // one minimpi collective call (barrier/bcast/reduce/...)
+  // Serving-stack latencies (raxhd; recorded by the ServiceCore pipeline):
+  kAdmissionNs,      // SUBMIT accepted -> alignment admitted (parse or hit)
+  kQueueWaitNs,      // admitted -> executor slot granted
+  kExecNs,           // executor slot granted -> terminal state
   kHistCount
 };
 inline constexpr int kNumHists = static_cast<int>(Hist::kHistCount);

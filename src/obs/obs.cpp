@@ -9,6 +9,7 @@
 
 #include "obs/hist.h"
 #include "obs/live.h"
+#include "obs/metrics.h"
 #include "obs/phase.h"
 
 namespace raxh::obs {
@@ -111,6 +112,10 @@ void add_count(Counter c, std::uint64_t n) {
   auto& slot = thread_state().counters[static_cast<int>(c)];
   slot.store(slot.load(std::memory_order_relaxed) + n,
              std::memory_order_relaxed);
+  // Job attribution: a thread bound to a JobObs (serving layer) mirrors the
+  // increment into the job's block, so per-job deltas sum to the global
+  // delta. Unbound threads (every one-shot run) pay one TLS load + branch.
+  if (JobObs* job = t_job_sink) job->add_count(c, n);
 }
 
 }  // namespace detail
@@ -218,11 +223,26 @@ void push_span(detail::ThreadState& state, std::string name,
 
 void record_span(std::string name, std::uint64_t start_ns,
                  std::uint64_t dur_ns) {
+  // A thread bound to a job routes its spans into the job's ring instead of
+  // the process-global one: the daemon's merged trace nests them under the
+  // owning job, and concurrent jobs stop interleaving in one timeline.
+  if (JobObs* job = detail::t_job_sink) {
+    const int lane = detail::t_job_lane >= 0
+                         ? detail::t_job_lane
+                         : kJobUnlanedTidBase + detail::thread_state().tid;
+    job->add_span(std::move(name), start_ns, dur_ns, lane);
+    return;
+  }
   push_span(detail::thread_state(), std::move(name), start_ns, dur_ns);
 }
 
 void record_phase_span(std::string name, std::uint64_t start_ns,
                        std::uint64_t dur_ns) {
+  if (JobObs* job = detail::t_job_sink) {
+    job->set_lane_name(kJobPhaseLane, "phases");
+    job->add_span(std::move(name), start_ns, dur_ns, kJobPhaseLane);
+    return;
+  }
   auto& reg = detail::registry();
   std::shared_ptr<detail::ThreadState> track;
   {

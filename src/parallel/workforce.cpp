@@ -4,6 +4,7 @@
 
 #include "obs/flight.h"
 #include "obs/hist.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -103,8 +104,17 @@ Workforce::Workforce(int num_threads)
   resize_reduction(1);
   slots_ = std::vector<WorkerSlot>(static_cast<std::size_t>(num_threads - 1));
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  // Crew threads inherit the creator's job binding (if any): the serving
+  // layer binds each rank thread to its job's JobObs, and the kernels the
+  // crew runs must count against that same job. One-shot runs are unbound
+  // and this is a captured null.
+  auto job_binding = obs::current_job();
+  const int job_lane = obs::current_job_lane();
   for (int tid = 1; tid < num_threads; ++tid)
-    workers_.emplace_back([this, tid] { worker_loop(tid); });
+    workers_.emplace_back([this, tid, job_binding, job_lane] {
+      obs::JobScope scope(job_binding, job_lane);
+      worker_loop(tid);
+    });
 }
 
 Workforce::~Workforce() {

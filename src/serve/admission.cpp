@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "bio/io.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/check.h"
 
@@ -92,6 +93,8 @@ void AdmissionPipeline::run() {
 AdmissionOutcome AdmissionPipeline::process(const AdmissionTicket& ticket) {
   AdmissionOutcome out;
   out.job_id = ticket.job_id;
+  // Charge the parse/cache-probe work this thread does to the owning job.
+  obs::JobScope attribution(ticket.jobobs);
   if (auto cached = cache_->find(*ticket.raw, ticket.model)) {
     // Warm path: the compressed alignment is reused as-is — no parse, no
     // compression. Tests assert this via the obs counters (kAlignParses

@@ -23,6 +23,10 @@
 
 #include "serve/cache.h"
 
+namespace raxh::obs {
+class JobObs;
+}  // namespace raxh::obs
+
 namespace raxh::serve {
 
 struct AdmissionTicket {
@@ -31,6 +35,9 @@ struct AdmissionTicket {
   std::string model;
   int priority = 0;
   std::uint64_t seq = 0;  // submission order; FIFO tiebreak within priority
+  // The job's attribution block: the pipeline thread binds it while the
+  // ticket is processed, charging parse/cache work to the owning job.
+  std::shared_ptr<obs::JobObs> jobobs;
 };
 
 struct AdmissionOutcome {

@@ -135,6 +135,12 @@ std::vector<JobStatus> Client::list() {
 
 void Client::shutdown_server() { roundtrip(Op::kShutdown, {}); }
 
+std::string Client::metrics() {
+  const Frame reply = roundtrip(Op::kMetrics, {});
+  mpi::Unpacker u(reply.body);
+  return u.get_string();
+}
+
 JobStatus Client::stream(
     const std::string& id,
     const std::function<void(const JobStatus&)>& on_event) {

@@ -38,6 +38,8 @@ class Client {
   void cancel(const std::string& id);
   std::vector<JobStatus> list();
   void shutdown_server();
+  // One Prometheus text-exposition scrape (Op::kMetrics).
+  std::string metrics();
 
   // Follow a job's progress: `on_event` fires per EVENT frame; returns the
   // terminal status from the closing OK frame.

@@ -1,0 +1,77 @@
+// The metrics plane of raxhd: assembles one Prometheus text-exposition
+// scrape from every observable surface the daemon has — ServiceCore queue
+// and slot gauges, alignment-cache stats, per-opcode frame counters, the
+// process-global obs counters, per-tenant attribution sums (from the
+// JobObs blocks bound to each job's threads), and the serving-stack latency
+// histograms (admission, queue-wait, execution).
+//
+// Two transports share the same renderer: the kMetrics protocol op (any
+// raxhd client can scrape over the job socket) and an optional loopback-only
+// HTTP listener speaking just enough HTTP/1.0 for `GET /metrics` — enough
+// for a real Prometheus server or `curl`, with no web framework.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serve/proto.h"
+
+namespace raxh::serve {
+
+class ServiceCore;
+
+// Per-request-opcode frame counters, bumped by the Server once per decoded
+// frame. Plain relaxed atomics: handlers on many connection threads write,
+// the scrape path reads.
+struct FrameCounters {
+  static constexpr int kOps = 16;  // headroom over the 8 request opcodes
+  std::atomic<std::uint64_t> frames[kOps] = {};
+
+  void bump(Op op) {
+    const auto i = static_cast<unsigned>(op);
+    frames[i < kOps ? i : 0].fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+// Lower-case scrape label of a request opcode ("submit", "status", ...);
+// "unknown" for anything that is not a request.
+[[nodiscard]] const char* op_name(Op op);
+
+// Renders one scrape. `frames` may be null (ServiceCore driven without a
+// Server, e.g. in tests); the per-op family is omitted then.
+[[nodiscard]] std::string render_metrics(ServiceCore& service,
+                                         const FrameCounters* frames);
+
+// Loopback-only HTTP listener for GET /metrics. Binds 127.0.0.1:`port`
+// (0 = ephemeral; port() reports the bound one) and serves each request on
+// the accept thread — scrapes are small and serializing them is a feature
+// (one consistent snapshot at a time). Throws std::runtime_error if the
+// port cannot be bound.
+class MetricsHttpListener {
+ public:
+  MetricsHttpListener(ServiceCore* service, const FrameCounters* frames,
+                      int port);
+  ~MetricsHttpListener();
+  MetricsHttpListener(const MetricsHttpListener&) = delete;
+  MetricsHttpListener& operator=(const MetricsHttpListener&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  // Close the listener and join the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  void serve_one(int fd);
+
+  ServiceCore* service_;
+  const FrameCounters* frames_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace raxh::serve

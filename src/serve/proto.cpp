@@ -85,6 +85,7 @@ void write_frame(int fd, Op op, const mpi::Bytes& body) {
 
 void pack_request(mpi::Packer& p, const JobRequest& r) {
   p.put_string(r.name);
+  p.put_string(r.tenant);
   p.put_string(r.model);
   p.put<std::int32_t>(r.priority);
   p.put<std::int32_t>(r.nranks);
@@ -102,6 +103,7 @@ void pack_request(mpi::Packer& p, const JobRequest& r) {
 JobRequest unpack_request(mpi::Unpacker& u) {
   JobRequest r;
   r.name = u.get_string();
+  r.tenant = u.get_string();
   r.model = u.get_string();
   r.priority = u.get<std::int32_t>();
   r.nranks = u.get<std::int32_t>();
@@ -138,6 +140,7 @@ const char* job_state_name(JobState s) {
 void pack_status(mpi::Packer& p, const JobStatus& s) {
   p.put_string(s.id);
   p.put_string(s.name);
+  p.put_string(s.tenant);
   p.put<std::uint8_t>(static_cast<std::uint8_t>(s.state));
   p.put_string(s.error);
   p.put<std::uint8_t>(s.cache_hit ? 1 : 0);
@@ -153,6 +156,7 @@ JobStatus unpack_status(mpi::Unpacker& u) {
   JobStatus s;
   s.id = u.get_string();
   s.name = u.get_string();
+  s.tenant = u.get_string();
   s.state = static_cast<JobState>(u.get<std::uint8_t>());
   s.error = u.get_string();
   s.cache_hit = u.get<std::uint8_t>() != 0;

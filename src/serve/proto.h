@@ -30,6 +30,7 @@ enum class Op : std::uint8_t {
   kCancel = 5,    // job id string         -> OK: empty
   kList = 6,      // empty                 -> OK: u32 n, n * JobStatus
   kShutdown = 7,  // empty                 -> OK: empty, then server exits
+  kMetrics = 8,   // empty                 -> OK: Prometheus exposition text
   // Responses.
   kOk = 128,
   kErr = 129,    // string: human-readable error
@@ -58,6 +59,7 @@ void write_frame(int fd, Op op, const mpi::Bytes& body);
 
 struct JobRequest {
   std::string name;             // client label; the server assigns the id
+  std::string tenant;           // optional owner label for metrics attribution
   std::string model = "GTRCAT";  // model config: part of the cache key
   std::string alignment;        // raw PHYLIP bytes (hashed for the cache)
   int priority = 0;             // higher admits/schedules first; FIFO within
@@ -99,6 +101,7 @@ enum class JobState : std::uint8_t {
 struct JobStatus {
   std::string id;
   std::string name;
+  std::string tenant;  // echoed from the request ("" when unset)
   JobState state = JobState::kQueued;
   std::string error;       // non-empty iff kFailed
   bool cache_hit = false;  // admission reused a cached compressed alignment

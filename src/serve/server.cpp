@@ -50,6 +50,11 @@ void Server::start() {
   // bind fail; unlink first (a live daemon on the path loses its listener
   // only if the operator points two daemons at one path — their mistake).
   {
+    std::error_code ec;
+    if (std::filesystem::symlink_status(options_.socket_path, ec).type() !=
+            std::filesystem::file_type::not_found &&
+        !ec)
+      log_warn("removing stale socket %s", options_.socket_path.c_str());
     ::unlink(options_.socket_path.c_str());
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) sys_error("socket(AF_UNIX)");
@@ -85,6 +90,14 @@ void Server::start() {
     listen_fds_.push_back(fd);
   }
 
+  if (options_.metrics_http_port != 0) {
+    const int port =
+        options_.metrics_http_port < 0 ? 0 : options_.metrics_http_port;
+    metrics_http_ =
+        std::make_unique<MetricsHttpListener>(service_.get(), &frames_, port);
+    log_info("metrics on http://127.0.0.1:%d/metrics", metrics_http_->port());
+  }
+
   for (const int fd : listen_fds_)
     accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
   log_info("raxhd listening on %s%s", options_.socket_path.c_str(),
@@ -102,6 +115,7 @@ void Server::run_until_shutdown() {
 
   if (stopping_.exchange(true)) return;  // a second caller: already drained
   log_info("raxhd shutting down");
+  if (metrics_http_) metrics_http_->stop();
   // Wake the accept loops and connection handlers by closing their fds,
   // then join everything. shutdown(2) before close so blocked reads return.
   for (const int fd : listen_fds_) {
@@ -165,6 +179,7 @@ void Server::handle_connection(int fd) {
 #pragma GCC diagnostic ignored "-Wstringop-overflow"
 #endif
 void Server::handle_frame(int fd, const Frame& frame) {
+  frames_.bump(frame.op);
   try {
     mpi::Unpacker u(frame.body);
     switch (frame.op) {
@@ -217,6 +232,12 @@ void Server::handle_frame(int fd, const Frame& frame) {
         write_frame(fd, Op::kOk, {});
         request_shutdown();
         return;
+      case Op::kMetrics: {
+        mpi::Packer p;
+        p.put_string(render_metrics(*service_, &frames_));
+        write_frame(fd, Op::kOk, p.take());
+        return;
+      }
       default:
         send_err(fd, "unknown opcode " +
                          std::to_string(static_cast<int>(frame.op)));

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/introspect.h"
 #include "serve/service.h"
 
 namespace raxh::serve {
@@ -21,6 +22,9 @@ struct ServerOptions {
   std::string socket_path;  // unix-domain listener (required)
   int tcp_port = 0;  // loopback TCP listener; 0 = none, -1 = ephemeral
   int stream_interval_ms = 100;  // EVENT cadence of STREAM
+  // Loopback HTTP /metrics listener; 0 = none, -1 = ephemeral. The same
+  // exposition is always available over the job socket via Op::kMetrics.
+  int metrics_http_port = 0;
   ServiceOptions service;
 };
 
@@ -46,6 +50,14 @@ class Server {
   [[nodiscard]] ServiceCore& service() { return *service_; }
   // The TCP port actually bound (for tcp_port = -1 ephemeral tests).
   [[nodiscard]] int bound_tcp_port() const { return bound_tcp_port_; }
+  // The /metrics HTTP port actually bound; 0 when the listener is off.
+  [[nodiscard]] int bound_metrics_port() const {
+    return metrics_http_ ? metrics_http_->port() : 0;
+  }
+  // One scrape rendered in-process (raxhd --metrics-out at shutdown).
+  [[nodiscard]] std::string render_metrics_now() {
+    return render_metrics(*service_, &frames_);
+  }
 
  private:
   void accept_loop(int listen_fd);
@@ -55,6 +67,8 @@ class Server {
 
   ServerOptions options_;
   std::unique_ptr<ServiceCore> service_;
+  FrameCounters frames_;
+  std::unique_ptr<MetricsHttpListener> metrics_http_;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> stopping_{false};
 

@@ -18,6 +18,22 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+// steady_clock epoch ns — the same clock obs::now_ns reads, so lifecycle
+// spans and the spans bound threads record land on one timeline.
+std::uint64_t ns_of(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 ServiceCore::ServiceCore(ServiceOptions options)
@@ -54,7 +70,9 @@ std::string ServiceCore::submit(JobRequest request) {
     job->id = "j" + std::to_string(job->seq);
     job->request = std::move(request);
     job->submitted_at = std::chrono::steady_clock::now();
+    job->jobobs = std::make_shared<obs::JobObs>();
     ticket.job_id = job->id;
+    ticket.jobobs = job->jobobs;
     ticket.raw = std::make_shared<const std::string>(job->request.alignment);
     ticket.model = job->request.model;
     ticket.priority = job->request.priority;
@@ -86,6 +104,10 @@ void ServiceCore::on_admitted(AdmissionOutcome outcome) {
       job->patterns = std::move(outcome.patterns);
       job->cache_hit = outcome.cache_hit;
       job->state = JobState::kReady;
+      job->admitted_at = std::chrono::steady_clock::now();
+      obs::JobScope attribution(job->jobobs);
+      obs::hist_record(obs::Hist::kAdmissionNs,
+                       ns_between(job->submitted_at, job->admitted_at));
     }
   }
   // Failed admissions release their slot inside the pipeline itself.
@@ -117,6 +139,11 @@ void ServiceCore::scheduler_loop() {
       picked->state = JobState::kRunning;
       picked->started_at = std::chrono::steady_clock::now();
       ++running_;
+      {
+        obs::JobScope attribution(picked->jobobs);
+        obs::hist_record(obs::Hist::kQueueWaitNs,
+                         ns_between(picked->admitted_at, picked->started_at));
+      }
       // One executor thread per running job; it blocks in run_thread_ranks
       // until every rank of the job joined. Assigned under mu_ so
       // status/list never observe the thread object mid-construction.
@@ -142,6 +169,9 @@ void ServiceCore::execute(Job* job) {
   // daemon hosts many jobs; none of them owns the process rank stamp).
   JobContext ctx;
   ctx.job_id = job->id;
+  ctx.tenant = job->request.tenant;
+  ctx.trace_id = job->id;
+  ctx.obs_job = job->jobobs;
   ctx.parsimony_seed = job->request.parsimony_seed;
   ctx.bootstrap_seed = job->request.bootstrap_seed;
   ctx.use_seed_chain = true;
@@ -222,6 +252,9 @@ void ServiceCore::finish(Job* job, JobState terminal, std::string error) {
     job->error = std::move(error);
     job->finished_at = std::chrono::steady_clock::now();
     --running_;
+    obs::JobScope attribution(job->jobobs);
+    obs::hist_record(obs::Hist::kExecNs,
+                     ns_between(job->started_at, job->finished_at));
   }
   obs::count(obs::Counter::kServeJobsCompleted);
   log_debug("job %s finished: %s", job->id.c_str(), job_state_name(terminal));
@@ -232,6 +265,7 @@ JobStatus ServiceCore::status_locked(const Job& job) const {
   JobStatus s;
   s.id = job.id;
   s.name = job.request.name;
+  s.tenant = job.request.tenant;
   s.state = job.state;
   s.error = job.error;
   s.cache_hit = job.cache_hit;
@@ -363,6 +397,84 @@ void ServiceCore::shutdown() {
   cv_.notify_all();
   admission_->stop();
   if (scheduler_.joinable()) scheduler_.join();
+}
+
+ServiceStats ServiceCore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.slots = options_.max_concurrent_jobs;
+  s.submitted_total = next_seq_;
+  for (const Job* j : order_) {
+    switch (j->state) {
+      case JobState::kQueued:
+        ++s.queued;
+        break;
+      case JobState::kReady:
+        ++s.ready;
+        break;
+      case JobState::kRunning:
+        ++s.running;
+        break;
+      case JobState::kDone:
+        ++s.done;
+        break;
+      case JobState::kFailed:
+        ++s.failed;
+        break;
+      case JobState::kCancelled:
+        ++s.cancelled;
+        break;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<obs::JobObs> ServiceCore::job_obs(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second->jobobs;
+}
+
+std::string ServiceCore::export_job_trace() const {
+  std::vector<std::string> fragments;
+  std::lock_guard<std::mutex> lock(mu_);
+  fragments.reserve(order_.size());
+  for (const Job* j : order_) {
+    // Lifecycle lane: SUBMIT -> admitted -> slot granted -> terminal, each
+    // leg a span. Open legs (job still in flight) extend to "now" so a
+    // mid-run export stays well-formed.
+    const std::uint64_t now = obs::now_ns();
+    const bool admitted = j->admitted_at.time_since_epoch().count() != 0;
+    const bool started = j->started_at.time_since_epoch().count() != 0;
+    const bool finished = j->finished_at.time_since_epoch().count() != 0;
+    const std::uint64_t end = finished ? ns_of(j->finished_at) : now;
+    std::vector<obs::JobObs::ExtraSpan> extra;
+    {
+      const std::uint64_t t0 = ns_of(j->submitted_at);
+      const std::uint64_t t1 = admitted ? ns_of(j->admitted_at) : end;
+      extra.push_back({"admission", t0, t1 > t0 ? t1 - t0 : 0,
+                       obs::kJobLifecycleLane});
+    }
+    if (admitted) {
+      const std::uint64_t t0 = ns_of(j->admitted_at);
+      const std::uint64_t t1 = started ? ns_of(j->started_at) : end;
+      extra.push_back({"queued", t0, t1 > t0 ? t1 - t0 : 0,
+                       obs::kJobLifecycleLane});
+    }
+    if (started) {
+      const std::uint64_t t0 = ns_of(j->started_at);
+      extra.push_back({"run", t0, end > t0 ? end - t0 : 0,
+                       obs::kJobLifecycleLane});
+    }
+    j->jobobs->set_lane_name(obs::kJobLifecycleLane, "lifecycle");
+    std::string pname = "job " + j->id;
+    if (!j->request.name.empty()) pname += " " + j->request.name;
+    if (!j->request.tenant.empty()) pname += " tenant=" + j->request.tenant;
+    fragments.push_back(j->jobobs->export_trace_fragment(
+        static_cast<int>(j->seq), pname, extra));
+  }
+  return obs::merge_trace_fragments(fragments);
 }
 
 }  // namespace raxh::serve

@@ -28,11 +28,24 @@
 
 #include "core/hybrid.h"
 #include "obs/live.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/cache.h"
 #include "serve/proto.h"
 
 namespace raxh::serve {
+
+// Point-in-time service gauges for the metrics plane (serve/introspect.h).
+struct ServiceStats {
+  int queued = 0;   // submitted, not yet admitted
+  int ready = 0;    // admitted, awaiting a slot
+  int running = 0;
+  int done = 0;
+  int failed = 0;
+  int cancelled = 0;
+  std::uint64_t submitted_total = 0;
+  int slots = 0;  // max_concurrent_jobs
+};
 
 struct ServiceOptions {
   int max_concurrent_jobs = 4;   // executor slots (each nranks x threads wide)
@@ -84,6 +97,20 @@ class ServiceCore {
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
+  // Queue/state gauges for one scrape (consistent: taken under one lock).
+  [[nodiscard]] ServiceStats stats() const;
+
+  // The job's attribution block (counters/hists/spans charged to it); null
+  // for an unknown id. Alive for as long as the job record is.
+  [[nodiscard]] std::shared_ptr<obs::JobObs> job_obs(
+      const std::string& id) const;
+
+  // One merged Chrome trace over every job the daemon has seen: per job, a
+  // lifecycle lane (SUBMIT->admission->queued->run spans) plus the rank/crew
+  // spans its bound threads recorded, all under pid = the job's sequence
+  // number. Loadable in chrome://tracing / Perfetto as-is.
+  [[nodiscard]] std::string export_job_trace() const;
+
  private:
   struct Job {
     std::string id;
@@ -95,10 +122,11 @@ class ServiceCore {
     std::atomic<bool> cancel{false};
     std::shared_ptr<const PatternAlignment> patterns;
     std::vector<std::unique_ptr<obs::LiveModel>> live;  // one per logical rank
+    std::shared_ptr<obs::JobObs> jobobs;  // attribution block, never null
     bool has_result = false;
     HybridResult result;
-    std::chrono::steady_clock::time_point submitted_at, started_at,
-        finished_at;
+    std::chrono::steady_clock::time_point submitted_at, admitted_at,
+        started_at, finished_at;
     std::thread worker;  // joined by the scheduler after terminal
   };
 

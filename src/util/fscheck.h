@@ -1,0 +1,36 @@
+// Pre-flight filesystem probes. A telemetry or artifact path that turns out
+// to be unwritable after hours of tree search (or days of daemon uptime) is
+// silent data loss; both CLIs (raxh, raxhd) probe every output location
+// before any work starts and fail fast with the offending flag named.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+namespace raxh {
+
+// True when files can be created inside `dir` (created first if missing).
+// Probes by actually writing: permission bits lie on exotic mounts.
+inline bool dir_accepts_files(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // fine if it already exists
+  const std::filesystem::path probe = dir / ".raxh_write_probe";
+  {
+    std::ofstream f(probe);
+    if (!f) return false;
+  }
+  std::filesystem::remove(probe, ec);
+  return true;
+}
+
+// True when a file at `path` could be created: its parent directory (the
+// current directory for a bare filename) accepts files.
+inline bool file_path_writable(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  return dir_accepts_files(parent);
+}
+
+}  // namespace raxh

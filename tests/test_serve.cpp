@@ -19,7 +19,10 @@
 #include "bio/patterns.h"
 #include "bio/seqsim.h"
 #include "core/hybrid.h"
+#include "json_validator.h"
 #include "minimpi/comm.h"
+#include "obs/hist.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/cache.h"
 #include "serve/service.h"
@@ -385,6 +388,98 @@ TEST(ServeService, ShutdownCancelsOutstandingWork) {
   EXPECT_EQ(svc.status(queued).state, serve::JobState::kCancelled);
   EXPECT_THROW(svc.submit(small_request(raw, "late")),
                std::runtime_error);
+}
+
+// --- Attribution / metrics plane --------------------------------------------
+
+TEST(ServeAttribution, ConcurrentJobDeltasSumToGlobalDelta) {
+  obs::reset();
+  obs::set_enabled(true);
+  serve::ServiceOptions opts;
+  opts.max_concurrent_jobs = 2;
+  serve::ServiceCore svc(opts);
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  // Distinct alignments (no cache hit hides a parse), 2 ranks each, and 2
+  // slots so the jobs genuinely overlap — the scenario where process-global
+  // counters alone cannot tell the jobs apart.
+  const std::string a = svc.submit(small_request(phylip_text(31), "a", 2));
+  const std::string b = svc.submit(small_request(phylip_text(32), "b", 2));
+  ASSERT_TRUE(svc.wait(a, 120000));
+  ASSERT_TRUE(svc.wait(b, 120000));
+  ASSERT_EQ(svc.status(a).state, serve::JobState::kDone);
+  ASSERT_EQ(svc.status(b).state, serve::JobState::kDone);
+  const obs::CounterSnapshot after = obs::counters_snapshot();
+  const auto job_a = svc.job_obs(a);
+  const auto job_b = svc.job_obs(b);
+  ASSERT_NE(job_a, nullptr);
+  ASSERT_NE(job_b, nullptr);
+  const obs::CounterSnapshot ca = job_a->counters();
+  const obs::CounterSnapshot cb = job_b->counters();
+  // Every event of these families fires on a thread bound to exactly one of
+  // the two jobs (rank threads, their crews, the admission pipeline), so the
+  // per-job deltas must sum to the process-global delta — the attribution
+  // invariant. Daemon housekeeping counters (e.g. kServeJobsSubmitted, which
+  // fires on the unbound submitter thread) are deliberately not listed.
+  const obs::Counter attributed[] = {
+      obs::Counter::kNewviewCalls,      obs::Counter::kEvaluateCalls,
+      obs::Counter::kDerivativeCalls,   obs::Counter::kPatternsEvaluated,
+      obs::Counter::kReductionCalls,    obs::Counter::kWorkforceJobs,
+      obs::Counter::kAlignParses,
+  };
+  for (const obs::Counter c : attributed) {
+    const int i = static_cast<int>(c);
+    EXPECT_EQ(after.values[i] - before.values[i], ca.values[i] + cb.values[i])
+        << "counter " << obs::counter_name(c);
+  }
+  EXPECT_GT(ca.values[static_cast<int>(obs::Counter::kNewviewCalls)], 0u);
+  EXPECT_GT(cb.values[static_cast<int>(obs::Counter::kNewviewCalls)], 0u);
+  EXPECT_EQ(ca.values[static_cast<int>(obs::Counter::kAlignParses)], 1u);
+  EXPECT_EQ(cb.values[static_cast<int>(obs::Counter::kAlignParses)], 1u);
+  // The lifecycle latencies landed in each job's block too.
+  EXPECT_EQ(job_a->hist(obs::Hist::kAdmissionNs).count, 1u);
+  EXPECT_EQ(job_a->hist(obs::Hist::kQueueWaitNs).count, 1u);
+  EXPECT_EQ(job_a->hist(obs::Hist::kExecNs).count, 1u);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ServeService, TenantIsEchoedAndAggregated) {
+  serve::ServiceOptions opts;
+  serve::ServiceCore svc(opts);
+  serve::JobRequest r = small_request(phylip_text(33), "tagged");
+  r.tenant = "alice";
+  const std::string id = svc.submit(r);
+  EXPECT_EQ(svc.status(id).tenant, "alice");
+  ASSERT_TRUE(svc.wait(id, 120000));
+  EXPECT_EQ(svc.list().at(0).tenant, "alice");
+  const serve::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted_total, 1u);
+  EXPECT_EQ(stats.done, 1);
+  EXPECT_EQ(stats.running + stats.queued + stats.ready, 0);
+  EXPECT_EQ(stats.slots, opts.max_concurrent_jobs);
+}
+
+TEST(ServeService, ExportJobTraceIsValidMergedChromeJson) {
+  obs::reset();
+  obs::set_enabled(true);
+  serve::ServiceOptions opts;
+  serve::ServiceCore svc(opts);
+  serve::JobRequest r = small_request(phylip_text(34), "traced", 2);
+  r.tenant = "bob";
+  const std::string id = svc.submit(r);
+  ASSERT_TRUE(svc.wait(id, 120000));
+  ASSERT_EQ(svc.status(id).state, serve::JobState::kDone);
+  const std::string trace = svc.export_job_trace();
+  EXPECT_TRUE(testutil::JsonValidator(trace).valid()) << trace.substr(0, 400);
+  // Lifecycle lane, rank lanes, and the job's identity all present.
+  EXPECT_NE(trace.find("\"admission\""), std::string::npos);
+  EXPECT_NE(trace.find("\"queued\""), std::string::npos);
+  EXPECT_NE(trace.find("\"run\""), std::string::npos);
+  EXPECT_NE(trace.find("rank 0"), std::string::npos);
+  EXPECT_NE(trace.find("rank 1"), std::string::npos);
+  EXPECT_NE(trace.find("tenant=bob"), std::string::npos);
+  obs::set_enabled(false);
+  obs::reset();
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 // and a closed connection, not a wedged daemon), and shutdown draining.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -17,6 +20,7 @@
 
 #include "bio/io.h"
 #include "bio/seqsim.h"
+#include "obs/obs.h"
 #include "serve/client.h"
 #include "serve/proto.h"
 #include "serve/server.h"
@@ -50,7 +54,7 @@ serve::JobRequest small_request(std::string alignment, std::string name) {
 // unblocks run_until_shutdown so the test body can use the client API
 // synchronously and just join at the end.
 struct DaemonFixture {
-  explicit DaemonFixture(int tcp_port = 0) {
+  explicit DaemonFixture(int tcp_port = 0, int metrics_port = 0) {
     socket_path = (std::filesystem::temp_directory_path() /
                    ("raxhd_test_" + std::to_string(::getpid()) + "_" +
                     std::to_string(counter++) + ".sock"))
@@ -58,6 +62,7 @@ struct DaemonFixture {
     serve::ServerOptions options;
     options.socket_path = socket_path;
     options.tcp_port = tcp_port;
+    options.metrics_http_port = metrics_port;
     options.stream_interval_ms = 20;
     options.service.max_concurrent_jobs = 2;
     server = std::make_unique<serve::Server>(options);
@@ -180,6 +185,133 @@ TEST(ServeDaemon, UnknownOpcodeIsAnError) {
   ASSERT_TRUE(serve::read_frame(fd, reply));
   EXPECT_EQ(reply.op, serve::Op::kErr);
   ::close(fd);
+}
+
+// First sample value of `family` in a Prometheus exposition (exact-name or
+// labeled-series prefix match); -1.0 when absent.
+double metric_value(const std::string& text, const std::string& prefix) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    const char next = line.size() > prefix.size() ? line[prefix.size()] : ' ';
+    if (next != ' ' && next != '{') continue;
+    const auto space = line.rfind(' ');
+    return std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return -1.0;
+}
+
+TEST(ServeDaemon, MetricsOpRoundTripAndMonotonicity) {
+  obs::reset();
+  obs::set_enabled(true);
+  DaemonFixture daemon;
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+
+  const std::string first = client.metrics();
+  // Exposition-format skeleton: HELP then TYPE for every family we rely on.
+  for (const char* family :
+       {"raxhd_up", "raxhd_jobs_submitted_total", "raxhd_queue_depth",
+        "raxhd_slot_utilization", "raxhd_cache_hits_total",
+        "raxhd_frames_total", "raxhd_events_total",
+        "raxhd_admission_seconds", "raxhd_queue_wait_seconds",
+        "raxhd_exec_seconds"}) {
+    EXPECT_NE(first.find(std::string("# HELP ") + family), std::string::npos)
+        << family;
+    EXPECT_NE(first.find(std::string("# TYPE ") + family), std::string::npos)
+        << family;
+  }
+  EXPECT_EQ(metric_value(first, "raxhd_up"), 1.0);
+  EXPECT_EQ(metric_value(first, "raxhd_jobs_submitted_total"), 0.0);
+
+  const std::string id =
+      client.submit(small_request(phylip_text(5), "scraped"));
+  const serve::JobStatus final_status = client.stream(id, {});
+  ASSERT_EQ(final_status.state, serve::JobState::kDone);
+
+  const std::string second = client.metrics();
+  const std::string third = client.metrics();
+  EXPECT_EQ(metric_value(second, "raxhd_jobs_submitted_total"), 1.0);
+  EXPECT_EQ(metric_value(second, "raxhd_jobs_finished_total{state=\"done\"}"),
+            1.0);
+  EXPECT_GT(metric_value(second, "raxhd_exec_seconds_count"), 0.0);
+  // Counters are monotone between scrapes, and the scrape itself counts.
+  const std::string scrape_frames = "raxhd_frames_total{op=\"metrics\"}";
+  EXPECT_GE(metric_value(third, scrape_frames),
+            metric_value(second, scrape_frames) + 1.0);
+  for (const char* counter_family :
+       {"raxhd_jobs_submitted_total", "raxhd_cache_misses_total",
+        "raxhd_frames_total{op=\"submit\"}"}) {
+    EXPECT_GE(metric_value(third, counter_family),
+              metric_value(second, counter_family))
+        << counter_family;
+    EXPECT_GE(metric_value(second, counter_family),
+              metric_value(first, counter_family))
+        << counter_family;
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ServeDaemon, TenantTravelsTheWireAndReachesMetrics) {
+  obs::reset();
+  obs::set_enabled(true);
+  DaemonFixture daemon;
+  serve::Client client = serve::Client::connect_unix(daemon.socket_path);
+  serve::JobRequest r = small_request(phylip_text(6), "tagged");
+  r.tenant = "team-x";
+  const std::string id = client.submit(r);
+  EXPECT_EQ(client.status(id).tenant, "team-x");
+  const serve::JobStatus final_status = client.stream(id, {});
+  EXPECT_EQ(final_status.tenant, "team-x");
+  const std::string scrape = client.metrics();
+  EXPECT_EQ(metric_value(scrape, "raxhd_tenant_jobs_total{tenant=\"team-x\"}"),
+            1.0);
+  EXPECT_GT(
+      metric_value(scrape, "raxhd_tenant_events_total{tenant=\"team-x\"}"),
+      0.0);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ServeDaemon, HttpListenerServesMetricsOnLoopback) {
+  DaemonFixture daemon(/*tcp_port=*/0, /*metrics_port=*/-1);
+  const int port = daemon.server->bound_metrics_port();
+  ASSERT_GT(port, 0);
+
+  const auto http_get = [port](const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r <= 0) break;
+      reply.append(buf, static_cast<std::size_t>(r));
+    }
+    ::close(fd);
+    return reply;
+  };
+
+  const std::string ok = http_get("/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("raxhd_up 1"), std::string::npos);
+  EXPECT_NE(ok.find("# TYPE raxhd_jobs_running gauge"), std::string::npos);
+
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
 }
 
 TEST(ServeDaemon, ShutdownViaProtocolDrainsAndUnlinks) {

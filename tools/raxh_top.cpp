@@ -1,0 +1,138 @@
+// raxh_top — a live, top(1)-style view of a running raxhd daemon.
+//
+//   raxh_top [--socket=PATH|host:port] [--interval-ms=N] [--once]
+//
+// Each tick issues one LIST and one METRICS request over the job socket and
+// repaints: a header of service gauges (slots, queue depth, cache hit rate,
+// attributed event rate), then one row per job with a progress bar. Plain
+// ANSI escapes — clear+home per frame — so it runs anywhere a VT100 does,
+// with no curses dependency. `--once` prints a single frame without
+// clearing (scriptable; CI smoke uses it).
+//
+// The daemon address comes from --socket, $RAXHD_SOCKET, or /tmp/raxhd.sock
+// — the same resolution raxhd_client uses.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace raxh;
+
+std::string daemon_target(const CliParser& cli) {
+  const std::string flag = cli.value_or("-socket", "");
+  if (!flag.empty()) return flag;
+  if (const char* env = std::getenv("RAXHD_SOCKET")) return env;
+  return "/tmp/raxhd.sock";
+}
+
+// First sample of `family` in a Prometheus text exposition: the value of
+// the first non-comment line whose name (up to ' ' or '{') matches. -1.0
+// when absent. Enough parsing for a dashboard's own exposition; not a
+// general scraper.
+double metric_value(const std::string& text, const std::string& family) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text[pos] != '#') {
+      std::size_t name_end = pos;
+      while (name_end < eol && text[name_end] != ' ' && text[name_end] != '{')
+        ++name_end;
+      if (text.compare(pos, name_end - pos, family) == 0) {
+        const std::size_t val = text.rfind(' ', eol);
+        if (val != std::string::npos && val >= pos)
+          return std::strtod(text.c_str() + val + 1, nullptr);
+      }
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+std::string progress_bar(double fraction, int width) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string bar = "[";
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '.';
+  bar += "]";
+  return bar;
+}
+
+void paint(const std::string& target, const std::vector<serve::JobStatus>& jobs,
+           const std::string& metrics, bool clear) {
+  if (clear) std::fputs("\033[H\033[2J", stdout);
+
+  const double running = metric_value(metrics, "raxhd_jobs_running");
+  const double slots = metric_value(metrics, "raxhd_slots");
+  const double depth = metric_value(metrics, "raxhd_queue_depth");
+  const double hits = metric_value(metrics, "raxhd_cache_hits_total");
+  const double misses = metric_value(metrics, "raxhd_cache_misses_total");
+  const double lookups = hits + misses;
+  std::printf("raxh_top — %s\n", target.c_str());
+  std::printf(
+      "slots %d/%d   queue depth %d   cache hit rate %.0f%% (%d lookups)\n",
+      static_cast<int>(running), static_cast<int>(slots),
+      static_cast<int>(depth),
+      lookups > 0 ? 100.0 * hits / lookups : 0.0, static_cast<int>(lookups));
+  std::printf("%-6s %-12s %-10s %-10s %-22s %-10s %10s %8s %8s\n", "ID",
+              "NAME", "TENANT", "STATE", "PROGRESS", "PHASE", "lnL", "QUEUEs",
+              "RUNs");
+  for (const auto& s : jobs) {
+    char lnl[32];
+    if (s.has_lnl)
+      std::snprintf(lnl, sizeof(lnl), "%10.2f", s.best_lnl);
+    else
+      std::snprintf(lnl, sizeof(lnl), "%10s", "-");
+    std::printf("%-6s %-12.12s %-10.10s %-10s %s %4.0f%% %-10.10s %s %8.1f "
+                "%8.1f%s\n",
+                s.id.c_str(), s.name.c_str(), s.tenant.c_str(),
+                serve::job_state_name(s.state), progress_bar(s.fraction, 14).c_str(),
+                s.fraction * 100.0, s.phase.c_str(), lnl, s.queue_s, s.run_s,
+                s.cache_hit ? "  [cache]" : "");
+    if (!s.error.empty()) std::printf("       error: %s\n", s.error.c_str());
+  }
+  if (jobs.empty()) std::printf("(no jobs)\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  if (cli.has("h") || cli.has("-help")) {
+    std::printf(
+        "usage: %s [--socket=PATH|host:port] [--interval-ms=N] [--once]\n"
+        "Live view of a raxhd daemon (LIST + METRICS per tick; ANSI "
+        "repaint).\n"
+        "--once prints a single frame without clearing and exits.\n",
+        argv[0]);
+    return 0;
+  }
+  const std::string target = daemon_target(cli);
+  const long interval_ms = cli.int_or("-interval-ms", 1000);
+  const bool once = cli.has("-once");
+
+  try {
+    serve::Client client = serve::Client::connect(target);
+    for (;;) {
+      const auto jobs = client.list();
+      const std::string metrics = client.metrics();
+      paint(target, jobs, metrics, !once);
+      if (once) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "raxh_top: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,12 +2,13 @@
 //
 //   raxhd_client submit -s alignment.phy [-n name] [-N bootstraps]
 //                [-p seed] [-x seed] [-np ranks] [-T threads] [-m model]
-//                [--priority=N] [--checkpoint] [--wait]
+//                [--priority=N] [--tenant=LABEL] [--checkpoint] [--wait]
 //   raxhd_client status <job-id>
 //   raxhd_client stream <job-id>        follow progress until terminal
 //   raxhd_client result <job-id> [-n name]   write <name>_bestTree.tre etc.
 //   raxhd_client cancel <job-id>
 //   raxhd_client list
+//   raxhd_client metrics                one Prometheus scrape to stdout
 //   raxhd_client shutdown
 //
 // The daemon address comes from --socket=PATH (or host:port for TCP), or
@@ -32,12 +33,14 @@ void usage(const char* prog) {
       "commands:\n"
       "  submit -s alignment.phy [-n name] [-N n] [-p seed] [-x seed]\n"
       "         [-np ranks] [-T threads] [-m model] [--priority=N]\n"
-      "         [--checkpoint] [--wait]     submit a job, print its id\n"
+      "         [--tenant=LABEL] [--checkpoint] [--wait]\n"
+      "                                     submit a job, print its id\n"
       "  status <job-id>                    one-line job status\n"
       "  stream <job-id>                    follow progress until terminal\n"
       "  result <job-id> [-n name]          fetch trees, write output files\n"
       "  cancel <job-id>                    request cancellation\n"
       "  list                               all jobs, submission order\n"
+      "  metrics                            one Prometheus scrape to stdout\n"
       "  shutdown                           stop the daemon\n"
       "daemon address: --socket=PATH|host:port, else $RAXHD_SOCKET, else\n"
       "/tmp/raxhd.sock\n",
@@ -54,6 +57,7 @@ std::string daemon_target(const CliParser& cli) {
 void print_status(const serve::JobStatus& s) {
   std::printf("%-6s %-12s %-9s", s.id.c_str(), s.name.c_str(),
               serve::job_state_name(s.state));
+  if (!s.tenant.empty()) std::printf("  [%s]", s.tenant.c_str());
   std::printf("  %5.1f%%", s.fraction * 100.0);
   if (!s.phase.empty()) std::printf("  %-10s", s.phase.c_str());
   if (s.has_lnl) std::printf("  lnL %.4f", s.best_lnl);
@@ -96,6 +100,9 @@ int cmd_submit(serve::Client& client, const CliParser& cli) {
   request.nranks = static_cast<int>(cli.int_or("np", 1));
   request.num_threads = static_cast<int>(cli.int_or("T", 1));
   request.priority = static_cast<int>(cli.int_or("-priority", 0));
+  // Accept both the GNU spelling (--tenant=LABEL) and the RAxML-style
+  // single-dash one (-tenant LABEL) the other submit flags use.
+  request.tenant = cli.value_or("-tenant", cli.value_or("tenant", ""));
   request.checkpoint = cli.has("-checkpoint");
 
   const std::string id = client.submit(request);
@@ -153,6 +160,10 @@ int main(int argc, char** argv) {
     }
     if (command == "list") {
       for (const auto& s : client.list()) print_status(s);
+      return 0;
+    }
+    if (command == "metrics") {
+      std::fputs(client.metrics().c_str(), stdout);
       return 0;
     }
     if (command == "shutdown") {
