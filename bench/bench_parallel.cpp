@@ -214,6 +214,192 @@ int run_dispatch_gate() {
   return EXIT_SUCCESS;
 }
 
+// ---------------------------------------------------------------------------
+// Collective-latency gate (folded into BENCH_parallel.json)
+// ---------------------------------------------------------------------------
+
+// Amortized per-op latency of `body` inside ONE standing mesh of `ranks`
+// thread ranks: the old BM_ThreadRanksBarrier numbers (42us -> 304us for
+// 2 -> 8 ranks) were dominated by spawning N threads per measurement, which
+// is linear in ranks no matter how the collective routes. The driver holds
+// one mesh for a whole analysis, so per-op cost inside a mesh is the number
+// that matters — and the one the tree-vs-star gate compares.
+double amortized_op_ns(int ranks, const mpi::CommOptions& opts, int iters,
+                       const std::function<void(mpi::Comm&)>& body) {
+  double ns = 0.0;
+  mpi::run_thread_ranks(
+      ranks,
+      [&](mpi::Comm& comm) {
+        for (int i = 0; i < iters / 10 + 1; ++i) body(comm);  // warm-up
+        comm.barrier();
+        const std::uint64_t start = obs::now_ns();
+        for (int i = 0; i < iters; ++i) body(comm);
+        if (comm.rank() == 0)
+          ns = static_cast<double>(obs::now_ns() - start) / iters;
+      },
+      opts);
+  return ns;
+}
+
+double barrier_ns(int ranks, mpi::CollectiveAlgo algo, int iters) {
+  mpi::CommOptions o;
+  o.collectives = algo;
+  return amortized_op_ns(ranks, o, iters,
+                         [](mpi::Comm& comm) { comm.barrier(); });
+}
+
+double allreduce_ns(int ranks, mpi::CollectiveAlgo algo, int iters) {
+  mpi::CommOptions o;
+  o.collectives = algo;
+  return amortized_op_ns(ranks, o, iters, [](mpi::Comm& comm) {
+    const double s = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    if (s < 0.0) std::abort();  // defeat dead-code elimination
+  });
+}
+
+// Spin for ~`ns` of CPU work (the stand-in for a thorough-search slice).
+void spin_for_ns(std::uint64_t ns) {
+  const std::uint64_t end = obs::now_ns() + ns;
+  double x = 1.0000001;
+  while (obs::now_ns() < end) {
+    for (int i = 0; i < 64; ++i) x *= 1.0000001;
+  }
+  if (x < 1.0) std::abort();
+}
+
+// Report-collection makespan at rank 0, blocking vs. overlapped: workers
+// compute then send a report; rank 0 has its own larger slice of work. The
+// overlapped variant (core/hybrid.cpp's pattern) posts irecvs up front and
+// test()-drains between chunks of its own work.
+double report_collection_ns(int ranks, bool overlap, int iters) {
+  mpi::CommOptions o;
+  constexpr std::uint64_t kWorkerNs = 100 * 1000;
+  constexpr std::uint64_t kRootSliceNs = 50 * 1000;
+  constexpr int kRootSlices = 8;  // rank 0 owns ~4x one worker's slice
+  return amortized_op_ns(ranks, o, iters, [=](mpi::Comm& comm) {
+    const int n = comm.size();
+    if (comm.rank() != 0) {
+      spin_for_ns(kWorkerNs);
+      mpi::Packer p;
+      p.put<double>(static_cast<double>(comm.rank()));
+      comm.isend(0, 7, p.bytes());
+      comm.barrier();
+      return;
+    }
+    double sum = 0.0;
+    if (overlap) {
+      std::vector<mpi::Comm::Request> reqs;
+      for (int w = 1; w < n; ++w) reqs.push_back(comm.irecv(w, 7));
+      std::size_t done = 0;
+      for (int s = 0; s < kRootSlices; ++s) {
+        spin_for_ns(kRootSliceNs);
+        for (auto& r : reqs)
+          if (!r.done() && comm.test(r)) ++done;
+      }
+      for (auto& r : reqs) {
+        const mpi::Bytes b = comm.wait(r);
+        mpi::Unpacker u(b);
+        sum += u.get<double>();
+      }
+    } else {
+      for (int s = 0; s < kRootSlices; ++s) spin_for_ns(kRootSliceNs);
+      for (int w = 1; w < n; ++w) {
+        const mpi::Bytes b = comm.recv(w, 7);
+        mpi::Unpacker u(b);
+        sum += u.get<double>();
+      }
+    }
+    if (sum != static_cast<double>(n) * (n - 1) / 2) std::abort();
+    comm.barrier();
+  });
+}
+
+// Runs the collective sections; returns {exit code, JSON members} so the
+// metrics land inside BENCH_parallel.json next to the gbench rows.
+std::pair<int, std::string> run_collectives_gate() {
+  bench::print_header(
+      "MINIMPI COLLECTIVES - binomial tree vs. star, inside a standing mesh",
+      "ROADMAP item 3: collective latency flat-to-log as ranks grow");
+
+  constexpr int kIters = 2000;
+  constexpr double kGateRatio = 2.5;
+
+  std::printf("\namortized barrier latency (%d iterations, thread backend):\n",
+              kIters);
+  std::printf("  %8s %12s %12s\n", "ranks", "tree ns", "star ns");
+  std::vector<double> tree_barrier, star_barrier;
+  for (const int ranks : {2, 4, 8}) {
+    tree_barrier.push_back(barrier_ns(ranks, mpi::CollectiveAlgo::kTree,
+                                      kIters));
+    star_barrier.push_back(barrier_ns(ranks, mpi::CollectiveAlgo::kStar,
+                                      kIters));
+    std::printf("  %8d %12.0f %12.0f\n", ranks, tree_barrier.back(),
+                star_barrier.back());
+  }
+  const double tree_ratio = tree_barrier[2] / tree_barrier[0];
+  const double star_ratio = star_barrier[2] / star_barrier[0];
+  std::printf("  8-rank / 2-rank growth: tree %.2fx, star %.2fx\n", tree_ratio,
+              star_ratio);
+
+  constexpr int kAllreduceIters = 1000;
+  const double tree_ar8 =
+      allreduce_ns(8, mpi::CollectiveAlgo::kTree, kAllreduceIters);
+  const double star_ar8 =
+      allreduce_ns(8, mpi::CollectiveAlgo::kStar, kAllreduceIters);
+  std::printf("\nallreduce_sum at 8 ranks: tree %.0f ns, star %.0f ns\n",
+              tree_ar8, star_ar8);
+
+  constexpr int kOverlapIters = 30;
+  const double blocking_ns = report_collection_ns(4, false, kOverlapIters);
+  const double overlap_ns = report_collection_ns(4, true, kOverlapIters);
+  std::printf("\nreport collection at 4 ranks (rank 0 owns 4x a worker's "
+              "work):\n  blocking recv %.0f ns, irecv/test overlap %.0f ns "
+              "(%.2fx)\n",
+              blocking_ns, overlap_ns, blocking_ns / overlap_ns);
+
+  // The 2.5x bound is a statement about routing depth: 8 ranks cost
+  // ceil(log2 8) = 3 rounds against 1, and with per-barrier fixed overhead
+  // the wall-clock ratio lands under 2.5 — but only when rounds actually run
+  // concurrently. With fewer cores than ranks every message is a scheduler
+  // hop, so the measurement ranks topologies by total message count (tree 24
+  // vs. star 14 at 8 ranks) — the opposite regime of the one the gate
+  // guards. Enforce only where the measurement means what the gate says.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool enforce = cores >= 8;
+
+  char extra[768];
+  std::snprintf(
+      extra, sizeof(extra),
+      "\"tree_barrier_ns_r2\":%.0f,\"tree_barrier_ns_r4\":%.0f,"
+      "\"tree_barrier_ns_r8\":%.0f,\"star_barrier_ns_r2\":%.0f,"
+      "\"star_barrier_ns_r4\":%.0f,\"star_barrier_ns_r8\":%.0f,"
+      "\"tree_barrier_ratio_8v2\":%.2f,\"star_barrier_ratio_8v2\":%.2f,"
+      "\"tree_allreduce_ns_r8\":%.0f,\"star_allreduce_ns_r8\":%.0f,"
+      "\"overlap_blocking_ns\":%.0f,\"overlap_nonblocking_ns\":%.0f,"
+      "\"collectives_gate_cores\":%u,\"collectives_gate\":\"%s\"",
+      tree_barrier[0], tree_barrier[1], tree_barrier[2], star_barrier[0],
+      star_barrier[1], star_barrier[2], tree_ratio, star_ratio, tree_ar8,
+      star_ar8, blocking_ns, overlap_ns, cores,
+      enforce ? "enforced" : "skipped_insufficient_cores");
+
+  if (!enforce) {
+    std::printf("\ncollectives gate SKIPPED: %u core(s) < 8 ranks — "
+                "serialized rounds measure the scheduler, not the routing "
+                "depth (metrics still recorded)\n",
+                cores);
+    return {EXIT_SUCCESS, extra};
+  }
+  if (tree_ratio > kGateRatio) {
+    std::printf("\nFAILED: tree barrier at 8 ranks is %.2fx its 2-rank "
+                "latency (gate: <= %.1fx)\n",
+                tree_ratio, kGateRatio);
+    return {EXIT_FAILURE, extra};
+  }
+  std::printf("\ncollectives gate OK: tree barrier 8v2 growth %.2fx <= %.1fx\n",
+              tree_ratio, kGateRatio);
+  return {EXIT_SUCCESS, extra};
+}
+
 void BM_CrewDispatch(benchmark::State& state) {
   Workforce crew(static_cast<int>(state.range(0)));
   std::atomic<long> sink{0};
@@ -274,17 +460,35 @@ BENCHMARK(BM_ThreadRanksBcast)->Arg(1024)->Arg(1 << 20)->Unit(
 
 int main(int argc, char** argv) {
   bool dispatch_only = false;
-  for (int i = 1; i < argc; ++i) {
+  bool collectives_only = false;
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--dispatch-only") == 0) {
       dispatch_only = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--collectives-only") == 0) {
+      collectives_only = true;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+  }
+  if (dispatch_only) return run_dispatch_gate();
+  const auto [collectives_gate, collectives_extra] = run_collectives_gate();
+  if (collectives_only) {
+    // Standalone gate run (CI): emit the collective metrics as the whole
+    // parallel summary, without waiting on the gbench suites.
+    raxh::bench::write_json(
+        "parallel",
+        "{\"bench\":\"parallel\",\"metric\":\"collective_latency\","
+        "\"units\":\"ns\"," +
+            collectives_extra + "}");
+    return collectives_gate;
   }
   const int gate = run_dispatch_gate();
-  if (dispatch_only) return gate;
-  const int gbench = raxh::bench::gbench_main_with_summary("parallel", argc,
-                                                           argv);
-  return gate != EXIT_SUCCESS ? gate : gbench;
+  const int gbench = raxh::bench::gbench_main_with_summary(
+      "parallel", argc, argv, collectives_extra);
+  if (gate != EXIT_SUCCESS) return gate;
+  if (collectives_gate != EXIT_SUCCESS) return collectives_gate;
+  return gbench;
 }

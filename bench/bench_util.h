@@ -92,16 +92,20 @@ class CapturingReporter : public ::benchmark::ConsoleReporter {
   std::string rows_;
 };
 
+// `extra` is appended verbatim as additional JSON members — gated headline
+// metrics computed before the gbench suites land in the same summary file.
 inline int gbench_main_with_summary(const std::string& name, int argc,
-                                    char** argv) {
+                                    char** argv,
+                                    const std::string& extra = std::string()) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CapturingReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
   write_json(name, "{\"bench\":\"" + name +
                        "\",\"metric\":\"per_benchmark_real_time\","
-                       "\"units\":\"ns\",\"runs\":[" +
-                       reporter.rows() + "]}");
+                       "\"units\":\"ns\"," +
+                       (extra.empty() ? std::string() : extra + ",") +
+                       "\"runs\":[" + reporter.rows() + "]}");
   return 0;
 }
 

@@ -21,6 +21,17 @@
 //   -simd <on|off|auto>  vectorized kernels           [auto: on for >=300
 //                                                      patterns]
 //
+// minimpi runtime (src/minimpi/):
+//   --collectives=ALG     star | tree: collective routing. tree (default)
+//                         runs Barrier/Bcast/Allreduce/Gather over binomial
+//                         trees (latency grows with log ranks); star keeps
+//                         the rank-0-centered pattern for A/B benching.
+//   --transport=KIND      socketpair | shm: rank-to-rank transport for the
+//                         forked mesh. shm moves frames through same-host
+//                         shared-memory rings (socketpairs stay as the
+//                         liveness channel); socketpair (default) frames
+//                         over the full socket mesh.
+//
 // Observability (src/obs/):
 //   --trace-out=FILE      merged Chrome trace_event JSON (all ranks/threads;
 //                         load in chrome://tracing or ui.perfetto.dev)
@@ -104,10 +115,38 @@ void usage(const char* prog) {
       "[--fault-plan=SPEC]\n"
       "          [--log-level=error|warn|info|debug] [--blackbox=off]\n"
       "          [--blackbox-dir=DIR] [--blackbox-dump]\n"
+      "          [--collectives=star|tree] [--transport=socketpair|shm]\n"
       "          [--connect=SOCKET|host:port]  (run -f a on a raxhd daemon)\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
       prog);
+}
+
+// --- minimpi flags (--collectives=star|tree / --transport=socketpair|shm) ---
+
+bool comm_options_from_cli(const CliParser& cli, mpi::CommOptions* out) {
+  const std::string algo = cli.value_or("-collectives", "tree");
+  if (algo == "star") {
+    out->collectives = mpi::CollectiveAlgo::kStar;
+  } else if (algo == "tree") {
+    out->collectives = mpi::CollectiveAlgo::kTree;
+  } else {
+    std::fprintf(stderr, "error: --collectives=%s: expected star or tree\n",
+                 algo.c_str());
+    return false;
+  }
+  const std::string transport = cli.value_or("-transport", "socketpair");
+  if (transport == "shm") {
+    out->transport = mpi::Transport::kShm;
+  } else if (transport == "socketpair") {
+    out->transport = mpi::Transport::kSocketpair;
+  } else {
+    std::fprintf(stderr,
+                 "error: --transport=%s: expected socketpair or shm\n",
+                 transport.c_str());
+    return false;
+  }
+  return true;
 }
 
 // --- observability flags (--trace-out / --metrics-out / --report-components
@@ -326,6 +365,8 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
 
   const ObsOptions obs_opts = obs_from_cli(cli);
   WallTimer wall;
+  mpi::CommOptions copts;
+  if (!comm_options_from_cli(cli, &copts)) return 1;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& inner_comm) {
     // With a fault plan, every rank talks through the injecting decorator;
     // its op counter drives the plan deterministically on both backends.
@@ -387,7 +428,7 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
     } else if (comm.rank() == 0 && obs_opts.any()) {
       std::printf("skipping telemetry merge (rank failures occurred)\n");
     }
-  });
+  }, copts);
   std::printf("wall time: %.2f s\n", wall.seconds());
   return 0;
 }
@@ -401,6 +442,8 @@ int run_multistart(const PatternAlignment& patterns, const CliParser& cli) {
   const std::string name = cli.value_or("n", "raxh");
 
   const ObsOptions obs_opts = obs_from_cli(cli);
+  mpi::CommOptions copts;
+  if (!comm_options_from_cli(cli, &copts)) return 1;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
     const auto result = [&] {
       obs::ScopedPhase phase("search");
@@ -417,7 +460,7 @@ int run_multistart(const PatternAlignment& patterns, const CliParser& cli) {
     }
     end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
-  });
+  }, copts);
   return 0;
 }
 
@@ -431,6 +474,8 @@ int run_bootstrap_only(const PatternAlignment& patterns, const CliParser& cli) {
   const std::string name = cli.value_or("n", "raxh");
 
   const ObsOptions obs_opts = obs_from_cli(cli);
+  mpi::CommOptions copts;
+  if (!comm_options_from_cli(cli, &copts)) return 1;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
     const auto result = [&] {
       obs::ScopedPhase phase("replicates");
@@ -447,7 +492,7 @@ int run_bootstrap_only(const PatternAlignment& patterns, const CliParser& cli) {
     }
     end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
-  });
+  }, copts);
   return 0;
 }
 
@@ -463,6 +508,8 @@ int run_adaptive(const PatternAlignment& patterns, const CliParser& cli) {
   const std::string name = cli.value_or("n", "raxh");
 
   const ObsOptions obs_opts = obs_from_cli(cli);
+  mpi::CommOptions copts;
+  if (!comm_options_from_cli(cli, &copts)) return 1;
   mpi::run_process_ranks(ranks, [&](mpi::Comm& comm) {
     const auto result = [&] {
       obs::ScopedPhase phase("replicates");
@@ -482,7 +529,7 @@ int run_adaptive(const PatternAlignment& patterns, const CliParser& cli) {
     }
     end_of_run_dump(cli, comm.rank());
     finalize_obs(comm, obs_opts);
-  });
+  }, copts);
   return 0;
 }
 

@@ -257,6 +257,32 @@ HybridResult run_fault_tolerant(const JobContext& ctx, mpi::Comm& comm,
     }
   };
 
+  // Overlapped report collection: one report irecv per surviving worker is
+  // posted right after the barrier release, and the tick callback harvests
+  // whichever have arrived while rank 0 is still running its own share. A
+  // worker that finishes early hands its report over immediately instead of
+  // waiting for the controller — the irecv/test overlap the tree collectives
+  // refactor added to minimpi.
+  std::vector<std::optional<mpi::Comm::Request>> pending_reports(nranks);
+  const auto harvest_ready_reports = [&] {
+    for (int w = 1; w < nranks; ++w) {
+      if (!pending_reports[w]) continue;
+      try {
+        if (!comm.test(*pending_reports[w])) continue;
+        RankReport rep = unpack_report(pending_reports[w]->payload());
+        RAXH_ASSERT(rep.rank >= 0 && rep.rank < nranks);
+        reports[rep.rank] = std::move(rep);
+      } catch (const mpi::RankFailed&) {
+        mark_dead(w, "report collection");
+      }
+      pending_reports[w].reset();
+    }
+  };
+  const auto root_tick = [&] {
+    comm.fault_tick();
+    harvest_ready_reports();
+  };
+
   RankReport own = run_comprehensive_rank(
       ctx, patterns, options.analysis, 0, nranks, crew,
       [&] {
@@ -283,10 +309,14 @@ HybridResult run_fault_tolerant(const JobContext& ctx, mpi::Comm& comm,
             mark_dead(w, "barrier release");
           }
         }
+        // Every released worker owes exactly one first-round report next;
+        // post its irecv now so the tick callback can harvest it mid-share.
+        for (int w = 1; w < nranks; ++w)
+          if (!dead[w]) pending_reports[w] = comm.irecv(w, kFtReportTag);
         obs::flight::record(obs::flight::Kind::kCollEnd, kFlightName,
                             obs::now_ns() - start);
       },
-      {}, tick);
+      {}, root_tick);
   reports[0] = std::move(own);
 
   HybridResult result;
@@ -294,9 +324,19 @@ HybridResult run_fault_tolerant(const JobContext& ctx, mpi::Comm& comm,
     obs::ScopedPhase phase("sync");
     ctx.live_for_rank(0).begin_stage("sync");
 
-    // First round of reports from every worker that survived the barrier.
-    for (int w = 1; w < nranks; ++w)
-      if (!dead[w]) try_recv_report(w);
+    // Drain whatever first-round reports the tick harvests did not already
+    // pick up during rank 0's own share (typically the stragglers).
+    for (int w = 1; w < nranks; ++w) {
+      if (!pending_reports[w]) continue;
+      try {
+        RankReport rep = unpack_report(comm.wait(*pending_reports[w]));
+        RAXH_ASSERT(rep.rank >= 0 && rep.rank < nranks);
+        reports[rep.rank] = std::move(rep);
+      } catch (const mpi::RankFailed&) {
+        mark_dead(w, "report collection");
+      }
+      pending_reports[w].reset();
+    }
 
     // Re-grant loop: hand each unfinished logical share to the next live
     // worker, round-robin, until every share has reported. A worker that

@@ -123,7 +123,19 @@ void Comm::barrier() {
   ScopedOp op(*this, stats_.barrier);
   const std::uint64_t wait_start = obs::now_ns();
   const std::uint64_t synth0 = obs::synthetic_delay_ns_this_thread();
-  // Central coordinator: everyone checks in with rank 0, rank 0 releases.
+  if (collectives_ == CollectiveAlgo::kTree)
+    barrier_dissemination();
+  else
+    barrier_star();
+  std::uint64_t waited = obs::now_ns() - wait_start;
+  const std::uint64_t synth = obs::synthetic_delay_ns_this_thread() - synth0;
+  waited -= std::min(waited, synth);  // injected sleeps are not barrier wait
+  stats_.barrier_wait_ns += waited;
+}
+
+// Central coordinator: everyone checks in with rank 0, rank 0 releases.
+// O(p) serial work on rank 0 — the pre-scale baseline.
+void Comm::barrier_star() {
   const Bytes empty;
   if (rank() == 0) {
     for (int r = 1; r < size(); ++r) recv(r, kTagBarrier);
@@ -132,10 +144,23 @@ void Comm::barrier() {
     send(0, kTagBarrier, empty);
     recv(0, kTagBarrier);
   }
-  std::uint64_t waited = obs::now_ns() - wait_start;
-  const std::uint64_t synth = obs::synthetic_delay_ns_this_thread() - synth0;
-  waited -= std::min(waited, synth);  // injected sleeps are not barrier wait
-  stats_.barrier_wait_ns += waited;
+}
+
+// Dissemination barrier: ceil(log2 p) rounds; in round k every rank sends to
+// (r + 2^k) mod p and receives from (r - 2^k) mod p. No rank leaves before
+// every rank has entered, and no rank is a serial bottleneck. The round
+// distances are distinct powers of two below p, so each ordered pair carries
+// at most one message per barrier and per-pair FIFO keeps consecutive
+// barriers from interleaving.
+void Comm::barrier_dissemination() {
+  const int n = size();
+  const Bytes empty;
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const int to = (rank() + dist) % n;
+    const int from = (rank() - dist + n) % n;
+    send(to, kTagBarrier, empty);
+    recv(from, kTagBarrier);
+  }
 }
 
 void Comm::bcast(Bytes& data, int root) {
@@ -145,12 +170,125 @@ void Comm::bcast(Bytes& data, int root) {
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.bcast);
   RAXH_EXPECTS(root >= 0 && root < size());
+  if (collectives_ == CollectiveAlgo::kTree) {
+    bcast_binomial(data, root, kTagBcast);
+    return;
+  }
   if (rank() == root) {
     for (int r = 0; r < size(); ++r)
       if (r != root) send(r, kTagBcast, data);
   } else {
     data = recv(root, kTagBcast);
   }
+}
+
+// Binomial broadcast on ranks relative to root: a rank receives from the
+// parent that owns its lowest set relative-rank bit, then relays down every
+// lower bit. Root's serial sends drop from p-1 to ceil(log2 p) and the
+// critical path is ceil(log2 p) hops. Payload bytes are forwarded verbatim,
+// so the delivered data is bit-identical to the star path's.
+void Comm::bcast_binomial(Bytes& data, int root, int tag) {
+  const int n = size();
+  const int rr = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((rr & mask) != 0) {
+      const int src = ((rr & ~mask) + root) % n;
+      data = recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rr + mask < n) {
+      const int dst = ((rr + mask) % n + root) % n;
+      send(dst, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+// Star gather: every non-root rank sends its blob straight to root; root
+// receives in ascending rank order. Returns blobs indexed by rank on root,
+// {} elsewhere.
+std::vector<Bytes> Comm::star_gather(const Bytes& mine, int root, int tag) {
+  std::vector<Bytes> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = mine;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv(r, tag);
+    }
+  } else {
+    send(root, tag, mine);
+  }
+  return out;
+}
+
+// Binomial gather: the mirror of bcast_binomial. Each rank accumulates
+// (rank, blob) entries from the subtree hanging off its set relative-rank
+// bits, then forwards the batch to its parent. Root ends up holding every
+// rank's original blob and indexes them by absolute rank — the rank-ordered
+// view reduce_fold_bcast folds over, which is what keeps tree reductions
+// bit-identical to star ones (same operands, same fold order; the tree only
+// changes the routing).
+std::vector<Bytes> Comm::tree_gather(const Bytes& mine, int root, int tag) {
+  const int n = size();
+  const int rr = (rank() - root + n) % n;
+  std::vector<std::pair<int, Bytes>> entries;
+  entries.emplace_back(rank(), mine);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rr & mask) == 0) {
+      const int src_rr = rr | mask;
+      if (src_rr >= n) continue;
+      const int src = (src_rr + root) % n;
+      const Bytes packed = recv(src, tag);
+      Unpacker u(packed);
+      const auto count = u.get<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const int r = u.get<std::int32_t>();
+        entries.emplace_back(r, u.get_bytes());
+      }
+    } else {
+      const int dst = ((rr & ~mask) + root) % n;
+      Packer p;
+      p.put(static_cast<std::uint32_t>(entries.size()));
+      for (const auto& [r, blob] : entries) {
+        p.put(static_cast<std::int32_t>(r));
+        p.put_bytes(blob);
+      }
+      send(dst, tag, p.bytes());
+      entries.clear();
+      break;
+    }
+  }
+  std::vector<Bytes> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(n));
+    for (auto& [r, blob] : entries)
+      out[static_cast<std::size_t>(r)] = std::move(blob);
+  }
+  return out;
+}
+
+// The reduce skeleton shared by every allreduce flavour: move per-rank
+// operand blobs to rank 0 (star or tree routing), fold them there in
+// ascending rank order, broadcast the folded result. Folding at a single
+// rank over rank-ordered operands is the reproducibility contract — FP
+// association order is identical across algorithms, backends, transports,
+// and MAXLOC ties resolve to the lowest rank.
+Bytes Comm::reduce_fold_bcast(
+    const Bytes& mine,
+    const std::function<Bytes(const std::vector<Bytes>&)>& fold) {
+  std::vector<Bytes> blobs = collectives_ == CollectiveAlgo::kTree
+                                 ? tree_gather(mine, 0, kTagReduce)
+                                 : star_gather(mine, 0, kTagReduce);
+  Bytes result;
+  if (rank() == 0) result = fold(blobs);
+  bcast(result, 0);  // outermost ScopedOp keeps this attributed to reduce
+  return result;
 }
 
 void Comm::bcast_string(std::string& data, int root) {
@@ -167,24 +305,23 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value) {
   ScopedOp op(*this, stats_.reduce);
   Packer p;
   p.put(value);
-  Bytes mine = p.take();
-  MaxLoc best{value, rank()};
-  if (rank() == 0) {
-    for (int r = 1; r < size(); ++r) {
-      const Bytes b = recv(r, kTagReduce);
-      Unpacker u(b);
-      const double v = u.get<double>();
-      if (v > best.value) best = MaxLoc{v, r};
-    }
-  } else {
-    send(0, kTagReduce, mine);
-  }
-  Packer out;
-  out.put(best.value);
-  out.put(best.rank);
-  Bytes result = out.take();
-  bcast(result, 0);
+  const Bytes result =
+      reduce_fold_bcast(p.take(), [](const std::vector<Bytes>& blobs) {
+        Unpacker u0(blobs[0]);
+        MaxLoc best{u0.get<double>(), 0};
+        // Strict > with ascending rank order: ties go to the lowest rank.
+        for (std::size_t r = 1; r < blobs.size(); ++r) {
+          Unpacker u(blobs[r]);
+          const double v = u.get<double>();
+          if (v > best.value) best = MaxLoc{v, static_cast<int>(r)};
+        }
+        Packer out;
+        out.put(best.value);
+        out.put(best.rank);
+        return out.take();
+      });
   Unpacker u(result);
+  MaxLoc best{};
   best.value = u.get<double>();
   best.rank = u.get<int>();
   return best;
@@ -196,22 +333,21 @@ double Comm::allreduce_sum(double value) {
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
-  double total = value;
-  if (rank() == 0) {
-    for (int r = 1; r < size(); ++r) {
-      const Bytes b = recv(r, kTagReduce);
-      Unpacker u(b);
-      total += u.get<double>();
-    }
-  } else {
-    Packer p;
-    p.put(value);
-    send(0, kTagReduce, p.bytes());
-  }
-  Packer out;
-  out.put(total);
-  Bytes result = out.take();
-  bcast(result, 0);
+  Packer p;
+  p.put(value);
+  const Bytes result =
+      reduce_fold_bcast(p.take(), [](const std::vector<Bytes>& blobs) {
+        Unpacker u0(blobs[0]);
+        double total = u0.get<double>();  // seed with rank 0's operand (not
+                                          // 0.0: preserves -0.0 semantics)
+        for (std::size_t r = 1; r < blobs.size(); ++r) {
+          Unpacker u(blobs[r]);
+          total += u.get<double>();
+        }
+        Packer out;
+        out.put(total);
+        return out.take();
+      });
   Unpacker u(result);
   return u.get<double>();
 }
@@ -222,22 +358,20 @@ double Comm::allreduce_max(double value) {
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
-  double best = value;
-  if (rank() == 0) {
-    for (int r = 1; r < size(); ++r) {
-      const Bytes b = recv(r, kTagReduce);
-      Unpacker u(b);
-      best = std::max(best, u.get<double>());
-    }
-  } else {
-    Packer p;
-    p.put(value);
-    send(0, kTagReduce, p.bytes());
-  }
-  Packer out;
-  out.put(best);
-  Bytes result = out.take();
-  bcast(result, 0);
+  Packer p;
+  p.put(value);
+  const Bytes result =
+      reduce_fold_bcast(p.take(), [](const std::vector<Bytes>& blobs) {
+        Unpacker u0(blobs[0]);
+        double best = u0.get<double>();
+        for (std::size_t r = 1; r < blobs.size(); ++r) {
+          Unpacker u(blobs[r]);
+          best = std::max(best, u.get<double>());
+        }
+        Packer out;
+        out.put(best);
+        return out.take();
+      });
   Unpacker u(result);
   return u.get<double>();
 }
@@ -248,22 +382,20 @@ long Comm::allreduce_sum_long(long value) {
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.reduce);
-  long total = value;
-  if (rank() == 0) {
-    for (int r = 1; r < size(); ++r) {
-      const Bytes b = recv(r, kTagReduce);
-      Unpacker u(b);
-      total += u.get<long>();
-    }
-  } else {
-    Packer p;
-    p.put(value);
-    send(0, kTagReduce, p.bytes());
-  }
-  Packer out;
-  out.put(total);
-  Bytes result = out.take();
-  bcast(result, 0);
+  Packer p;
+  p.put(value);
+  const Bytes result =
+      reduce_fold_bcast(p.take(), [](const std::vector<Bytes>& blobs) {
+        Unpacker u0(blobs[0]);
+        long total = u0.get<long>();
+        for (std::size_t r = 1; r < blobs.size(); ++r) {
+          Unpacker u(blobs[r]);
+          total += u.get<long>();
+        }
+        Packer out;
+        out.put(total);
+        return out.take();
+      });
   Unpacker u(result);
   return u.get<long>();
 }
@@ -275,20 +407,19 @@ std::vector<std::vector<double>> Comm::gather_doubles(
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
+  Packer p;
+  p.put_doubles(mine);
+  const std::vector<Bytes> blobs =
+      collectives_ == CollectiveAlgo::kTree
+          ? tree_gather(p.take(), root, kTagGather)
+          : star_gather(p.take(), root, kTagGather);
   std::vector<std::vector<double>> out;
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(size()));
-    out[static_cast<std::size_t>(root)] = mine;
     for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      const Bytes b = recv(r, kTagGather);
-      Unpacker u(b);
+      Unpacker u(blobs[static_cast<std::size_t>(r)]);
       out[static_cast<std::size_t>(r)] = u.get_doubles();
     }
-  } else {
-    Packer p;
-    p.put_doubles(mine);
-    send(root, kTagGather, p.bytes());
   }
   return out;
 }
@@ -300,22 +431,63 @@ std::vector<std::string> Comm::gather_strings(const std::string& mine,
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
   ScopedOp op(*this, stats_.gather);
+  Packer p;
+  p.put_string(mine);
+  const std::vector<Bytes> blobs =
+      collectives_ == CollectiveAlgo::kTree
+          ? tree_gather(p.take(), root, kTagGather)
+          : star_gather(p.take(), root, kTagGather);
   std::vector<std::string> out;
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(size()));
-    out[static_cast<std::size_t>(root)] = mine;
     for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      const Bytes b = recv(r, kTagGather);
-      Unpacker u(b);
+      Unpacker u(blobs[static_cast<std::size_t>(r)]);
       out[static_cast<std::size_t>(r)] = u.get_string();
     }
-  } else {
-    Packer p;
-    p.put_string(mine);
-    send(root, kTagGather, p.bytes());
   }
   return out;
+}
+
+// --- nonblocking point-to-point ---
+
+Comm::Request Comm::isend(int dest, int tag, const Bytes& payload) {
+  // Eager completion into the transport's buffering (see comm.h): by the
+  // time send() returns the message is queued, so the request is done.
+  Request req;
+  req.is_recv_ = false;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  send(dest, tag, payload);
+  return req;
+}
+
+Comm::Request Comm::irecv(int src, int tag) {
+  Request req;
+  req.is_recv_ = true;
+  req.done_ = false;
+  req.peer_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+bool Comm::test(Request& req) {
+  if (req.done_) return true;
+  // do_probe is per-source: it reports a message (or the peer's death)
+  // observable on src's channel. The recv below is the normal counted path,
+  // so Stats and flight events are identical whether a message arrives via
+  // recv, wait, or a test that completed it.
+  if (!do_probe(req.peer_)) return false;
+  req.payload_ = recv(req.peer_, req.tag_);
+  req.done_ = true;
+  return true;
+}
+
+Bytes Comm::wait(Request& req) {
+  if (!req.done_) {
+    req.payload_ = recv(req.peer_, req.tag_);
+    req.done_ = true;
+  }
+  return std::move(req.payload_);
 }
 
 void Packer::put_string(const std::string& s) {
@@ -328,6 +500,11 @@ void Packer::put_doubles(const std::vector<double>& v) {
   put(static_cast<std::uint64_t>(v.size()));
   const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
   data_.insert(data_.end(), p, p + v.size() * sizeof(double));
+}
+
+void Packer::put_bytes(const Bytes& b) {
+  put(static_cast<std::uint64_t>(b.size()));
+  data_.insert(data_.end(), b.begin(), b.end());
 }
 
 void Unpacker::read(std::uint8_t* out, std::size_t n) {
@@ -348,6 +525,13 @@ std::vector<double> Unpacker::get_doubles() {
   std::vector<double> v(n);
   read(reinterpret_cast<std::uint8_t*>(v.data()), n * sizeof(double));
   return v;
+}
+
+Bytes Unpacker::get_bytes() {
+  const auto n = static_cast<std::size_t>(get<std::uint64_t>());
+  Bytes b(n);
+  read(b.data(), n);
+  return b;
 }
 
 }  // namespace raxh::mpi

@@ -2,14 +2,26 @@
 // the hybrid parallelization. The paper's MPI usage is deliberately minimal —
 // per-rank independent work, one barrier after the bootstrap stage, one
 // broadcast of the winning tree at the end — so this runtime implements
-// exactly that contract: blocking tagged point-to-point plus the collectives
-// Barrier / Bcast / Allreduce / Gather built on top of it.
+// exactly that contract: blocking tagged point-to-point, nonblocking
+// isend/irecv with wait/test, plus the collectives Barrier / Bcast /
+// Allreduce / Gather built on top of it.
+//
+// Collectives run one of two algorithms (CommOptions::collectives):
+//  * kTree (default) — latency-scalable: dissemination barrier, binomial
+//    broadcast, binomial gather-and-fold reduces. Critical path O(log p).
+//  * kStar — everyone talks to rank 0; O(p) on rank 0. Kept selectable for
+//    A/B benching (the pre-scale behaviour).
+// Both fold reduction operands in ascending rank order, so every collective
+// result is bit-identical across algorithms, backends, and transports — the
+// reproducibility contract the chaos suite pins down.
 //
 // Two backends share the Comm interface:
 //  * ProcessComm — ranks are forked OS processes wired by a full mesh of
-//    Unix socketpairs (no shared memory; the real coarse-grained deployment).
+//    Unix socketpairs (the real coarse-grained deployment), or by per-pair
+//    shared-memory rings with the socketpairs retained as liveness channels
+//    (Transport::kShm).
 //  * ThreadComm  — ranks are threads with in-process channels (deterministic
-//    unit testing).
+//    unit testing), or the same shm rings placed in heap memory.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +30,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace raxh::mpi {
 
@@ -49,6 +63,24 @@ struct RankDeath {
 // parent in run_process_ranks treats it as a rank failure, not a crash.
 inline constexpr int kRankDeathExit = 86;
 
+// Collective algorithm: tree is the scalable default, star the O(p)
+// pre-scale baseline kept for A/B comparisons (--collectives=star|tree).
+enum class CollectiveAlgo { kStar, kTree };
+
+// Per-pair transport of a rank mesh (--transport=socketpair|shm). For the
+// thread backend, kSocketpair selects its native in-process channel mesh
+// (the thread analogue of the socketpair mesh).
+enum class Transport { kSocketpair, kShm };
+
+// How to wire a rank mesh; accepted by run_thread_ranks/run_process_ranks.
+struct CommOptions {
+  CollectiveAlgo collectives = CollectiveAlgo::kTree;
+  Transport transport = Transport::kSocketpair;
+  // Per-ordered-pair ring capacity (kShm). Bounds buffering, not message
+  // size: larger messages stream through the ring in chunks.
+  std::size_t shm_ring_bytes = std::size_t{1} << 16;
+};
+
 class Comm {
  public:
   virtual ~Comm() = default;
@@ -78,13 +110,62 @@ class Comm {
     [[nodiscard]] std::string to_json() const;  // {"comm":{...}} section
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  // Resetting while a collective is in flight would zero the OpStats its
+  // ScopedOp still targets and silently mis-attribute the rest of that
+  // collective, so it is a contract violation (asserted), not a rebind.
+  void reset_stats() {
+    RAXH_EXPECTS(active_scoped_ops_ == 0);
+    stats_ = Stats{};
+  }
+
+  // Collective algorithm selection; run_*_ranks applies CommOptions, and
+  // decorators copy the inner comm's choice. Switch only between
+  // collectives, never inside one.
+  void set_collectives(CollectiveAlgo algo) { collectives_ = algo; }
+  [[nodiscard]] CollectiveAlgo collectives() const { return collectives_; }
 
   // Blocking tagged point-to-point. recv blocks until a message with the
   // exact (src, tag) arrives; messages from one src preserve send order.
   // Either may throw RankFailed when the peer is dead (see class comment).
   void send(int dest, int tag, const Bytes& payload);
   Bytes recv(int src, int tag);
+
+  // --- nonblocking point-to-point ---
+  // isend completes eagerly into the transport's buffering (channel queue,
+  // kernel socket buffer, or shm ring) — it may block only when that
+  // buffering is full, exactly like MPI's eager path. irecv is posted
+  // lazily: test() polls the transport and performs the receive once the
+  // message has started arriving; wait() blocks for it. Ordering contract:
+  // requests on one (src, tag) complete in posted order, and an outstanding
+  // irecv must be completed before a blocking recv on the same src (the
+  // per-pair FIFO would otherwise hand the irecv's message to the recv).
+  class Request {
+   public:
+    Request() = default;
+    [[nodiscard]] bool done() const { return done_; }
+    [[nodiscard]] int peer() const { return peer_; }
+    [[nodiscard]] const Bytes& payload() const { return payload_; }
+
+   private:
+    friend class Comm;
+    bool is_recv_ = false;
+    bool done_ = true;
+    int peer_ = -1;
+    int tag_ = 0;
+    Bytes payload_;
+  };
+  Request isend(int dest, int tag, const Bytes& payload);
+  Request irecv(int src, int tag);
+  // True once the request is complete; performs the pending receive when
+  // the transport has the message. Throws RankFailed like recv.
+  bool test(Request& req);
+  // Blocks until complete; returns the received payload ({} for sends).
+  Bytes wait(Request& req);
+
+  // Cheap idempotent poll: a message (or the peer's death) is observable on
+  // src's channel right now. Decorators forward it uncounted — probes are
+  // timing-dependent, and counting them would break fault-plan replay.
+  [[nodiscard]] bool probe(int src) { return do_probe(src); }
 
   // --- transport access for decorators (minimpi/fault.h) ---
   // Bypass the stats-counting layer and talk straight to the backend; only
@@ -134,6 +215,12 @@ class Comm {
   // Backend transport, wrapped by the counting send()/recv() above.
   virtual void do_send(int dest, int tag, const Bytes& payload) = 0;
   virtual Bytes do_recv(int src, int tag) = 0;
+  // Nonblocking message-availability poll (see probe()). The conservative
+  // default makes test() degrade to wait() on backends without one.
+  virtual bool do_probe(int src) {
+    (void)src;
+    return true;
+  }
 
   // Fault decorators report their injected sleeps (see Stats above).
   void note_synthetic_delay_ns(std::uint64_t ns) {
@@ -148,20 +235,43 @@ class Comm {
  private:
   // Scoped attribution: routes send/recv counts to one collective's OpStats.
   // Outermost-wins, so nested collectives keep the caller's attribution.
+  // The depth count is what lets reset_stats() reject a reset while any
+  // collective is still in flight.
   class ScopedOp {
    public:
     ScopedOp(Comm& comm, OpStats& op) : comm_(comm), saved_(comm.current_op_) {
       if (comm_.current_op_ == &comm_.stats_.p2p) comm_.current_op_ = &op;
+      ++comm_.active_scoped_ops_;
     }
-    ~ScopedOp() { comm_.current_op_ = saved_; }
+    ~ScopedOp() {
+      --comm_.active_scoped_ops_;
+      comm_.current_op_ = saved_;
+    }
 
    private:
     Comm& comm_;
     OpStats* saved_;
   };
 
+  // Tree-algorithm building blocks (comm.cpp). tree_gather moves every
+  // rank's blob to root up a binomial tree and returns them in rank order
+  // on root ({} elsewhere) — reduces fold over that order, which is what
+  // keeps tree results bit-identical to star's.
+  void barrier_star();
+  void barrier_dissemination();
+  void bcast_binomial(Bytes& data, int root, int tag);
+  std::vector<Bytes> tree_gather(const Bytes& mine, int root, int tag);
+  std::vector<Bytes> star_gather(const Bytes& mine, int root, int tag);
+  // Shared reduce skeleton: gather per-rank operand blobs (star or tree),
+  // fold on rank 0 in rank order, broadcast the folded result.
+  Bytes reduce_fold_bcast(
+      const Bytes& mine,
+      const std::function<Bytes(const std::vector<Bytes>&)>& fold);
+
   Stats stats_;
   OpStats* current_op_ = &stats_.p2p;
+  int active_scoped_ops_ = 0;
+  CollectiveAlgo collectives_ = CollectiveAlgo::kTree;
 };
 
 // --- serialization helpers for payloads ---
@@ -176,6 +286,7 @@ class Packer {
   }
   void put_string(const std::string& s);
   void put_doubles(const std::vector<double>& v);
+  void put_bytes(const Bytes& b);
 
   [[nodiscard]] const Bytes& bytes() const { return data_; }
   Bytes take() { return std::move(data_); }
@@ -197,6 +308,7 @@ class Unpacker {
   }
   std::string get_string();
   std::vector<double> get_doubles();
+  Bytes get_bytes();
 
   [[nodiscard]] bool exhausted() const { return offset_ == data_->size(); }
 
@@ -213,6 +325,8 @@ class Unpacker {
 // socket gives the process backend. Other exceptions escaping a rank abort
 // the program (as an MPI error would), except RankFailed from rank 0, which
 // propagates to the caller after the remaining ranks are joined.
+void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn,
+                      const CommOptions& options);
 void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
 // Run `fn(comm)` on `nranks` process-backed ranks. The calling process
@@ -221,6 +335,8 @@ void run_thread_ranks(int nranks, const std::function<void(Comm&)>& fn);
 // that dies via RankDeath exits with kRankDeathExit and is tolerated; an
 // unhandled RankFailed on rank 0 kills the remaining children and
 // propagates.
+void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn,
+                       const CommOptions& options);
 void run_process_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
 }  // namespace raxh::mpi

@@ -166,6 +166,7 @@ std::string FaultPlan::to_spec() const {
 }
 
 FaultyComm::FaultyComm(Comm& inner, const FaultPlan& plan) : inner_(&inner) {
+  set_collectives(inner.collectives());
   for (const FaultAction& a : plan.actions)
     if (a.rank == inner.rank()) actions_.push_back(a);
 }

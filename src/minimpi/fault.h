@@ -99,6 +99,9 @@ class FaultyComm final : public Comm {
  protected:
   void do_send(int dest, int tag, const Bytes& payload) override;
   Bytes do_recv(int src, int tag) override;
+  // Forwarded uncounted: probes are timing-dependent polls, and letting them
+  // advance the op counter would make plan replay depend on scheduling.
+  bool do_probe(int src) override { return inner_->probe(src); }
 
  private:
   // Advance the op counter and return the action firing at this op, if any.

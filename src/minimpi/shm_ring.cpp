@@ -1,0 +1,37 @@
+#include "minimpi/shm_ring.h"
+
+#include <sched.h>
+#include <time.h>
+
+#include <thread>
+
+namespace raxh::mpi {
+
+int RingBackoff::spin_limit() {
+  // Spinning is only productive when the peer can run concurrently; on a
+  // single hardware thread it just burns the peer's quantum.
+  static const int limit =
+      std::thread::hardware_concurrency() > 1 ? 512 : 0;
+  return limit;
+}
+
+void RingBackoff::cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+void RingBackoff::yield_now() { ::sched_yield(); }
+
+void RingBackoff::sleep_briefly() {
+  // 50us: long enough to stop burning a shared core, short enough that a
+  // collective's critical path barely notices one straggling round.
+  ::timespec ts{0, 50'000};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace raxh::mpi

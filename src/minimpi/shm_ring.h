@@ -1,0 +1,248 @@
+// The same-host shared-memory transport primitive: a single-producer /
+// single-consumer byte ring, one per ordered rank pair, plus the framed
+// channel both backends speak over it.
+//
+// The ring struct is position-independent (no pointers, only address-free
+// atomics, data bytes trail the header), so the identical code runs over
+// plain heap memory shared by rank threads and over a MAP_SHARED mapping
+// shared by forked rank processes.
+//
+// Framing mirrors the socketpair mesh: [u64 tag][u64 len][len payload
+// bytes]. Messages larger than the ring stream through it in chunks, so the
+// ring size bounds memory, not message size. A frame whose advertised
+// length can never be satisfied — the writer died mid-frame (torn write) or
+// the header itself is truncated — surfaces as RankFailed once the writer
+// is known dead; a length prefix beyond kMaxMessageBytes is a protocol
+// violation and dies loudly. Neither may ever hang.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "minimpi/comm.h"
+#include "util/check.h"
+
+namespace raxh::mpi {
+
+// No ring frame may advertise more than this: a corrupt length prefix must
+// die at the assert, not drive a multi-gigabyte allocation or an eternal
+// wait for bytes that never come.
+inline constexpr std::uint64_t kMaxMessageBytes = 1ull << 30;
+
+class ShmRing {
+ public:
+  // Total footprint of a ring with `capacity` payload bytes.
+  static std::size_t bytes_for(std::size_t capacity) {
+    return sizeof(ShmRing) + capacity;
+  }
+
+  // Placement-initialize a ring in caller-owned memory (heap or MAP_SHARED).
+  static ShmRing* create(void* mem, std::size_t capacity) {
+    RAXH_EXPECTS(capacity > 0);
+    auto* ring = new (mem) ShmRing();
+    ring->capacity_ = capacity;
+    return ring;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return static_cast<std::size_t>(capacity_);
+  }
+
+  // Nonblocking bulk transfers: move up to n bytes, return the count moved.
+  // Only the producer calls write_some, only the consumer read_some.
+  std::size_t write_some(const void* data, std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t space =
+        static_cast<std::size_t>(capacity_ - (head - tail));
+    const std::size_t take = n < space ? n : space;
+    if (take == 0) return 0;
+    const std::size_t at = static_cast<std::size_t>(head % capacity_);
+    const std::size_t first = std::min(take, capacity() - at);
+    std::memcpy(bytes() + at, data, first);
+    std::memcpy(bytes(), static_cast<const std::uint8_t*>(data) + first,
+                take - first);
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  std::size_t read_some(void* out, std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(head - tail);
+    const std::size_t take = n < avail ? n : avail;
+    if (take == 0) return 0;
+    const std::size_t at = static_cast<std::size_t>(tail % capacity_);
+    const std::size_t first = std::min(take, capacity() - at);
+    std::memcpy(out, bytes() + at, first);
+    std::memcpy(static_cast<std::uint8_t*>(out) + first, bytes(),
+                take - first);
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  [[nodiscard]] std::size_t readable() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_relaxed));
+  }
+
+  // Death flags: a rank that stops participating closes its side of every
+  // ring it touches (the shm analogue of a process closing its sockets).
+  // Crash paths that cannot reach these flags are covered by out-of-band
+  // liveness (the thread hub's dead flags, the process mesh's EOF sockets).
+  void close_writer() { w_closed_.store(1, std::memory_order_release); }
+  void close_reader() { r_closed_.store(1, std::memory_order_release); }
+  [[nodiscard]] bool writer_closed() const {
+    return w_closed_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] bool reader_closed() const {
+    return r_closed_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  ShmRing() = default;
+
+  std::uint8_t* bytes() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+
+  std::atomic<std::uint64_t> head_{0};  // bytes produced (monotonic)
+  std::atomic<std::uint64_t> tail_{0};  // bytes consumed (monotonic)
+  std::atomic<std::uint32_t> w_closed_{0};
+  std::atomic<std::uint32_t> r_closed_{0};
+  std::uint64_t capacity_ = 0;
+  // `capacity_` data bytes trail the struct (see bytes_for / create).
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm rings require address-free lock-free 64-bit atomics");
+
+// Tiered waiting for ring progress: brief pause-spinning (skipped outright
+// on single-core hosts, where spinning only steals the peer's cycles),
+// then sched_yield, then short sleeps. The `gone` probe runs on every
+// post-spin round so a dead peer converts a wait into RankFailed instead
+// of a hang.
+class RingBackoff {
+ public:
+  template <typename PeerGone>
+  void wait(const PeerGone& gone, int peer, const char* what) {
+    if (spins_ < spin_limit()) {
+      ++spins_;
+      cpu_relax();
+      return;
+    }
+    if (gone())
+      throw RankFailed(peer, std::string("minimpi: rank ") +
+                                 std::to_string(peer) + " died (" + what +
+                                 " on shm ring)");
+    if (yields_ < 256) {
+      ++yields_;
+      yield_now();
+      return;
+    }
+    sleep_briefly();
+  }
+
+ private:
+  static int spin_limit();
+  static void cpu_relax();
+  static void yield_now();
+  static void sleep_briefly();
+
+  int spins_ = 0;
+  int yields_ = 0;
+};
+
+// One direction of a rank pair: framed messages over one ring. The peer
+// liveness probe is injected because the two backends learn about death
+// differently (hub dead-flags vs. EOF on the companion socket).
+class RingChannel {
+ public:
+  RingChannel(ShmRing* ring, int peer) : ring_(ring), peer_(peer) {}
+
+  template <typename PeerGone>
+  void send_frame(std::uint64_t tag, const Bytes& payload,
+                  const PeerGone& gone) {
+    RAXH_EXPECTS(payload.size() <= kMaxMessageBytes);
+    if (gone())
+      throw RankFailed(peer_, "minimpi: send to dead rank " +
+                                  std::to_string(peer_) + " (shm ring)");
+    const std::uint64_t header[2] = {tag, payload.size()};
+    write_all(header, sizeof(header), gone);
+    if (!payload.empty()) write_all(payload.data(), payload.size(), gone);
+  }
+
+  // Fault injection: advertise the full length, write only keep_bytes. The
+  // reader blocks for the remainder until the writer's death closes the
+  // ring, then observes RankFailed — a crash mid-write, ring edition.
+  template <typename PeerGone>
+  void send_torn(std::uint64_t tag, const Bytes& payload,
+                 std::size_t keep_bytes, const PeerGone& gone) {
+    const std::uint64_t header[2] = {tag, payload.size()};
+    write_all(header, sizeof(header), gone);
+    const std::size_t keep = std::min(keep_bytes, payload.size());
+    if (keep > 0) write_all(payload.data(), keep, gone);
+  }
+
+  template <typename PeerGone>
+  Bytes recv_frame(std::uint64_t expected_tag, const PeerGone& gone) {
+    std::uint64_t header[2];
+    read_all(header, sizeof(header), gone);
+    // Tag mismatches are protocol bugs; corrupt lengths must die before
+    // they become an absurd allocation or an unsatisfiable wait.
+    RAXH_ASSERT(header[0] == expected_tag);
+    RAXH_ASSERT(header[1] <= kMaxMessageBytes);
+    Bytes payload(static_cast<std::size_t>(header[1]));
+    if (!payload.empty()) read_all(payload.data(), payload.size(), gone);
+    return payload;
+  }
+
+  // A message is ready to start receiving (at least a full header). Used by
+  // irecv test(): the remainder of a started frame always arrives or the
+  // writer's death surfaces as RankFailed, so "header present" is "recv
+  // will complete without an unbounded peer wait".
+  [[nodiscard]] bool probe() const {
+    return ring_->readable() >= 2 * sizeof(std::uint64_t);
+  }
+
+  [[nodiscard]] ShmRing* ring() const { return ring_; }
+
+ private:
+  template <typename PeerGone>
+  void write_all(const void* data, std::size_t n, const PeerGone& gone) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    RingBackoff backoff;
+    while (n > 0) {
+      const std::size_t w = ring_->write_some(p, n);
+      p += w;
+      n -= w;
+      if (n > 0 && w == 0)
+        backoff.wait([&] { return gone() || ring_->reader_closed(); }, peer_,
+                     "ring full, peer gone");
+    }
+  }
+
+  template <typename PeerGone>
+  void read_all(void* out, std::size_t n, const PeerGone& gone) {
+    auto* p = static_cast<std::uint8_t*>(out);
+    RingBackoff backoff;
+    while (n > 0) {
+      const std::size_t r = ring_->read_some(p, n);
+      p += r;
+      n -= r;
+      if (n > 0 && r == 0) {
+        // Drain-before-failure: bytes published before the writer died stay
+        // deliverable; only a wait that can never be satisfied throws.
+        backoff.wait(
+            [&] { return (gone() || ring_->writer_closed()) &&
+                         ring_->readable() == 0; },
+            peer_, "truncated frame");
+      }
+    }
+  }
+
+  ShmRing* ring_;
+  int peer_;
+};
+
+}  // namespace raxh::mpi

@@ -105,7 +105,8 @@ const std::string& chaos_blackbox_dir() {
 
 Outcome run_chaos(bool processes, int nranks, const mpi::FaultPlan& plan,
                   const std::string& ckpt_dir = "",
-                  bool fault_tolerant = true) {
+                  bool fault_tolerant = true,
+                  mpi::Transport transport = mpi::Transport::kSocketpair) {
   std::filesystem::remove_all(chaos_blackbox_dir());
   std::filesystem::create_directories(chaos_blackbox_dir());
   obs::flight::set_dump_dir(chaos_blackbox_dir());
@@ -129,10 +130,12 @@ Outcome run_chaos(bool processes, int nranks, const mpi::FaultPlan& plan,
       out.resumed = r.resumed_replicates;
     }
   };
+  mpi::CommOptions copts;  // collectives default to the tree algorithms
+  copts.transport = transport;
   if (processes)
-    mpi::run_process_ranks(nranks, fn);
+    mpi::run_process_ranks(nranks, fn, copts);
   else
-    mpi::run_thread_ranks(nranks, fn);
+    mpi::run_thread_ranks(nranks, fn, copts);
   return out;
 }
 
@@ -174,7 +177,8 @@ TEST(Chaos, FaultTolerantDriverMatchesPlainDriver) {
 
 // --- the headline: >= 25 seeded plans per backend, all bit-identical ---
 
-void run_seeded_plans(bool processes) {
+void run_seeded_plans(bool processes,
+                      mpi::Transport transport = mpi::Transport::kSocketpair) {
   const Outcome& ref = golden(3);
   const std::uint64_t seed = chaos_seed();
   const int nplans = chaos_plan_count();
@@ -183,7 +187,8 @@ void run_seeded_plans(bool processes) {
     const mpi::FaultPlan plan =
         mpi::FaultPlan::generate(seed + static_cast<std::uint64_t>(i), 3,
                                  kChaosMaxOp);
-    const Outcome out = run_chaos(processes, 3, plan);
+    const Outcome out = run_chaos(processes, 3, plan, "",
+                                  /*fault_tolerant=*/true, transport);
     EXPECT_EQ(out.tree, ref.tree)
         << "plan " << i << " '" << plan.to_spec() << "' (seed " << seed + i
         << ") changed the final tree";
@@ -222,13 +227,79 @@ void run_seeded_plans(bool processes) {
   // across the whole suite some must actually land and kill ranks —
   // otherwise the suite silently stopped exercising recovery.
   EXPECT_GT(total_failures, 0);
-  std::printf("[chaos] %s backend: %d plans, %d rank deaths survived\n",
-              processes ? "process" : "thread", nplans, total_failures);
+  std::printf("[chaos] %s backend, %s transport: %d plans, %d rank deaths "
+              "survived\n",
+              processes ? "process" : "thread",
+              transport == mpi::Transport::kShm ? "shm" : "socketpair", nplans,
+              total_failures);
 }
 
 TEST(Chaos, SeededPlansOnThreadBackend) { run_seeded_plans(false); }
 
 TEST(Chaos, SeededPlansOnProcessBackend) { run_seeded_plans(true); }
+
+// The same seeded plans over the shared-memory ring transport: rank death
+// detection flows through ring close-flags (threads) and the never-written
+// liveness socketpair (processes) instead of channel dead-flags / EOF, yet
+// every recovery must still land on the bit-identical golden result.
+
+TEST(Chaos, SeededPlansOnThreadBackendShmTransport) {
+  run_seeded_plans(false, mpi::Transport::kShm);
+}
+
+TEST(Chaos, SeededPlansOnProcessBackendShmTransport) {
+  run_seeded_plans(true, mpi::Transport::kShm);
+}
+
+// --- interior-node death mid-tree-bcast: children observe the failure ---
+
+TEST(Chaos, InteriorNodeDeathMidTreeBcastIsObservedByItsChildren) {
+  // Binomial bcast from root 0 over 8 ranks: rank 4 receives directly from
+  // the root and relays to ranks 5 and 6; rank 7 hangs off rank 6. Killing
+  // rank 4 at its very first op (the bcast) severs the subtree: 5 and 6 must
+  // observe RankFailed(4), and 7 must observe RankFailed(6) once 6 gives up
+  // — never a hang, never a silently short payload.
+  const mpi::FaultPlan plan = mpi::FaultPlan::parse("die@4,1");
+  const mpi::Bytes expected(1024, std::uint8_t{0xab});
+  for (const mpi::Transport transport :
+       {mpi::Transport::kSocketpair, mpi::Transport::kShm}) {
+    mpi::CommOptions copts;
+    copts.collectives = mpi::CollectiveAlgo::kTree;
+    copts.transport = transport;
+    std::vector<std::string> outcome(8);  // each rank writes only its slot
+    mpi::run_thread_ranks(
+        8,
+        [&](mpi::Comm& inner) {
+          mpi::FaultyComm comm(inner, plan);
+          mpi::Bytes payload;
+          if (comm.rank() == 0) payload = expected;
+          try {
+            comm.bcast(payload, 0);
+            outcome[static_cast<std::size_t>(comm.rank())] =
+                payload == expected ? "ok" : "corrupt";
+          } catch (const mpi::RankFailed& e) {
+            outcome[static_cast<std::size_t>(comm.rank())] =
+                "failed:" + std::to_string(e.rank);
+          }
+        },
+        copts);
+    const char* which =
+        transport == mpi::Transport::kShm ? "shm" : "socketpair";
+    EXPECT_EQ(outcome[5], "failed:4") << which;
+    EXPECT_EQ(outcome[6], "failed:4") << which;
+    EXPECT_EQ(outcome[7], "failed:6") << which;
+    // The victim dies inside the collective and records nothing.
+    EXPECT_EQ(outcome[4], "") << which;
+    // The other subtree either completes verbatim or observes a failure
+    // (rank 0 may hit the dead rank while relaying, depending on timing) —
+    // but a truncated or altered payload is never an outcome.
+    for (const int r : {0, 1, 2, 3}) {
+      const std::string& o = outcome[static_cast<std::size_t>(r)];
+      EXPECT_TRUE(o == "ok" || o.rfind("failed:", 0) == 0)
+          << which << " rank " << r << ": '" << o << "'";
+    }
+  }
+}
 
 // --- cross-backend determinism (same seed + plan => identical result) ---
 

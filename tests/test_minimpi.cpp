@@ -578,5 +578,61 @@ TEST(ProtocolViolationDeath, PayloadSizeMismatchAbortsOnProcesses) {
       "precondition");
 }
 
+// --- reset_stats: legal between collectives, fatal inside one ---
+
+// A decorator whose transport hook calls reset_stats() — i.e. a reset firing
+// while the enclosing collective's ScopedOp is still live. This reproduced a
+// real mis-attribution bug: the reset zeroed the OpStats the ScopedOp was
+// still pointing at, and the rest of the collective counted into freed-then-
+// rebuilt zeros. It is now a precondition violation.
+class ResetMidCollectiveComm final : public Comm {
+ public:
+  explicit ResetMidCollectiveComm(Comm& inner) : inner_(&inner) {
+    set_collectives(inner.collectives());
+  }
+  [[nodiscard]] int rank() const override { return inner_->rank(); }
+  [[nodiscard]] int size() const override { return inner_->size(); }
+
+ protected:
+  void do_send(int dest, int tag, const Bytes& payload) override {
+    reset_stats();  // inside the collective that issued this send
+    inner_->raw_send(dest, tag, payload);
+  }
+  Bytes do_recv(int src, int tag) override {
+    return inner_->raw_recv(src, tag);
+  }
+
+ private:
+  Comm* inner_;
+};
+
+TEST(StatsReset, ResetDuringInFlightCollectiveDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(run_thread_ranks(2,
+                                [](Comm& inner) {
+                                  ResetMidCollectiveComm comm(inner);
+                                  comm.barrier();
+                                }),
+               "precondition");
+}
+
+TEST(StatsReset, ResetBetweenCollectivesZeroesAndKeepsAttributing) {
+  run_thread_ranks(2, [](Comm& comm) {
+    comm.barrier();
+    comm.allreduce_sum(1.0);
+    EXPECT_GT(comm.stats().total().msgs_sent, 0u);
+    comm.reset_stats();
+    const auto& zeroed = comm.stats();
+    EXPECT_EQ(zeroed.total().msgs_sent, 0u);
+    EXPECT_EQ(zeroed.total().bytes_recv, 0u);
+    EXPECT_EQ(zeroed.barrier_wait_ns, 0u);
+    // Attribution restarts cleanly: the next collective books under its own
+    // op, not into a stale pointer.
+    comm.barrier();
+    EXPECT_GT(comm.stats().barrier.msgs_sent, 0u);
+    EXPECT_EQ(comm.stats().reduce.msgs_sent, 0u);
+  });
+}
+
 }  // namespace
 }  // namespace raxh::mpi
