@@ -90,6 +90,7 @@
 #include "core/hybrid.h"
 #include "minimpi/comm.h"
 #include "minimpi/fault.h"
+#include "obs/comm_obs.h"
 #include "obs/flight.h"
 #include "obs/live.h"
 #include "obs/obs.h"
@@ -229,7 +230,9 @@ void finalize_obs(mpi::Comm& comm, const ObsOptions& options) {
   if (!options.any()) return;
   std::string metrics;
   if (!options.metrics_out.empty())
-    metrics = obs::export_metrics_fragment(comm.rank(), comm.stats().to_json());
+    metrics = obs::export_metrics_fragment(
+        comm.rank(), comm.stats().to_json() + "," +
+                         obs::comm::to_json_section(comm.rank()));
   const std::string phases = options.report_components
                                  ? obs::serialize_phases(obs::run_phases())
                                  : std::string();
@@ -338,8 +341,11 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
   const std::string name = cli.value_or("n", "raxh");
 
   // Fault injection (testing): --fault-plan wins over RAXH_FAULT_PLAN. A
-  // plan without recovery would just crash the job, so a plan implies
-  // --fault-tolerant.
+  // plan with lethal actions and no recovery would just crash the job, so
+  // lethal plans imply --fault-tolerant. Delay-only plans stay on the
+  // regular collective driver: they model slow edges, not rank death, and
+  // the tree collectives they slow down are what raxh_comm and the
+  // kCollEdge postmortem attribute.
   std::string plan_spec = cli.value_or("-fault-plan", "");
   if (plan_spec.empty())
     if (const char* env = std::getenv("RAXH_FAULT_PLAN")) plan_spec = env;
@@ -351,7 +357,8 @@ int run_comprehensive(const PatternAlignment& patterns, const CliParser& cli) {
       std::fprintf(stderr, "error: bad fault plan: %s\n", e.what());
       return 1;
     }
-    options.fault_tolerant = true;
+    for (const mpi::FaultAction& action : plan.actions)
+      if (action.lethal()) options.fault_tolerant = true;
     std::printf("fault plan active: %s\n", plan.to_spec().c_str());
   }
   if (!options.analysis.checkpoint_dir.empty() &&

@@ -148,7 +148,7 @@ class ThreadComm final : public Comm {
   void do_send(int dest, int tag, const Bytes& payload) override {
     RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
     if (use_rings()) {
-      RingChannel ch(hub_->ring(rank_, dest), dest);
+      RingChannel ch(hub_->ring(rank_, dest), dest, this);
       ch.send_frame(static_cast<std::uint64_t>(tag), payload,
                     [&] { return hub_->is_dead(dest); });
       return;
@@ -163,7 +163,7 @@ class ThreadComm final : public Comm {
       // Physically torn: the header advertises the full length but only
       // keep_bytes follow. The receiver drains them, then this rank's death
       // closes the ring and the wait surfaces as RankFailed.
-      RingChannel ch(hub_->ring(rank_, dest), dest);
+      RingChannel ch(hub_->ring(rank_, dest), dest, this);
       ch.send_torn(static_cast<std::uint64_t>(tag), payload, keep_bytes,
                    [&] { return hub_->is_dead(dest); });
       return;
@@ -174,7 +174,7 @@ class ThreadComm final : public Comm {
   Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     if (use_rings()) {
-      RingChannel ch(hub_->ring(src, rank_), src);
+      RingChannel ch(hub_->ring(src, rank_), src, this);
       return ch.recv_frame(static_cast<std::uint64_t>(tag),
                            [&] { return hub_->is_dead(src); });
     }
@@ -201,7 +201,7 @@ class ThreadComm final : public Comm {
   bool do_probe(int src) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     if (use_rings()) {
-      RingChannel ch(hub_->ring(src, rank_), src);
+      RingChannel ch(hub_->ring(src, rank_), src, this);
       return ch.probe() || hub_->is_dead(src);
     }
     Channel& ch = hub_->channel(src, rank_);
@@ -306,7 +306,7 @@ class ProcessComm final : public Comm {
   void do_send(int dest, int tag, const Bytes& payload) override {
     RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
     if (use_rings()) {
-      RingChannel ch(send_rings_[static_cast<std::size_t>(dest)], dest);
+      RingChannel ch(send_rings_[static_cast<std::size_t>(dest)], dest, this);
       ch.send_frame(static_cast<std::uint64_t>(tag), payload,
                     [&] { return peer_gone(dest); });
       return;
@@ -326,7 +326,7 @@ class ProcessComm final : public Comm {
                      std::size_t keep_bytes) override {
     RAXH_EXPECTS(dest >= 0 && dest < size() && dest != rank_);
     if (use_rings()) {
-      RingChannel ch(send_rings_[static_cast<std::size_t>(dest)], dest);
+      RingChannel ch(send_rings_[static_cast<std::size_t>(dest)], dest, this);
       ch.send_torn(static_cast<std::uint64_t>(tag), payload, keep_bytes,
                    [&] { return peer_gone(dest); });
       return;
@@ -342,7 +342,7 @@ class ProcessComm final : public Comm {
   Bytes do_recv(int src, int tag) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     if (use_rings()) {
-      RingChannel ch(recv_rings_[static_cast<std::size_t>(src)], src);
+      RingChannel ch(recv_rings_[static_cast<std::size_t>(src)], src, this);
       return ch.recv_frame(static_cast<std::uint64_t>(tag),
                            [&] { return peer_gone(src); });
     }
@@ -359,7 +359,7 @@ class ProcessComm final : public Comm {
   bool do_probe(int src) override {
     RAXH_EXPECTS(src >= 0 && src < size() && src != rank_);
     if (use_rings()) {
-      RingChannel ch(recv_rings_[static_cast<std::size_t>(src)], src);
+      RingChannel ch(recv_rings_[static_cast<std::size_t>(src)], src, this);
       return ch.probe() || recv_rings_[static_cast<std::size_t>(src)]
                                    ->writer_closed() ||
              peer_gone(src);

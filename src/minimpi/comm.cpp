@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/comm_obs.h"
 #include "obs/flight.h"
 #include "obs/hist.h"
 #include "obs/obs.h"
@@ -54,10 +55,32 @@ struct FlightCollective {
 
 }  // namespace
 
+Comm::~Comm() { obs::comm::retire(comm_block_); }
+
+obs::comm::Block* Comm::obs_block() {
+  if (!obs::enabled()) return nullptr;
+  if (comm_block_ == nullptr) comm_block_ = obs::comm::acquire(rank());
+  return comm_block_;
+}
+
+void Comm::note_ring_stall(int peer, std::uint64_t ns) {
+  obs::comm::record_ring_stall(obs_block(), peer, ns);
+}
+
+void Comm::note_ring_depth(int peer, std::uint64_t bytes) {
+  obs::comm::record_ring_depth(obs_block(), peer, bytes);
+}
+
 void Comm::send(int dest, int tag, const Bytes& payload) {
   current_op_->msgs_sent += 1;
   current_op_->bytes_sent += payload.size();
   const bool fl = flight::enabled();
+  // Hop events are only meaningful inside a collective: one kCollEdge per
+  // send/recv lets the postmortem attribute a slow collective instance to a
+  // specific parent→child tree edge.
+  const bool edge = fl && current_op_index_ != obs::comm::kOpP2p;
+  obs::comm::Block* ob = obs_block();
+  const std::uint64_t t0 = (ob != nullptr || edge) ? obs::now_ns() : 0;
   if (fl)
     flight::record(flight::Kind::kSendBegin, flight::peer_tag(dest, tag),
                    payload.size());
@@ -65,10 +88,25 @@ void Comm::send(int dest, int tag, const Bytes& payload) {
   if (fl)
     flight::record(flight::Kind::kSendEnd, flight::peer_tag(dest, tag),
                    payload.size());
+  if (ob != nullptr || edge) {
+    const std::uint64_t dur = obs::now_ns() - t0;
+    if (ob != nullptr)
+      obs::comm::record_send(ob, dest, current_op_index_, payload.size(), dur);
+    if (edge)
+      flight::record(flight::Kind::kCollEdge,
+                     flight::coll_edge_a(coll_seq_, current_coll_name_),
+                     flight::coll_edge_b(dest, /*recv_side=*/false, dur));
+  }
 }
 
 Bytes Comm::recv(int src, int tag) {
   const bool fl = flight::enabled();
+  const bool edge = fl && current_op_index_ != obs::comm::kOpP2p;
+  obs::comm::Block* ob = obs_block();
+  // recv duration includes the wait for the sender, so a slow upstream edge
+  // (e.g. a fault-plan delay) shows up as receiver-side latency — exactly
+  // what raxh_comm's slow-edge table keys on.
+  const std::uint64_t t0 = (ob != nullptr || edge) ? obs::now_ns() : 0;
   if (fl)
     flight::record(flight::Kind::kRecvBegin, flight::peer_tag(src, tag));
   Bytes payload = do_recv(src, tag);
@@ -77,6 +115,15 @@ Bytes Comm::recv(int src, int tag) {
                    payload.size());
   current_op_->msgs_recv += 1;
   current_op_->bytes_recv += payload.size();
+  if (ob != nullptr || edge) {
+    const std::uint64_t dur = obs::now_ns() - t0;
+    if (ob != nullptr)
+      obs::comm::record_recv(ob, src, current_op_index_, payload.size(), dur);
+    if (edge)
+      flight::record(flight::Kind::kCollEdge,
+                     flight::coll_edge_a(coll_seq_, current_coll_name_),
+                     flight::coll_edge_b(src, /*recv_side=*/true, dur));
+  }
   return payload;
 }
 
@@ -120,7 +167,7 @@ void Comm::barrier() {
   static const std::uint32_t kFlightName = flight::name_id("mpi.barrier");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.barrier);
+  ScopedOp op(*this, stats_.barrier, obs::comm::kOpBarrier, kFlightName);
   const std::uint64_t wait_start = obs::now_ns();
   const std::uint64_t synth0 = obs::synthetic_delay_ns_this_thread();
   if (collectives_ == CollectiveAlgo::kTree)
@@ -168,7 +215,7 @@ void Comm::bcast(Bytes& data, int root) {
   static const std::uint32_t kFlightName = flight::name_id("mpi.bcast");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.bcast);
+  ScopedOp op(*this, stats_.bcast, obs::comm::kOpBcast, kFlightName);
   RAXH_EXPECTS(root >= 0 && root < size());
   if (collectives_ == CollectiveAlgo::kTree) {
     bcast_binomial(data, root, kTagBcast);
@@ -302,7 +349,7 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value) {
   static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.reduce);
+  ScopedOp op(*this, stats_.reduce, obs::comm::kOpReduce, kFlightName);
   Packer p;
   p.put(value);
   const Bytes result =
@@ -332,7 +379,7 @@ double Comm::allreduce_sum(double value) {
   static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.reduce);
+  ScopedOp op(*this, stats_.reduce, obs::comm::kOpReduce, kFlightName);
   Packer p;
   p.put(value);
   const Bytes result =
@@ -357,7 +404,7 @@ double Comm::allreduce_max(double value) {
   static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.reduce);
+  ScopedOp op(*this, stats_.reduce, obs::comm::kOpReduce, kFlightName);
   Packer p;
   p.put(value);
   const Bytes result =
@@ -381,7 +428,7 @@ long Comm::allreduce_sum_long(long value) {
   static const std::uint32_t kFlightName = flight::name_id("mpi.allreduce");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.reduce);
+  ScopedOp op(*this, stats_.reduce, obs::comm::kOpReduce, kFlightName);
   Packer p;
   p.put(value);
   const Bytes result =
@@ -406,7 +453,7 @@ std::vector<std::vector<double>> Comm::gather_doubles(
   static const std::uint32_t kFlightName = flight::name_id("mpi.gather");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.gather);
+  ScopedOp op(*this, stats_.gather, obs::comm::kOpGather, kFlightName);
   Packer p;
   p.put_doubles(mine);
   const std::vector<Bytes> blobs =
@@ -430,7 +477,7 @@ std::vector<std::string> Comm::gather_strings(const std::string& mine,
   static const std::uint32_t kFlightName = flight::name_id("mpi.gather");
   FlightCollective fl(kFlightName);
   ScopedCollectiveLatency latency;
-  ScopedOp op(*this, stats_.gather);
+  ScopedOp op(*this, stats_.gather, obs::comm::kOpGather, kFlightName);
   Packer p;
   p.put_string(mine);
   const std::vector<Bytes> blobs =
@@ -457,7 +504,19 @@ Comm::Request Comm::isend(int dest, int tag, const Bytes& payload) {
   req.is_recv_ = false;
   req.peer_ = dest;
   req.tag_ = tag;
+  const bool fl = flight::enabled();
+  obs::comm::Block* ob = obs_block();
+  const std::uint64_t t0 = (ob != nullptr || fl) ? obs::now_ns() : 0;
+  if (fl)
+    flight::record(flight::Kind::kReqPost, flight::peer_tag(dest, tag),
+                   /*is_recv=*/0);
   send(dest, tag, payload);
+  // Eager sends are in flight exactly as long as the caller is blocked in
+  // them, so they honestly contribute zero overlap.
+  if (ob != nullptr) {
+    const std::uint64_t dur = obs::now_ns() - t0;
+    obs::comm::record_request(ob, /*completed_by_test=*/false, dur, dur);
+  }
   return req;
 }
 
@@ -467,6 +526,11 @@ Comm::Request Comm::irecv(int src, int tag) {
   req.done_ = false;
   req.peer_ = src;
   req.tag_ = tag;
+  const bool fl = flight::enabled();
+  if (fl || obs::enabled()) req.posted_ns_ = obs::now_ns();
+  if (fl)
+    flight::record(flight::Kind::kReqPost, flight::peer_tag(src, tag),
+                   /*is_recv=*/1);
   return req;
 }
 
@@ -477,15 +541,44 @@ bool Comm::test(Request& req) {
   // so Stats and flight events are identical whether a message arrives via
   // recv, wait, or a test that completed it.
   if (!do_probe(req.peer_)) return false;
+  const bool fl = flight::enabled();
+  obs::comm::Block* ob = obs_block();
+  const std::uint64_t t0 =
+      ((ob != nullptr || fl) && req.posted_ns_ != 0) ? obs::now_ns() : 0;
   req.payload_ = recv(req.peer_, req.tag_);
   req.done_ = true;
+  if (t0 != 0) {
+    const std::uint64_t now = obs::now_ns();
+    if (ob != nullptr)
+      obs::comm::record_request(ob, /*completed_by_test=*/true,
+                                now - req.posted_ns_, now - t0);
+    if (fl)
+      flight::record(flight::Kind::kReqTestOk,
+                     flight::peer_tag(req.peer_, req.tag_),
+                     now - req.posted_ns_);
+    req.posted_ns_ = 0;
+  }
   return true;
 }
 
 Bytes Comm::wait(Request& req) {
   if (!req.done_) {
+    const bool fl = flight::enabled();
+    obs::comm::Block* ob = obs_block();
+    const std::uint64_t t0 =
+        ((ob != nullptr || fl) && req.posted_ns_ != 0) ? obs::now_ns() : 0;
     req.payload_ = recv(req.peer_, req.tag_);
     req.done_ = true;
+    if (t0 != 0) {
+      const std::uint64_t now = obs::now_ns();
+      if (ob != nullptr)
+        obs::comm::record_request(ob, /*completed_by_test=*/false,
+                                  now - req.posted_ns_, now - t0);
+      if (fl)
+        flight::record(flight::Kind::kReqWaitDone,
+                       flight::peer_tag(req.peer_, req.tag_), now - t0);
+      req.posted_ns_ = 0;
+    }
   }
   return std::move(req.payload_);
 }

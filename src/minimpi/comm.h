@@ -33,6 +33,10 @@
 
 #include "util/check.h"
 
+namespace raxh::obs::comm {
+struct Block;  // comm-plane accumulation block (obs/comm_obs.h)
+}  // namespace raxh::obs::comm
+
 namespace raxh::mpi {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -83,7 +87,9 @@ struct CommOptions {
 
 class Comm {
  public:
-  virtual ~Comm() = default;
+  // Retires this comm's comm-plane block (obs/comm_obs.h) so its traffic
+  // stays visible in process-wide snapshots after the comm is gone.
+  virtual ~Comm();
 
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
@@ -152,6 +158,9 @@ class Comm {
     bool done_ = true;
     int peer_ = -1;
     int tag_ = 0;
+    // Overlap accounting: post time (0 when observability was off at post),
+    // cleared once the completion is booked.
+    std::uint64_t posted_ns_ = 0;
     Bytes payload_;
   };
   Request isend(int dest, int tag, const Bytes& payload);
@@ -190,6 +199,18 @@ class Comm {
   // completed work unit so seeded fault plans can strike between collectives
   // (mid-bootstrap, mid-search). A plain Comm ignores it.
   virtual void fault_tick() {}
+
+  // --- comm-plane observability (obs/comm_obs.h) ---
+  // The per-(peer, op) edge matrix this comm accumulates into while
+  // obs::enabled(); nullptr until the first enabled record. Tests reconcile
+  // obs::comm::totals(comm_matrix()) against stats().
+  [[nodiscard]] const obs::comm::Block* comm_matrix() const {
+    return comm_block_;
+  }
+  // Transport hooks (shm_ring.h's RingChannel): one completed full-ring
+  // stall episode toward `peer`, and a post-send occupancy sample.
+  void note_ring_stall(int peer, std::uint64_t ns);
+  void note_ring_depth(int peer, std::uint64_t bytes);
 
   // --- collectives (implemented over send/recv; every rank must call) ---
   void barrier();
@@ -239,19 +260,40 @@ class Comm {
   // collective is still in flight.
   class ScopedOp {
    public:
-    ScopedOp(Comm& comm, OpStats& op) : comm_(comm), saved_(comm.current_op_) {
-      if (comm_.current_op_ == &comm_.stats_.p2p) comm_.current_op_ = &op;
+    // op_index is the obs::comm:: op slot matching `op` (kOpBarrier, ...);
+    // flight_name the interned collective name for kCollEdge hop events.
+    // When outermost, the constructor also bumps the per-comm collective
+    // sequence number so one collective call's hops share an instance id.
+    ScopedOp(Comm& comm, OpStats& op, int op_index, std::uint32_t flight_name)
+        : comm_(comm),
+          saved_(comm.current_op_),
+          saved_index_(comm.current_op_index_),
+          saved_name_(comm.current_coll_name_) {
+      if (comm_.current_op_ == &comm_.stats_.p2p) {
+        comm_.current_op_ = &op;
+        comm_.current_op_index_ = op_index;
+        comm_.current_coll_name_ = flight_name;
+        ++comm_.coll_seq_;
+      }
       ++comm_.active_scoped_ops_;
     }
     ~ScopedOp() {
       --comm_.active_scoped_ops_;
       comm_.current_op_ = saved_;
+      comm_.current_op_index_ = saved_index_;
+      comm_.current_coll_name_ = saved_name_;
     }
 
    private:
     Comm& comm_;
     OpStats* saved_;
+    int saved_index_;
+    std::uint32_t saved_name_;
   };
+
+  // Lazily acquires this comm's obs::comm block (rank must be known). Null
+  // while obs is disabled — the hot path stays one relaxed load + branch.
+  obs::comm::Block* obs_block();
 
   // Tree-algorithm building blocks (comm.cpp). tree_gather moves every
   // rank's blob to root up a binomial tree and returns them in rank order
@@ -272,6 +314,14 @@ class Comm {
   OpStats* current_op_ = &stats_.p2p;
   int active_scoped_ops_ = 0;
   CollectiveAlgo collectives_ = CollectiveAlgo::kTree;
+  // Comm-plane accumulation (obs/comm_obs.h): acquired on first enabled
+  // record, retired by ~Comm. The index/name pair mirrors current_op_ for
+  // the per-edge matrix and kCollEdge attribution; coll_seq_ counts
+  // outermost collectives so hops of one call share an instance id.
+  obs::comm::Block* comm_block_ = nullptr;
+  int current_op_index_ = 0;
+  std::uint32_t current_coll_name_ = 0;
+  std::uint32_t coll_seq_ = 0;
 };
 
 // --- serialization helpers for payloads ---

@@ -22,6 +22,8 @@
 #include <cstring>
 
 #include "minimpi/comm.h"
+#include "obs/comm_obs.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace raxh::mpi {
@@ -158,7 +160,12 @@ class RingBackoff {
 // differently (hub dead-flags vs. EOF on the companion socket).
 class RingChannel {
  public:
-  RingChannel(ShmRing* ring, int peer) : ring_(ring), peer_(peer) {}
+  // `owner` (when given) receives backpressure telemetry: full-ring stall
+  // episodes and post-send occupancy samples (Comm::note_ring_*). The
+  // channel itself stays observability-free when owner is null or obs is
+  // disabled.
+  RingChannel(ShmRing* ring, int peer, Comm* owner = nullptr)
+      : ring_(ring), peer_(peer), owner_(owner) {}
 
   template <typename PeerGone>
   void send_frame(std::uint64_t tag, const Bytes& payload,
@@ -170,6 +177,8 @@ class RingChannel {
     const std::uint64_t header[2] = {tag, payload.size()};
     write_all(header, sizeof(header), gone);
     if (!payload.empty()) write_all(payload.data(), payload.size(), gone);
+    if (owner_ != nullptr && obs::enabled())
+      owner_->note_ring_depth(peer_, ring_->readable());
   }
 
   // Fault injection: advertise the full length, write only keep_bytes. The
@@ -208,17 +217,49 @@ class RingChannel {
   [[nodiscard]] ShmRing* ring() const { return ring_; }
 
  private:
+  // One write_all's full-ring stall episode. Armed on the first zero-byte
+  // write attempt, closed by the destructor so the episode books even when
+  // the backoff's peer-gone probe throws RankFailed mid-stall. The repeated
+  // stall-branch hits of a streamed message count as one episode — the
+  // sender was continuously backpressured.
+  class StallScope {
+   public:
+    StallScope(Comm* owner, int peer) : owner_(owner), peer_(peer) {}
+    StallScope(const StallScope&) = delete;
+    StallScope& operator=(const StallScope&) = delete;
+    void arm() {
+      if (armed_ || owner_ == nullptr || !obs::enabled()) return;
+      armed_ = true;
+      start_ = obs::now_ns();
+      obs::comm::stall_enter();
+    }
+    ~StallScope() {
+      if (!armed_) return;
+      obs::comm::stall_exit();
+      owner_->note_ring_stall(peer_, obs::now_ns() - start_);
+    }
+
+   private:
+    Comm* owner_;
+    int peer_;
+    bool armed_ = false;
+    std::uint64_t start_ = 0;
+  };
+
   template <typename PeerGone>
   void write_all(const void* data, std::size_t n, const PeerGone& gone) {
     const auto* p = static_cast<const std::uint8_t*>(data);
     RingBackoff backoff;
+    StallScope stall(owner_, peer_);
     while (n > 0) {
       const std::size_t w = ring_->write_some(p, n);
       p += w;
       n -= w;
-      if (n > 0 && w == 0)
+      if (n > 0 && w == 0) {
+        stall.arm();
         backoff.wait([&] { return gone() || ring_->reader_closed(); }, peer_,
                      "ring full, peer gone");
+      }
     }
   }
 
@@ -243,6 +284,7 @@ class RingChannel {
 
   ShmRing* ring_;
   int peer_;
+  Comm* owner_;
 };
 
 }  // namespace raxh::mpi

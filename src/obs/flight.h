@@ -56,7 +56,16 @@ enum class Kind : std::uint32_t {
   kRankDead,        // a = dead rank, b = name id of detection site
   kRegrant,         // a = logical share, b = executing rank
   kNote,            // a = name id
-  kMaxKind = kNote
+  kReqPost,         // nonblocking request posted; a = peer_tag(peer, tag),
+                    // b = 1 for irecv, 0 for isend
+  kReqTestOk,       // request completed inside test(); a = peer_tag,
+                    // b = posted-to-complete (in-flight) ns
+  kReqWaitDone,     // request completed inside wait(); a = peer_tag,
+                    // b = ns blocked in the wait
+  kCollEdge,        // one hop of a collective (see coll_edge_* helpers);
+                    // a = (per-comm collective seq << 32) | name id,
+                    // b = packed peer / direction / hop duration ns
+  kMaxKind = kCollEdge
 };
 
 // Peer + tag packed into the `a` word of send/recv events.
@@ -67,6 +76,36 @@ inline std::uint64_t peer_tag(int peer, int tag) {
 inline int peer_of(std::uint64_t a) { return static_cast<int>(a >> 32); }
 inline int tag_of(std::uint64_t a) {
   return static_cast<int>(static_cast<std::uint32_t>(a));
+}
+
+// kCollEdge packing. `a` identifies the collective instance (a per-comm
+// sequence number, so one rank's hops of the same collective call group
+// together) and its interned name; `b` carries the peer, the direction
+// (recv = the edge peer→me, send = me→peer), and the hop duration, capped
+// at 2^47-1 ns (~1.6 days — effectively never).
+inline std::uint64_t coll_edge_a(std::uint32_t seq, std::uint32_t name) {
+  return (static_cast<std::uint64_t>(seq) << 32) | name;
+}
+inline std::uint32_t coll_edge_seq(std::uint64_t a) {
+  return static_cast<std::uint32_t>(a >> 32);
+}
+inline std::uint32_t coll_edge_name(std::uint64_t a) {
+  return static_cast<std::uint32_t>(a);
+}
+inline constexpr std::uint64_t kCollEdgeNsMask = (std::uint64_t{1} << 47) - 1;
+inline std::uint64_t coll_edge_b(int peer, bool recv_side, std::uint64_t ns) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(peer)) << 48) |
+         (recv_side ? (std::uint64_t{1} << 47) : 0) |
+         (ns < kCollEdgeNsMask ? ns : kCollEdgeNsMask);
+}
+inline int coll_edge_peer(std::uint64_t b) {
+  return static_cast<int>(static_cast<std::uint16_t>(b >> 48));
+}
+inline bool coll_edge_is_recv(std::uint64_t b) {
+  return ((b >> 47) & 1) != 0;
+}
+inline std::uint64_t coll_edge_ns(std::uint64_t b) {
+  return b & kCollEdgeNsMask;
 }
 
 // Recorder switch, separate from obs::enabled() (which stays opt-in).

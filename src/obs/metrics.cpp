@@ -230,6 +230,22 @@ void PromWriter::gauge_labeled(
             "\"} " + format_double(value) + "\n";
 }
 
+void PromWriter::counter_multilabeled(
+    const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, std::uint64_t>>& series) {
+  preamble(name, help, "counter");
+  for (const auto& [labels, value] : series)
+    out_ += name + "{" + labels + "} " + std::to_string(value) + "\n";
+}
+
+void PromWriter::gauge_multilabeled(
+    const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, double>>& series) {
+  preamble(name, help, "gauge");
+  for (const auto& [labels, value] : series)
+    out_ += name + "{" + labels + "} " + format_double(value) + "\n";
+}
+
 void PromWriter::histogram_ns(const std::string& name, const std::string& help,
                               const HistSnapshot& snap) {
   preamble(name, help, "histogram");

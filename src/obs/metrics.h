@@ -78,6 +78,15 @@ class JobObs {
   void add_span(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
                 int lane);
 
+  // Comm-plane stall gauge: net count of the job's sender threads currently
+  // blocked on a full shm ring (raxh_top's per-job stall state).
+  void comm_stall_delta(int d) {
+    comm_stalled_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int comm_stalled() const {
+    return comm_stalled_.load(std::memory_order_relaxed);
+  }
+
   // Labels a trace lane (exported as a Chrome thread_name metadata event
   // under the job's pid). Typically "rank R" from the hybrid driver.
   void set_lane_name(int lane, std::string name);
@@ -131,6 +140,7 @@ class JobObs {
   std::atomic<std::uint64_t> hist_sum_[kNumHists] = {};
   std::atomic<std::uint64_t> hist_max_[kNumHists] = {};
   std::atomic<std::uint64_t> dropped_spans_{0};
+  std::atomic<int> comm_stalled_{0};
 
   mutable std::mutex span_mu_;
   std::vector<JobSpan> spans_;  // bounded ring at kJobSpanCapacity
@@ -202,6 +212,15 @@ class PromWriter {
   void gauge_labeled(
       const std::string& name, const std::string& help,
       const std::string& label_name,
+      const std::vector<std::pair<std::string, double>>& series);
+  // Fully general variant for multi-label families (e.g. the comm-plane's
+  // {rank,peer,op,dir} edges): each entry's first element is the complete
+  // pre-rendered label set — the text between the braces, already escaped.
+  void counter_multilabeled(
+      const std::string& name, const std::string& help,
+      const std::vector<std::pair<std::string, std::uint64_t>>& series);
+  void gauge_multilabeled(
+      const std::string& name, const std::string& help,
       const std::vector<std::pair<std::string, double>>& series);
   // A log2-ns histogram as a Prometheus histogram in seconds: cumulative
   // `le` buckets at each power-of-two boundary that holds samples, then

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <new>
 
+#include "obs/comm_obs.h"
 #include "obs/hist.h"
 #include "obs/live.h"
 #include "obs/metrics.h"
@@ -86,6 +87,7 @@ void atfork_child() {
   run_phases_reset_for_fork();
   hist_reset_for_fork();
   live_reset_for_fork();
+  comm::reset_for_fork();
 }
 
 std::once_flag g_atfork_once;
@@ -187,6 +189,14 @@ const char* counter_name(Counter c) {
       return "serve_jobs_submitted";
     case Counter::kServeJobsCompleted:
       return "serve_jobs_completed";
+    case Counter::kCommBytesSent:
+      return "comm_bytes_sent";
+    case Counter::kCommBytesRecv:
+      return "comm_bytes_recv";
+    case Counter::kCommRingStalls:
+      return "comm_ring_stalls";
+    case Counter::kCommRingStallNs:
+      return "comm_ring_stall_ns";
     case Counter::kCount:
       break;
   }

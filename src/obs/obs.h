@@ -79,6 +79,10 @@ enum class Counter : int {
   kAlignCacheEvictions,  // LRU evictions under the cache byte budget
   kServeJobsSubmitted,   // jobs accepted by the serving layer
   kServeJobsCompleted,   // jobs that reached a terminal state
+  kCommBytesSent,        // payload bytes through Comm::send (comm plane)
+  kCommBytesRecv,        // payload bytes through Comm::recv
+  kCommRingStalls,       // full-shm-ring stall episodes on the send path
+  kCommRingStallNs,      // ns spent stalled on full shm rings
   kCount
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);

@@ -164,6 +164,9 @@ Merged merge(const std::vector<flight::Blackbox>& boxes) {
         case Kind::kRankDead:
           out.name = ref.box->name(ev.b);
           break;
+        case Kind::kCollEdge:
+          out.name = ref.box->name(flight::coll_edge_name(ev.a));
+          break;
         default:
           break;
       }
@@ -281,8 +284,112 @@ std::string describe(const Event& ev) {
                  static_cast<unsigned long long>(ev.b));
     case Kind::kNote:
       return ev.name;
+    case Kind::kReqPost:
+      return fmt("%s posted %s r%d tag %s", ev.b != 0 ? "irecv" : "isend",
+                 ev.b != 0 ? "<-" : "->", flight::peer_of(ev.a),
+                 tag_name(flight::tag_of(ev.a)).c_str());
+    case Kind::kReqTestOk:
+      return fmt("irecv <- r%d tag %s completed via test (in flight %.3f ms)",
+                 flight::peer_of(ev.a), tag_name(flight::tag_of(ev.a)).c_str(),
+                 static_cast<double>(ev.b) * 1e-6);
+    case Kind::kReqWaitDone:
+      return fmt("request <- r%d tag %s completed in wait (blocked %.3f ms)",
+                 flight::peer_of(ev.a), tag_name(flight::tag_of(ev.a)).c_str(),
+                 static_cast<double>(ev.b) * 1e-6);
+    case Kind::kCollEdge:
+      return fmt("%s hop %s r%d (#%u, %.3f ms)", ev.name.c_str(),
+                 flight::coll_edge_is_recv(ev.b) ? "<-" : "->",
+                 flight::coll_edge_peer(ev.b), flight::coll_edge_seq(ev.a),
+                 static_cast<double>(flight::coll_edge_ns(ev.b)) * 1e-6);
   }
   return "?";
+}
+
+std::string format_edge_report(const Merged& merged) {
+  // Receiver-side hops only: a recv's duration includes the wait for the
+  // sender, so the edge whose receives are slow is the edge that gated the
+  // collective — sender-side hops just measure local buffering.
+  struct EdgeKey {
+    std::string name;
+    int src;
+    int dst;
+    bool operator<(const EdgeKey& o) const {
+      if (name != o.name) return name < o.name;
+      if (src != o.src) return src < o.src;
+      return dst < o.dst;
+    }
+  };
+  struct EdgeAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<EdgeKey, EdgeAgg> edges;
+  // Per collective instance (name, seq): the slowest recv hop is the edge
+  // on that instance's critical path. seq is a per-comm counter, so in the
+  // SPMD drivers the same (name, seq) on every rank is the same call.
+  struct InstKey {
+    std::string name;
+    std::uint32_t seq;
+    bool operator<(const InstKey& o) const {
+      if (name != o.name) return name < o.name;
+      return seq < o.seq;
+    }
+  };
+  struct InstAgg {
+    std::uint64_t worst_ns = 0;
+    int worst_src = -1;
+    int worst_dst = -1;
+  };
+  std::map<InstKey, InstAgg> instances;
+  for (const Event& ev : merged.events) {
+    if (ev.kind != Kind::kCollEdge || ev.rank < 0) continue;
+    if (!flight::coll_edge_is_recv(ev.b)) continue;
+    const int src = flight::coll_edge_peer(ev.b);
+    const std::uint64_t ns = flight::coll_edge_ns(ev.b);
+    EdgeAgg& agg = edges[EdgeKey{ev.name, src, ev.rank}];
+    agg.count += 1;
+    agg.total_ns += ns;
+    agg.max_ns = std::max(agg.max_ns, ns);
+    InstAgg& inst = instances[InstKey{ev.name, flight::coll_edge_seq(ev.a)}];
+    if (ns > inst.worst_ns) {
+      inst.worst_ns = ns;
+      inst.worst_src = src;
+      inst.worst_dst = ev.rank;
+    }
+  }
+  std::string out = "collective edge report (receiver-side hop latency):\n";
+  if (edges.empty()) {
+    out += "  no collective edge events on record\n";
+    return out;
+  }
+  std::vector<std::pair<EdgeKey, EdgeAgg>> by_avg(edges.begin(), edges.end());
+  std::sort(by_avg.begin(), by_avg.end(), [](const auto& x, const auto& y) {
+    return x.second.total_ns * y.second.count >
+           y.second.total_ns * x.second.count;
+  });
+  out += fmt("  %-14s %-10s %6s %12s %12s\n", "collective", "edge", "hops",
+             "avg", "max");
+  for (const auto& [key, agg] : by_avg)
+    out += fmt("  %-14s r%d -> r%-3d %6llu %9.3f ms %9.3f ms\n",
+               key.name.c_str(), key.src, key.dst,
+               static_cast<unsigned long long>(agg.count),
+               static_cast<double>(agg.total_ns) /
+                   static_cast<double>(agg.count) * 1e-6,
+               static_cast<double>(agg.max_ns) * 1e-6);
+  std::vector<std::pair<InstKey, InstAgg>> slow(instances.begin(),
+                                                instances.end());
+  std::sort(slow.begin(), slow.end(), [](const auto& x, const auto& y) {
+    return x.second.worst_ns > y.second.worst_ns;
+  });
+  const std::size_t top = std::min<std::size_t>(5, slow.size());
+  out += "  slowest instances (critical edge):\n";
+  for (std::size_t i = 0; i < top; ++i)
+    out += fmt("    %s #%u gated by r%d -> r%d (%.3f ms)\n",
+               slow[i].first.name.c_str(), slow[i].first.seq,
+               slow[i].second.worst_src, slow[i].second.worst_dst,
+               static_cast<double>(slow[i].second.worst_ns) * 1e-6);
+  return out;
 }
 
 std::string format_postmortem(const Merged& merged) {

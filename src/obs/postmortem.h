@@ -64,6 +64,13 @@ std::string format_timeline(const Merged& merged, std::size_t last_n = 40);
 // Report 2: barrier-wait attribution per stage.
 std::string format_barrier_report(const Merged& merged);
 
+// Report 4: collective edge attribution from kCollEdge hop events —
+// receiver-side hop latency aggregated per (collective, src → dst) edge,
+// plus the slowest collective instances with the edge that gated each one.
+// This is how a slow tree Allreduce/Bcast is pinned to one parent→child
+// edge after the fact.
+std::string format_edge_report(const Merged& merged);
+
 // Report 3: per-stage, per-rank phase seconds + the critical path.
 struct StageRow {
   std::string stage;

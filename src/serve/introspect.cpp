@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/comm_obs.h"
 #include "obs/hist.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -143,6 +144,107 @@ std::string render_metrics(ServiceCore& service, const FrameCounters* frames) {
                       events_series);
     w.counter("raxhd_trace_spans_dropped_total",
               "Per-job trace spans lost to ring overflow.", dropped);
+  }
+
+  // Comm plane: per-edge traffic matrices, shm-ring backpressure, and
+  // nonblocking-request overlap. Families are announced on every scrape
+  // (even with no series yet) so scrapers and the daemon-smoke validation
+  // see a stable family set.
+  {
+    const obs::comm::Snapshot comm = obs::comm::snapshot();
+    const auto edge_labels = [](int rank, int peer, int op, const char* dir) {
+      return "rank=\"" + std::to_string(rank) + "\",peer=\"" +
+             std::to_string(peer) + "\",op=\"" + obs::comm::op_name(op) +
+             "\",dir=\"" + dir + "\"";
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> msgs;
+    std::vector<std::pair<std::string, std::uint64_t>> bytes;
+    std::vector<std::pair<std::string, double>> times;
+    for (const obs::comm::EdgeSample& e : comm.edges) {
+      if (e.t.msgs_sent > 0 || e.t.bytes_sent > 0) {
+        const std::string l = edge_labels(e.rank, e.peer, e.op, "send");
+        msgs.emplace_back(l, e.t.msgs_sent);
+        bytes.emplace_back(l, e.t.bytes_sent);
+        times.emplace_back(l, static_cast<double>(e.t.send_ns) / 1e9);
+      }
+      if (e.t.msgs_recv > 0 || e.t.bytes_recv > 0) {
+        const std::string l = edge_labels(e.rank, e.peer, e.op, "recv");
+        msgs.emplace_back(l, e.t.msgs_recv);
+        bytes.emplace_back(l, e.t.bytes_recv);
+        times.emplace_back(l, static_cast<double>(e.t.recv_ns) / 1e9);
+      }
+    }
+    w.counter_multilabeled("raxh_comm_edge_messages_total",
+                           "Messages per (rank, peer, op, dir) edge.", msgs);
+    w.counter_multilabeled("raxh_comm_edge_bytes_total",
+                           "Bytes per (rank, peer, op, dir) edge.", bytes);
+    w.gauge_multilabeled(
+        "raxh_comm_edge_time_seconds_total",
+        "Seconds inside send/recv per edge (recv includes peer wait).", times);
+
+    std::vector<std::pair<std::string, std::uint64_t>> stalls;
+    std::vector<std::pair<std::string, double>> stalled_s;
+    std::vector<std::pair<std::string, double>> hwm;
+    for (const obs::comm::RingSample& r : comm.rings) {
+      const std::string l = "rank=\"" + std::to_string(r.rank) + "\",peer=\"" +
+                            std::to_string(r.peer) + "\"";
+      stalls.emplace_back(l, r.t.stalls);
+      stalled_s.emplace_back(l, static_cast<double>(r.t.stalled_ns) / 1e9);
+      hwm.emplace_back(l, static_cast<double>(r.t.hwm_bytes));
+    }
+    w.counter_multilabeled("raxh_comm_ring_stalls_total",
+                           "Full-ring stall episodes per shm ring.", stalls);
+    w.gauge_multilabeled("raxh_comm_ring_stalled_seconds_total",
+                         "Seconds senders spent stalled per shm ring.",
+                         stalled_s);
+    w.gauge_multilabeled("raxh_comm_ring_hwm_bytes",
+                         "Occupancy high-water mark per shm ring.", hwm);
+    w.gauge("raxh_comm_stalled",
+            "Senders currently stalled on a full shm ring.",
+            static_cast<double>(comm.stalled_now));
+
+    std::vector<std::pair<std::string, std::uint64_t>> reqs;
+    std::vector<std::pair<std::string, double>> ratios;
+    for (const obs::comm::OverlapSample& o : comm.overlap) {
+      const std::string rank_l = "rank=\"" + std::to_string(o.rank) + "\"";
+      reqs.emplace_back(rank_l + ",completion=\"test\"",
+                        o.t.test_completions);
+      reqs.emplace_back(rank_l + ",completion=\"wait\"",
+                        o.t.wait_completions);
+      ratios.emplace_back(rank_l, o.t.overlap_ratio());
+    }
+    w.counter_multilabeled("raxh_comm_overlap_requests_total",
+                           "Completed nonblocking requests, by completion.",
+                           reqs);
+    w.gauge_multilabeled("raxh_comm_overlap_ratio",
+                         "Fraction of in-flight time not blocked in wait.",
+                         ratios);
+  }
+
+  // Per-job comm attribution: bytes moved on behalf of each job (mirrored
+  // obs counters) and whether any of its senders is stalled right now —
+  // raxh_top's COMM column reads these.
+  {
+    std::vector<std::pair<std::string, std::uint64_t>> job_bytes;
+    std::vector<std::pair<std::string, double>> job_stalled;
+    for (const JobStatus& s : service.list()) {
+      if (const auto job = service.job_obs(s.id)) {
+        const obs::CounterSnapshot snap = job->counters();
+        const std::uint64_t moved =
+            snap.values[static_cast<int>(obs::Counter::kCommBytesSent)] +
+            snap.values[static_cast<int>(obs::Counter::kCommBytesRecv)];
+        const std::string l = "job=\"" + obs::prom_escape_label(s.id) + "\"";
+        job_bytes.emplace_back(l, moved);
+        job_stalled.emplace_back(
+            l, job->comm_stalled() > 0 ? 1.0 : 0.0);
+      }
+    }
+    w.counter_multilabeled("raxhd_job_comm_bytes_total",
+                           "Bytes sent + received on behalf of each job.",
+                           job_bytes);
+    w.gauge_multilabeled("raxhd_job_comm_stalled",
+                         "1 while any of the job's senders is ring-stalled.",
+                         job_stalled);
   }
 
   // Serving-stack latencies (process-global; per-job copies live in the

@@ -1,7 +1,7 @@
 // raxh_blackbox — offline analyzer for flight-recorder black boxes.
 //
-// usage: raxh_blackbox [--report=all|postmortem|timeline|barriers|critical-path]
-//                      [--last=N] <dir-or-file>...
+// usage: raxh_blackbox [--report=all|postmortem|timeline|barriers|
+//                        critical-path|edges] [--last=N] <dir-or-file>...
 //
 // Each argument is either a DIR/rank<r>.blackbox file or a directory of
 // them (every *.blackbox inside is decoded). All decoded boxes are merged
@@ -11,6 +11,7 @@
 //   timeline       the last N merged events (default 40)
 //   barriers       barrier-wait attribution per analysis stage
 //   critical-path  per-stage, per-rank phase seconds + the critical path
+//   edges          per-edge collective hop latency + slowest instances
 //
 // Corrupt or truncated boxes are rejected with a diagnostic on stderr and
 // skipped; the exit status is nonzero when nothing could be decoded.
@@ -31,7 +32,7 @@ using namespace raxh;
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--report=all|postmortem|timeline|barriers|"
-               "critical-path] [--last=N] <dir-or-file>...\n",
+               "critical-path|edges] [--last=N] <dir-or-file>...\n",
                prog);
 }
 
@@ -47,7 +48,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--report=", 0) == 0) {
       report = arg.substr(std::strlen("--report="));
       if (report != "all" && report != "postmortem" && report != "timeline" &&
-          report != "barriers" && report != "critical-path") {
+          report != "barriers" && report != "critical-path" &&
+          report != "edges") {
         std::fprintf(stderr, "error: unknown report '%s'\n", report.c_str());
         usage(argv[0]);
         return 2;
@@ -115,5 +117,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", obs::pm::format_barrier_report(merged).c_str());
   if (report == "all" || report == "critical-path")
     std::printf("%s\n", obs::pm::format_critical_path(merged).c_str());
+  if (report == "all" || report == "edges")
+    std::printf("%s\n", obs::pm::format_edge_report(merged).c_str());
   return 0;
 }

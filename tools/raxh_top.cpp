@@ -58,6 +58,49 @@ double metric_value(const std::string& text, const std::string& family) {
   return -1.0;
 }
 
+// Like metric_value, but for one series of a labeled family: the first line
+// whose name matches `family` and whose label set contains `label`. -1.0
+// when absent — including against an older daemon that predates the family,
+// so callers must render the column as "-" rather than a number.
+double labeled_metric_value(const std::string& text, const std::string& family,
+                           const std::string& label) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text[pos] != '#') {
+      std::size_t name_end = pos;
+      while (name_end < eol && text[name_end] != ' ' && text[name_end] != '{')
+        ++name_end;
+      if (text.compare(pos, name_end - pos, family) == 0 &&
+          name_end < eol && text[name_end] == '{') {
+        const std::size_t close = text.find('}', name_end);
+        if (close != std::string::npos && close < eol &&
+            text.substr(name_end + 1, close - name_end - 1).find(label) !=
+                std::string::npos) {
+          const std::size_t val = text.rfind(' ', eol);
+          if (val != std::string::npos && val >= pos)
+            return std::strtod(text.c_str() + val + 1, nullptr);
+        }
+      }
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+std::string human_bytes(double b) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 3) {
+    b /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f%s" : "%.1f%s", b, kUnits[u]);
+  return buf;
+}
+
 std::string progress_bar(double fraction, int width) {
   if (fraction < 0.0) fraction = 0.0;
   if (fraction > 1.0) fraction = 1.0;
@@ -84,21 +127,31 @@ void paint(const std::string& target, const std::vector<serve::JobStatus>& jobs,
       static_cast<int>(running), static_cast<int>(slots),
       static_cast<int>(depth),
       lookups > 0 ? 100.0 * hits / lookups : 0.0, static_cast<int>(lookups));
-  std::printf("%-6s %-12s %-10s %-10s %-22s %-10s %10s %8s %8s\n", "ID",
+  std::printf("%-6s %-12s %-10s %-10s %-22s %-10s %10s %8s %8s %10s\n", "ID",
               "NAME", "TENANT", "STATE", "PROGRESS", "PHASE", "lnL", "QUEUEs",
-              "RUNs");
+              "RUNs", "COMM");
   for (const auto& s : jobs) {
     char lnl[32];
     if (s.has_lnl)
       std::snprintf(lnl, sizeof(lnl), "%10.2f", s.best_lnl);
     else
       std::snprintf(lnl, sizeof(lnl), "%10s", "-");
+    // Per-job comm from the labeled families; "-" against an older daemon
+    // that does not export them. A trailing '*' marks a sender currently
+    // stalled on a full shm ring.
+    const std::string job_label = "job=\"" + s.id + "\"";
+    const double comm_bytes =
+        labeled_metric_value(metrics, "raxhd_job_comm_bytes_total", job_label);
+    const double comm_stalled =
+        labeled_metric_value(metrics, "raxhd_job_comm_stalled", job_label);
+    std::string comm = comm_bytes < 0.0 ? "-" : human_bytes(comm_bytes);
+    if (comm_stalled > 0.0) comm += "*";
     std::printf("%-6s %-12.12s %-10.10s %-10s %s %4.0f%% %-10.10s %s %8.1f "
-                "%8.1f%s\n",
+                "%8.1f %10s%s\n",
                 s.id.c_str(), s.name.c_str(), s.tenant.c_str(),
                 serve::job_state_name(s.state), progress_bar(s.fraction, 14).c_str(),
                 s.fraction * 100.0, s.phase.c_str(), lnl, s.queue_s, s.run_s,
-                s.cache_hit ? "  [cache]" : "");
+                comm.c_str(), s.cache_hit ? "  [cache]" : "");
     if (!s.error.empty()) std::printf("       error: %s\n", s.error.c_str());
   }
   if (jobs.empty()) std::printf("(no jobs)\n");
