@@ -18,8 +18,13 @@
 //   -T <int>     fine-grained threads per rank        [1]
 //   -t <file>    input tree (for -f e)
 //   -m <model>   GTRCAT | GTRGAMMA (search model)     [GTRCAT-style default]
-//   -simd <on|off|auto>  vectorized kernels           [auto: on for >=300
-//                                                      patterns]
+//   --kernels=NAME  likelihood kernel family member: auto (default; best
+//                   CPUID-supported member) | scalar | generic | neon |
+//                   avx2 | avx512. RAXH_KERNELS sets the same override.
+//   --repeats=on|off  site-repeat detection in newview  [on; bitwise-
+//                   invisible to results, off for A/B benching]
+//   -simd <on|off|auto>  legacy alias: off = --kernels=scalar, on/auto =
+//                   best member (the default)
 //
 // minimpi runtime (src/minimpi/):
 //   --collectives=ALG     star | tree: collective routing. tree (default)
@@ -85,6 +90,7 @@
 #include "bio/patterns.h"
 #include "serve/client.h"
 #include "likelihood/kernels.h"
+#include "likelihood/repeats.h"
 #include "core/analyses.h"
 #include "core/evaluate_mode.h"
 #include "core/hybrid.h"
@@ -117,6 +123,8 @@ void usage(const char* prog) {
       "          [--log-level=error|warn|info|debug] [--blackbox=off]\n"
       "          [--blackbox-dir=DIR] [--blackbox-dump]\n"
       "          [--collectives=star|tree] [--transport=socketpair|shm]\n"
+      "          [--kernels=auto|scalar|generic|neon|avx2|avx512]\n"
+      "          [--repeats=on|off] [-simd on|off|auto]\n"
       "          [--connect=SOCKET|host:port]  (run -f a on a raxhd daemon)\n"
       "modes: a=comprehensive (default), d=multi-start ML, b=bootstrap only,\n"
       "       x=adaptive bootstrap (FC bootstopping), e=evaluate topology\n",
@@ -232,7 +240,8 @@ void finalize_obs(mpi::Comm& comm, const ObsOptions& options) {
   if (!options.metrics_out.empty())
     metrics = obs::export_metrics_fragment(
         comm.rank(), comm.stats().to_json() + "," +
-                         obs::comm::to_json_section(comm.rank()));
+                         obs::comm::to_json_section(comm.rank()) + "," +
+                         kern::to_json_section());
   const std::string phases = options.report_components
                                  ? obs::serialize_phases(obs::run_phases())
                                  : std::string();
@@ -594,7 +603,8 @@ int run_evaluate(const PatternAlignment& patterns, const CliParser& cli) {
   if (!obs_opts.metrics_out.empty() &&
       write_text_file(
           obs_opts.metrics_out,
-          obs::merge_metrics_fragments({obs::export_metrics_fragment(0)})))
+          obs::merge_metrics_fragments(
+              {obs::export_metrics_fragment(0, kern::to_json_section())})))
     std::printf("wrote metrics to %s\n", obs_opts.metrics_out.c_str());
   if (obs_opts.report_components) {
     std::printf("\ncomponent breakdown (seconds):\n%s",
@@ -679,12 +689,43 @@ int main(int argc, char** argv) {
                 patterns.num_taxa(), patterns.num_sites(),
                 patterns.num_patterns());
 
-    const std::string simd = cli.value_or("simd", "auto");
-    const bool use_vector =
-        simd == "on" || (simd == "auto" && patterns.num_patterns() >= 300);
-    kern::set_kernel_mode(use_vector ? kern::KernelMode::kVector
-                                     : kern::KernelMode::kScalar);
-    if (use_vector) std::printf("raxh: vectorized kernels enabled\n");
+    // Kernel selection: --kernels=NAME picks a family member explicitly;
+    // -simd on|off|auto is kept for compatibility (off = scalar reference,
+    // on/auto = best supported member, which is also the default).
+    {
+      const std::string kernels = cli.value_or("-kernels", "");
+      const std::string simd = cli.value_or("simd", "auto");
+      if (!kernels.empty()) {
+        kern::KernelIsa isa{};
+        if (!kern::parse_kernel_isa(kernels, &isa)) {
+          std::fprintf(stderr,
+                       "error: --kernels=%s: expected auto or one of: %s\n",
+                       kernels.c_str(), kern::kernel_isa_list().c_str());
+          return 2;
+        }
+        if (!kern::set_kernel_isa(isa)) {
+          std::fprintf(stderr,
+                       "error: --kernels=%s is not supported on this machine "
+                       "(available: %s)\n",
+                       kernels.c_str(), kern::kernel_isa_list().c_str());
+          return 2;
+        }
+      } else if (simd == "off") {
+        kern::set_kernel_isa(kern::KernelIsa::kScalar);
+      }
+      const std::string repeats = cli.value_or("-repeats", "");
+      if (!repeats.empty()) {
+        if (repeats != "on" && repeats != "off") {
+          std::fprintf(stderr, "error: --repeats=%s: expected on or off\n",
+                       repeats.c_str());
+          return 2;
+        }
+        set_repeats_enabled(repeats == "on");
+      }
+      std::printf("raxh: %s kernels, site repeats %s\n",
+                  kern::kernel_isa_name(kern::kernel_isa()),
+                  repeats_enabled() ? "on" : "off");
+    }
 
     const std::string mode = cli.value_or("f", "a");
     if (mode == "a") return run_comprehensive(patterns, cli);

@@ -18,10 +18,12 @@
 
 #include "bio/patterns.h"
 #include "likelihood/kernels.h"
+#include "likelihood/repeats.h"
 #include "model/gtr.h"
 #include "model/rates.h"
 #include "parallel/workforce.h"
 #include "tree/tree.h"
+#include "util/aligned.h"
 
 namespace raxh {
 
@@ -92,6 +94,23 @@ class LikelihoodEngine {
   // Number of newview kernel invocations so far (calibration + tests).
   [[nodiscard]] std::uint64_t newview_count() const { return newview_count_; }
 
+  // CLV storage layout chosen at construction: blocked SoA for GAMMA /
+  // uniform rates (vector loads across pattern lanes), pattern-major for CAT
+  // (per-pattern categories break lane uniformity). RAXH_CLV_LAYOUT=
+  // pattern-major|blocked overrides (blocked is ignored for CAT).
+  [[nodiscard]] kern::ClvLayout clv_layout() const { return clv_layout_; }
+
+  // Site-repeat bookkeeping for the most recent newview of `rec`'s slot
+  // (tests + benches): number of repeat classes, or 0 when repeats were not
+  // applied there.
+  [[nodiscard]] std::uint32_t repeat_classes(const Tree& tree, int rec) const;
+
+  // Sum over patterns of the combined scale counts at edge `rec`'s CLV
+  // endpoints (tips contribute zero; ensures the CLVs first). Tests use this
+  // to prove a deep tree actually rescales before relying on scale-corrected
+  // NR-vs-evaluate comparisons.
+  [[nodiscard]] std::uint64_t edge_scale_total(const Tree& tree, int rec);
+
  private:
   struct SlotMeta {
     int oriented_rec = -1;
@@ -112,6 +131,16 @@ class LikelihoodEngine {
   void ensure_clv(const Tree& tree, int rec);
   void compute_clv(const Tree& tree, int rec);
 
+  // --- site repeats (repeats.h) ---
+  // Repeat-class version of rec's node (tips: derived from the CAT epoch).
+  [[nodiscard]] std::uint64_t repeat_version(const Tree& tree, int rec) const;
+  // Make the repeat classes of inner node rec valid, recursing into
+  // children. Classes depend on subtree topology + tip data only, so they
+  // survive branch-length and model changes (CAT category reassignment
+  // excepted).
+  void ensure_repeat_classes(const Tree& tree, int rec);
+  [[nodiscard]] ClassSource class_source(const Tree& tree, int rec) const;
+
   // Fill pmats (ncat_model * 16) for branch length t.
   void fill_pmats(double t, std::vector<double>& pmats) const;
 
@@ -123,6 +152,10 @@ class LikelihoodEngine {
   // (summed in fixed tid order — deterministic for a fixed thread count).
   template <typename Fn>
   double dispatch_sum(Fn&& fn);
+  // Plain striped dispatch over [0, n) — used for the repeat-representative
+  // domain, which has its own index space.
+  template <typename Fn>
+  void dispatch_range(std::size_t n, Fn&& fn);
 
   // Rebuild the per-pattern cost vector (pattern weight x stored CLV
   // categories — GAMMA patterns carry ncat categories, CAT/uniform one) and
@@ -148,18 +181,30 @@ class LikelihoodEngine {
   std::vector<std::size_t> part_bounds_;
   std::uint64_t part_epoch_ = ~std::uint64_t{0};
 
-  std::size_t clv_stride_ = 0;  // doubles per slot
-  std::vector<double> clvs_;
+  kern::ClvLayout clv_layout_ = kern::ClvLayout::kPatternMajor;
+  std::size_t clv_stride_ = 0;  // doubles per slot (padded under blocked)
+  AlignedVector<double> clvs_;  // 64-byte aligned for the SIMD members
   std::vector<int> scales_;
   std::vector<SlotMeta> slots_;
   std::uint64_t model_epoch_ = 1;
   std::uint64_t version_counter_ = 1;
   std::uint64_t newview_count_ = 0;
 
+  // Site-repeat state: per-slot classes plus combine scratch; copy-hit
+  // tallies feed the opt-in repeat-aware partition costs.
+  std::vector<SlotRepeats> slot_repeats_;
+  RepeatCombiner combiner_;
+  std::uint64_t repeat_version_counter_ = 0;
+  std::uint64_t cat_epoch_ = 0;  // bumped by set_cat_assignment
+  std::uint64_t repeat_newviews_ = 0;     // repeat-active newviews so far
+  std::uint64_t part_fold_newviews_ = 0;  // ... at the last partition build
+  std::vector<std::uint32_t> repeat_copy_hits_;  // per-pattern copies
+
   // Scratch (master-filled, crew-read).
   std::vector<double> pmat_a_, pmat_b_;
   std::vector<double> lookup_a_, lookup_b_;
-  std::vector<double> sumtable_;
+  AlignedVector<double> sumtable_;
+  std::vector<int> sum_scale_;  // combined scale counts of the sumtable edge
   std::vector<double> per_pattern_scratch_;
 };
 

@@ -1,0 +1,15 @@
+// AVX2 kernel-family member: same source as every member (kernels_impl.inl),
+// compiled with -mavx2 so the v4df/v8df arithmetic lowers to 256-bit ops.
+// CMake defines RAXH_HAVE_KERNEL_AVX2 and adds the flags only when the
+// compiler accepts them; runtime CPUID gating lives in kernels.cpp.
+#include "likelihood/kernels.h"
+
+#if defined(RAXH_HAVE_KERNEL_AVX2) && defined(__GNUC__)
+#define RAXH_KERNEL_IMPL_NAMESPACE isa_avx2
+#define RAXH_KERNEL_OPS_ACCESSOR ops_avx2
+#include "likelihood/kernels_impl.inl"
+#else
+namespace raxh::kern::detail {
+const KernelOps* ops_avx2() { return nullptr; }
+}  // namespace raxh::kern::detail
+#endif

@@ -1,0 +1,15 @@
+// AVX-512 kernel-family member: compiled with -mavx512f -mavx512vl so a
+// blocked v8df plane is a single 512-bit register. CMake defines
+// RAXH_HAVE_KERNEL_AVX512 and adds the flags only when the compiler accepts
+// them; runtime CPUID gating lives in kernels.cpp.
+#include "likelihood/kernels.h"
+
+#if defined(RAXH_HAVE_KERNEL_AVX512) && defined(__GNUC__)
+#define RAXH_KERNEL_IMPL_NAMESPACE isa_avx512
+#define RAXH_KERNEL_OPS_ACCESSOR ops_avx512
+#include "likelihood/kernels_impl.inl"
+#else
+namespace raxh::kern::detail {
+const KernelOps* ops_avx512() { return nullptr; }
+}  // namespace raxh::kern::detail
+#endif

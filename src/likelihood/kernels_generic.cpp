@@ -1,0 +1,14 @@
+// Generic kernel-family member: GCC vector extensions compiled at the
+// build's baseline architecture (SSE2 on x86-64, Advanced SIMD on aarch64).
+// Always available wherever the compiler supports vector extensions.
+#include "likelihood/kernels.h"
+
+#if defined(__GNUC__) && !defined(RAXH_DISABLE_SIMD_KERNELS)
+#define RAXH_KERNEL_IMPL_NAMESPACE isa_generic
+#define RAXH_KERNEL_OPS_ACCESSOR ops_generic
+#include "likelihood/kernels_impl.inl"
+#else
+namespace raxh::kern::detail {
+const KernelOps* ops_generic() { return nullptr; }
+}  // namespace raxh::kern::detail
+#endif

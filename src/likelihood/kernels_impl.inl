@@ -1,0 +1,775 @@
+// Shared source of the SIMD kernel-family members. Each per-ISA translation
+// unit (kernels_generic.cpp, kernels_avx2.cpp, kernels_avx512.cpp,
+// kernels_neon.cpp) defines
+//
+//   #define RAXH_KERNEL_IMPL_NAMESPACE isa_avx2   // unique per TU
+//   #define RAXH_KERNEL_OPS_ACCESSOR ops_avx2     // detail:: accessor name
+//
+// and includes this file; CMake adds the ISA's -m flags to that TU only, so
+// GCC emits the same C++ with different instruction selection. All members
+// are compiled with -ffp-contract=off and keep the scalar reference's
+// per-lane operation order (see the comments on each kernel), which makes
+// every member bitwise-identical to scalar — the property the golden-tree
+// and daemon bit-identity tests rely on.
+//
+// Two vector shapes are used:
+//  * pattern-major layout: v4df across the 4 states of one (pattern,
+//    category), exactly the old KernelMode::kVector path;
+//  * blocked layout: v8df across the kBlockLanes patterns of one
+//    (category, state) plane — each lane is an independent pattern, so
+//    per-lane order is trivially the scalar order.
+//
+// Subranges the vector shapes can't cover — partial blocks at range edges,
+// scattered repeat-id lists under the blocked layout — delegate to
+// detail::ops_scalar(), which is bitwise-equivalent by construction.
+
+#include <cmath>
+#include <cstring>
+
+#include "likelihood/kernels.h"
+
+#if !defined(RAXH_KERNEL_IMPL_NAMESPACE) || !defined(RAXH_KERNEL_OPS_ACCESSOR)
+#error "include kernels_impl.inl only from a per-ISA TU with the macros set"
+#endif
+
+// GCC notes that passing/returning wide vectors changes ABI without the
+// matching -m flags; every such function here is internal and inlined, so
+// the note is irrelevant. No push/pop: GCC emits the note when the inline
+// functions are materialized at end of TU, after any pop would run.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+namespace raxh::kern::detail {
+namespace RAXH_KERNEL_IMPL_NAMESPACE {
+
+constexpr double kMinLikelihood = 1e-300;
+constexpr int kL = kBlockLanes;
+
+// aligned(8) permits loads from arbitrarily-aligned storage; the engine's
+// CLV buffers are 64-byte aligned, but tests may pass plain vectors.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+typedef double v8df __attribute__((vector_size(64), aligned(8)));
+
+inline v4df load4(const double* p) {
+  v4df v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store4(double* p, v4df v) { std::memcpy(p, &v, sizeof(v)); }
+inline v4df splat4(double x) { return v4df{x, x, x, x}; }
+
+inline v8df load8(const double* p) {
+  v8df v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store8(double* p, v8df v) { std::memcpy(p, &v, sizeof(v)); }
+inline v8df splat8(double x) { return v8df{x, x, x, x, x, x, x, x}; }
+
+// Transpose one row-major 4x4 matrix so its columns are contiguous.
+inline void transpose16(const double* p, double* pt) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) pt[j * 4 + i] = p[i * 4 + j];
+}
+
+// x[i] = sum_j P[i][j] y[j] via P's columns: same add order as the scalar
+// j-loop (((c0*y0 + c1*y1) + c2*y2) + c3*y3), so results are bitwise
+// identical per lane.
+inline v4df pdotvec_v(const double* pt, const double* y) {
+  const v4df c0 = load4(pt + 0);
+  const v4df c1 = load4(pt + 4);
+  const v4df c2 = load4(pt + 8);
+  const v4df c3 = load4(pt + 12);
+  return ((c0 * splat4(y[0]) + c1 * splat4(y[1])) + c2 * splat4(y[2])) +
+         c3 * splat4(y[3]);
+}
+
+// Same product over pattern lanes: y[j] is the (category, state j) plane.
+inline v8df pdotvec_b(const double* pm, const v8df y[4], int i) {
+  return ((splat8(pm[i * 4 + 0]) * y[0] + splat8(pm[i * 4 + 1]) * y[1]) +
+          splat8(pm[i * 4 + 2]) * y[2]) +
+         splat8(pm[i * 4 + 3]) * y[3];
+}
+
+// Rescale pattern p's contiguous cc*4 values if all dropped below the
+// threshold (pattern-major layout); same code as the scalar reference.
+inline int maybe_rescale_pm(double* v, int n) {
+  double vmax = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double a = v[i] < 0.0 ? -v[i] : v[i];
+    if (a > vmax) vmax = a;
+  }
+  if (vmax >= kScaleThreshold || vmax == 0.0) return 0;
+  for (int i = 0; i < n; ++i) v[i] *= kScaleFactor;
+  return 1;
+}
+
+// Per-lane rescale of one full block (cc*4 planes of kL lanes starting at
+// `base`); writes 0/1 scale events to ev[kL]. max is order-insensitive and
+// scaling multiplies by an exact power of two, so lanes match the scalar
+// per-pattern path bitwise.
+inline void maybe_rescale_block(double* base, int cc, int* ev) {
+  const int planes = cc * 4;
+  v8df vmax = splat8(0.0);
+  for (int pl = 0; pl < planes; ++pl) {
+    const v8df v = load8(base + pl * kL);
+    const v8df a = v < splat8(0.0) ? -v : v;
+    vmax = a > vmax ? a : vmax;
+  }
+  bool any = false;
+  v8df factor = splat8(1.0);
+  for (int lane = 0; lane < kL; ++lane) {
+    const double m = vmax[lane];
+    const int e = (m >= kScaleThreshold || m == 0.0) ? 0 : 1;
+    ev[lane] = e;
+    if (e) {
+      any = true;
+      factor[lane] = kScaleFactor;
+    }
+  }
+  if (!any) return;
+  for (int pl = 0; pl < planes; ++pl)
+    store8(base + pl * kL, load8(base + pl * kL) * factor);
+}
+
+// Full blocks strictly inside [begin, end): callers vector-process
+// [blk_begin, blk_end) blocks and delegate the ragged head/tail pattern
+// ranges to the scalar reference.
+struct BlockSpan {
+  std::size_t head_end;    // first block-aligned pattern >= begin
+  std::size_t tail_begin;  // last block-aligned pattern <= end
+};
+inline BlockSpan block_span(std::size_t begin, std::size_t end) {
+  std::size_t head_end = (begin + kL - 1) / kL * kL;
+  std::size_t tail_begin = end / kL * kL;
+  if (head_end > end) head_end = end;
+  if (tail_begin < head_end) tail_begin = head_end;
+  return {head_end, tail_begin};
+}
+
+// ---------------------------------------------------------------------------
+// newview
+// ---------------------------------------------------------------------------
+
+void nv_tip_tip(const RateLayout& l, std::size_t begin, std::size_t end,
+                const DnaState* tip_left, const DnaState* tip_right,
+                const double* lookup_left, const double* lookup_right,
+                double* clv, int* scale, const std::uint32_t* ids) {
+  const int cc = l.clv_cats;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t p = ids != nullptr ? ids[k] : k;
+      double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const v4df tl = load4(lookup_left + mc * 64 + tip_left[p] * 4);
+        const v4df tr = load4(lookup_right + mc * 64 + tip_right[p] * 4);
+        store4(out + c * 4, tl * tr);
+      }
+      scale[p] = maybe_rescale_pm(out, cc * 4);
+    }
+    return;
+  }
+  if (ids != nullptr) {  // scattered lanes: scalar order, same bits
+    ops_scalar()->newview_tip_tip(l, begin, end, tip_left, tip_right,
+                                  lookup_left, lookup_right, clv, scale, ids);
+    return;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  if (begin < bs.head_end)
+    ops_scalar()->newview_tip_tip(l, begin, bs.head_end, tip_left, tip_right,
+                                  lookup_left, lookup_right, clv, scale,
+                                  nullptr);
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    double* base = clv + (p0 / kL) * static_cast<std::size_t>(cc) * 4 * kL;
+    for (int c = 0; c < cc; ++c) {
+      for (int i = 0; i < 4; ++i) {
+        double* plane = base + (c * 4 + i) * kL;
+        for (int lane = 0; lane < kL; ++lane) {
+          const std::size_t p = p0 + lane;
+          plane[lane] = lookup_left[c * 64 + tip_left[p] * 4 + i] *
+                        lookup_right[c * 64 + tip_right[p] * 4 + i];
+        }
+      }
+    }
+    int ev[kL];
+    maybe_rescale_block(base, cc, ev);
+    for (int lane = 0; lane < kL; ++lane) scale[p0 + lane] = ev[lane];
+  }
+  if (bs.tail_begin < end)
+    ops_scalar()->newview_tip_tip(l, bs.tail_begin, end, tip_left, tip_right,
+                                  lookup_left, lookup_right, clv, scale,
+                                  nullptr);
+}
+
+void nv_tip_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                  const DnaState* tip_left, const double* lookup_left,
+                  const double* clv_right, const int* scale_right,
+                  const double* pmat_right, double* clv, int* scale,
+                  const std::uint32_t* ids) {
+  const int cc = l.clv_cats;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    double pt_right[kMaxCatMatrices * 16];
+    for (int c = 0; c < l.ncat_model; ++c)
+      transpose16(pmat_right + c * 16, pt_right + c * 16);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t p = ids != nullptr ? ids[k] : k;
+      double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const v4df tl = load4(lookup_left + mc * 64 + tip_left[p] * 4);
+        const v4df xr = pdotvec_v(pt_right + mc * 16, in_r + c * 4);
+        store4(out + c * 4, tl * xr);
+      }
+      scale[p] = scale_right[p] + maybe_rescale_pm(out, cc * 4);
+    }
+    return;
+  }
+  if (ids != nullptr) {
+    ops_scalar()->newview_tip_inner(l, begin, end, tip_left, lookup_left,
+                                    clv_right, scale_right, pmat_right, clv,
+                                    scale, ids);
+    return;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  if (begin < bs.head_end)
+    ops_scalar()->newview_tip_inner(l, begin, bs.head_end, tip_left,
+                                    lookup_left, clv_right, scale_right,
+                                    pmat_right, clv, scale, nullptr);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    double* base = clv + (p0 / kL) * blk_doubles;
+    const double* base_r = clv_right + (p0 / kL) * blk_doubles;
+    for (int c = 0; c < cc; ++c) {
+      // blocked is rejected for CAT at dispatch, so model_cat(p, c) == c.
+      v8df y[4];
+      for (int j = 0; j < 4; ++j) y[j] = load8(base_r + (c * 4 + j) * kL);
+      const double* pm = pmat_right + c * 16;
+      for (int i = 0; i < 4; ++i) {
+        v8df tl;
+        for (int lane = 0; lane < kL; ++lane)
+          tl[lane] = lookup_left[c * 64 + tip_left[p0 + lane] * 4 + i];
+        store8(base + (c * 4 + i) * kL, tl * pdotvec_b(pm, y, i));
+      }
+    }
+    int ev[kL];
+    maybe_rescale_block(base, cc, ev);
+    for (int lane = 0; lane < kL; ++lane)
+      scale[p0 + lane] = scale_right[p0 + lane] + ev[lane];
+  }
+  if (bs.tail_begin < end)
+    ops_scalar()->newview_tip_inner(l, bs.tail_begin, end, tip_left,
+                                    lookup_left, clv_right, scale_right,
+                                    pmat_right, clv, scale, nullptr);
+}
+
+void nv_inner_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                    const double* clv_left, const int* scale_left,
+                    const double* pmat_left, const double* clv_right,
+                    const int* scale_right, const double* pmat_right,
+                    double* clv, int* scale, const std::uint32_t* ids) {
+  const int cc = l.clv_cats;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    double pt_left[kMaxCatMatrices * 16];
+    double pt_right[kMaxCatMatrices * 16];
+    for (int c = 0; c < l.ncat_model; ++c) {
+      transpose16(pmat_left + c * 16, pt_left + c * 16);
+      transpose16(pmat_right + c * 16, pt_right + c * 16);
+    }
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t p = ids != nullptr ? ids[k] : k;
+      double* out = clv + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_l = clv_left + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* in_r = clv_right + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const v4df xl = pdotvec_v(pt_left + mc * 16, in_l + c * 4);
+        const v4df xr = pdotvec_v(pt_right + mc * 16, in_r + c * 4);
+        store4(out + c * 4, xl * xr);
+      }
+      scale[p] = scale_left[p] + scale_right[p] + maybe_rescale_pm(out, cc * 4);
+    }
+    return;
+  }
+  if (ids != nullptr) {
+    ops_scalar()->newview_inner_inner(l, begin, end, clv_left, scale_left,
+                                      pmat_left, clv_right, scale_right,
+                                      pmat_right, clv, scale, ids);
+    return;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  if (begin < bs.head_end)
+    ops_scalar()->newview_inner_inner(l, begin, bs.head_end, clv_left,
+                                      scale_left, pmat_left, clv_right,
+                                      scale_right, pmat_right, clv, scale,
+                                      nullptr);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    double* base = clv + (p0 / kL) * blk_doubles;
+    const double* base_l = clv_left + (p0 / kL) * blk_doubles;
+    const double* base_r = clv_right + (p0 / kL) * blk_doubles;
+    for (int c = 0; c < cc; ++c) {
+      v8df yl[4], yr[4];
+      for (int j = 0; j < 4; ++j) {
+        yl[j] = load8(base_l + (c * 4 + j) * kL);
+        yr[j] = load8(base_r + (c * 4 + j) * kL);
+      }
+      const double* pl = pmat_left + c * 16;
+      const double* pr = pmat_right + c * 16;
+      for (int i = 0; i < 4; ++i)
+        store8(base + (c * 4 + i) * kL,
+               pdotvec_b(pl, yl, i) * pdotvec_b(pr, yr, i));
+    }
+    int ev[kL];
+    maybe_rescale_block(base, cc, ev);
+    for (int lane = 0; lane < kL; ++lane)
+      scale[p0 + lane] =
+          scale_left[p0 + lane] + scale_right[p0 + lane] + ev[lane];
+  }
+  if (bs.tail_begin < end)
+    ops_scalar()->newview_inner_inner(l, bs.tail_begin, end, clv_left,
+                                      scale_left, pmat_left, clv_right,
+                                      scale_right, pmat_right, clv, scale,
+                                      nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+//
+// The range lnL is a left fold in ascending pattern order in the scalar
+// reference; block lanes are therefore accumulated lane-by-lane (cheap next
+// to the per-category vector work) so the fold order is preserved bitwise.
+// ---------------------------------------------------------------------------
+
+double ev_tip_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                    const double* freqs, const DnaState* tip_x,
+                    const double* lookup_x, const double* clv_y,
+                    const int* scale_y, const int* weights,
+                    double* per_pattern) {
+  const int cc = l.clv_cats;
+  double lnl = 0.0;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    const v4df fv = load4(freqs);
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+      double total = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const v4df tx = load4(lookup_x + mc * 64 + tip_x[p] * 4);
+        const v4df terms = fv * tx * load4(y + c * 4);
+        // Same add order as the scalar i-loop.
+        const double cat = ((terms[0] + terms[1]) + terms[2]) + terms[3];
+        total += l.weight(c) * cat;
+      }
+      if (total < kMinLikelihood) total = kMinLikelihood;
+      const double site_lnl = std::log(total) - scale_y[p] * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+    return lnl;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  // Ragged head/tail patterns must fold into the SAME running accumulator as
+  // the block middle: a delegated partial sum (summed from 0.0, then added)
+  // re-associates the range fold and breaks bitwise parity with the scalar
+  // reference. Inline the scalar per-pattern body instead.
+  const auto fold_scalar_order = [&](std::size_t from, std::size_t to) {
+    for (std::size_t p = from; p < to; ++p) {
+      double total = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const double* tx = lookup_x + mc * 64 + tip_x[p] * 4;
+        double cat = 0.0;
+        for (int i = 0; i < 4; ++i)
+          cat += freqs[i] * tx[i] * clv_y[l.clv_index(p, c, i)];
+        total += l.weight(c) * cat;
+      }
+      if (total < kMinLikelihood) total = kMinLikelihood;
+      const double site_lnl = std::log(total) - scale_y[p] * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+  };
+  fold_scalar_order(begin, bs.head_end);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    const double* base_y = clv_y + (p0 / kL) * blk_doubles;
+    v8df total = splat8(0.0);
+    for (int c = 0; c < cc; ++c) {
+      v8df cat = splat8(0.0);
+      for (int i = 0; i < 4; ++i) {
+        v8df tx;
+        for (int lane = 0; lane < kL; ++lane)
+          tx[lane] = lookup_x[c * 64 + tip_x[p0 + lane] * 4 + i];
+        cat = cat + splat8(freqs[i]) * tx * load8(base_y + (c * 4 + i) * kL);
+      }
+      total = total + splat8(l.weight(c)) * cat;
+    }
+    for (int lane = 0; lane < kL; ++lane) {
+      const std::size_t p = p0 + lane;
+      double t = total[lane];
+      if (t < kMinLikelihood) t = kMinLikelihood;
+      const double site_lnl = std::log(t) - scale_y[p] * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+  }
+  fold_scalar_order(bs.tail_begin, end);
+  return lnl;
+}
+
+double ev_inner_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                      const double* freqs, const double* clv_x,
+                      const int* scale_x, const double* pmat,
+                      const double* clv_y, const int* scale_y,
+                      const int* weights, double* per_pattern) {
+  const int cc = l.clv_cats;
+  double lnl = 0.0;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    double pt[kMaxCatMatrices * 16];
+    for (int c = 0; c < l.ncat_model; ++c)
+      transpose16(pmat + c * 16, pt + c * 16);
+    const v4df fv = load4(freqs);
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* x = clv_x + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+      double total = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const v4df py = pdotvec_v(pt + mc * 16, y + c * 4);
+        const v4df terms = fv * load4(x + c * 4) * py;
+        const double cat = ((terms[0] + terms[1]) + terms[2]) + terms[3];
+        total += l.weight(c) * cat;
+      }
+      if (total < kMinLikelihood) total = kMinLikelihood;
+      const double site_lnl =
+          std::log(total) - (scale_x[p] + scale_y[p]) * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+    return lnl;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  // Same running-accumulator requirement as ev_tip_inner: inline the scalar
+  // per-pattern body for the ragged edges rather than adding a partial sum.
+  const auto fold_scalar_order = [&](std::size_t from, std::size_t to) {
+    for (std::size_t p = from; p < to; ++p) {
+      double total = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        double yy[4];
+        for (int s = 0; s < 4; ++s) yy[s] = clv_y[l.clv_index(p, c, s)];
+        const double* pm = pmat + mc * 16;
+        double py[4];
+        for (int i = 0; i < 4; ++i) {
+          py[i] = pm[i * 4 + 0] * yy[0] + pm[i * 4 + 1] * yy[1] +
+                  pm[i * 4 + 2] * yy[2] + pm[i * 4 + 3] * yy[3];
+        }
+        double cat = 0.0;
+        for (int i = 0; i < 4; ++i)
+          cat += freqs[i] * clv_x[l.clv_index(p, c, i)] * py[i];
+        total += l.weight(c) * cat;
+      }
+      if (total < kMinLikelihood) total = kMinLikelihood;
+      const double site_lnl =
+          std::log(total) - (scale_x[p] + scale_y[p]) * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+  };
+  fold_scalar_order(begin, bs.head_end);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    const double* base_x = clv_x + (p0 / kL) * blk_doubles;
+    const double* base_y = clv_y + (p0 / kL) * blk_doubles;
+    v8df total = splat8(0.0);
+    for (int c = 0; c < cc; ++c) {
+      v8df y[4];
+      for (int j = 0; j < 4; ++j) y[j] = load8(base_y + (c * 4 + j) * kL);
+      const double* pm = pmat + c * 16;
+      v8df cat = splat8(0.0);
+      for (int i = 0; i < 4; ++i) {
+        cat = cat + splat8(freqs[i]) * load8(base_x + (c * 4 + i) * kL) *
+                        pdotvec_b(pm, y, i);
+      }
+      total = total + splat8(l.weight(c)) * cat;
+    }
+    for (int lane = 0; lane < kL; ++lane) {
+      const std::size_t p = p0 + lane;
+      double t = total[lane];
+      if (t < kMinLikelihood) t = kMinLikelihood;
+      const double site_lnl =
+          std::log(t) - (scale_x[p] + scale_y[p]) * kLogScaleFactor;
+      lnl += weights[p] * site_lnl;
+      if (per_pattern != nullptr) per_pattern[p] = site_lnl;
+    }
+  }
+  fold_scalar_order(bs.tail_begin, end);
+  return lnl;
+}
+
+// ---------------------------------------------------------------------------
+// sumtable + derivatives
+// ---------------------------------------------------------------------------
+
+void st_tip_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                  const double* freqs, const double* vmat, const double* vinv,
+                  const DnaState* tip_x, const double* clv_y,
+                  double* sumtable) {
+  const int cc = l.clv_cats;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    // u_k = sum_i (freqs[i]*x[i]) * vmat[i][k]: vmat rows are contiguous in
+    // k. w_k = sum_i vinv[k][i] * y[i]: pdotvec over vinv's columns.
+    double vinv_t[16];
+    transpose16(vinv, vinv_t);
+    const v4df r0 = load4(vmat + 0);
+    const v4df r1 = load4(vmat + 4);
+    const v4df r2 = load4(vmat + 8);
+    const v4df r3 = load4(vmat + 12);
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+      double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+      double fx[4];
+      for (int i = 0; i < 4; ++i)
+        fx[i] = freqs[i] * (((tip_x[p] >> i) & 1) ? 1.0 : 0.0);
+      // Same add order as the scalar i-loop.
+      const v4df u = ((splat4(fx[0]) * r0 + splat4(fx[1]) * r1) +
+                      splat4(fx[2]) * r2) +
+                     splat4(fx[3]) * r3;
+      for (int c = 0; c < cc; ++c) {
+        const v4df w = pdotvec_v(vinv_t, y + c * 4);
+        store4(st + c * 4, u * w);
+      }
+    }
+    return;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  if (begin < bs.head_end)
+    ops_scalar()->edge_sumtable_tip_inner(l, begin, bs.head_end, freqs, vmat,
+                                          vinv, tip_x, clv_y, sumtable);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    const double* base_y = clv_y + (p0 / kL) * blk_doubles;
+    double* base_st = sumtable + (p0 / kL) * blk_doubles;
+    v8df fx[4];
+    for (int i = 0; i < 4; ++i) {
+      v8df xi;
+      for (int lane = 0; lane < kL; ++lane)
+        xi[lane] = ((tip_x[p0 + lane] >> i) & 1) ? 1.0 : 0.0;
+      fx[i] = splat8(freqs[i]) * xi;
+    }
+    v8df u[4];
+    for (int k = 0; k < 4; ++k)
+      u[k] = ((fx[0] * splat8(vmat[0 * 4 + k]) +
+               fx[1] * splat8(vmat[1 * 4 + k])) +
+              fx[2] * splat8(vmat[2 * 4 + k])) +
+             fx[3] * splat8(vmat[3 * 4 + k]);
+    for (int c = 0; c < cc; ++c) {
+      v8df y[4];
+      for (int j = 0; j < 4; ++j) y[j] = load8(base_y + (c * 4 + j) * kL);
+      for (int k = 0; k < 4; ++k) {
+        const v8df w = ((splat8(vinv[k * 4 + 0]) * y[0] +
+                         splat8(vinv[k * 4 + 1]) * y[1]) +
+                        splat8(vinv[k * 4 + 2]) * y[2]) +
+                       splat8(vinv[k * 4 + 3]) * y[3];
+        store8(base_st + (c * 4 + k) * kL, u[k] * w);
+      }
+    }
+  }
+  if (bs.tail_begin < end)
+    ops_scalar()->edge_sumtable_tip_inner(l, bs.tail_begin, end, freqs, vmat,
+                                          vinv, tip_x, clv_y, sumtable);
+}
+
+void st_inner_inner(const RateLayout& l, std::size_t begin, std::size_t end,
+                    const double* freqs, const double* vmat,
+                    const double* vinv, const double* clv_x,
+                    const double* clv_y, double* sumtable) {
+  const int cc = l.clv_cats;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    double vinv_t[16];
+    transpose16(vinv, vinv_t);
+    const v4df r0 = load4(vmat + 0);
+    const v4df r1 = load4(vmat + 4);
+    const v4df r2 = load4(vmat + 8);
+    const v4df r3 = load4(vmat + 12);
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* x = clv_x + (p * static_cast<std::size_t>(cc)) * 4;
+      const double* y = clv_y + (p * static_cast<std::size_t>(cc)) * 4;
+      double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+      for (int c = 0; c < cc; ++c) {
+        const double fx0 = freqs[0] * x[c * 4 + 0];
+        const double fx1 = freqs[1] * x[c * 4 + 1];
+        const double fx2 = freqs[2] * x[c * 4 + 2];
+        const double fx3 = freqs[3] * x[c * 4 + 3];
+        const v4df u = ((splat4(fx0) * r0 + splat4(fx1) * r1) +
+                        splat4(fx2) * r2) +
+                       splat4(fx3) * r3;
+        const v4df w = pdotvec_v(vinv_t, y + c * 4);
+        store4(st + c * 4, u * w);
+      }
+    }
+    return;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  if (begin < bs.head_end)
+    ops_scalar()->edge_sumtable_inner_inner(l, begin, bs.head_end, freqs,
+                                            vmat, vinv, clv_x, clv_y,
+                                            sumtable);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    const double* base_x = clv_x + (p0 / kL) * blk_doubles;
+    const double* base_y = clv_y + (p0 / kL) * blk_doubles;
+    double* base_st = sumtable + (p0 / kL) * blk_doubles;
+    for (int c = 0; c < cc; ++c) {
+      v8df fx[4], y[4];
+      for (int i = 0; i < 4; ++i) {
+        fx[i] = splat8(freqs[i]) * load8(base_x + (c * 4 + i) * kL);
+        y[i] = load8(base_y + (c * 4 + i) * kL);
+      }
+      for (int k = 0; k < 4; ++k) {
+        const v8df u = ((fx[0] * splat8(vmat[0 * 4 + k]) +
+                         fx[1] * splat8(vmat[1 * 4 + k])) +
+                        fx[2] * splat8(vmat[2 * 4 + k])) +
+                       fx[3] * splat8(vmat[3 * 4 + k]);
+        const v8df w = ((splat8(vinv[k * 4 + 0]) * y[0] +
+                         splat8(vinv[k * 4 + 1]) * y[1]) +
+                        splat8(vinv[k * 4 + 2]) * y[2]) +
+                       splat8(vinv[k * 4 + 3]) * y[3];
+        store8(base_st + (c * 4 + k) * kL, u * w);
+      }
+    }
+  }
+  if (bs.tail_begin < end)
+    ops_scalar()->edge_sumtable_inner_inner(l, bs.tail_begin, end, freqs,
+                                            vmat, vinv, clv_x, clv_y,
+                                            sumtable);
+}
+
+Derivatives nr_derivs(const RateLayout& l, std::size_t begin, std::size_t end,
+                      const double* sumtable, const double* eigenvalues,
+                      const double* cat_rates, double t, const int* weights,
+                      const int* scale_sum) {
+  const int cc = l.clv_cats;
+  // Hoist the exponentials: exp(lr * t) depends only on (model category, k),
+  // and exp of the identical double argument yields the identical double, so
+  // this is bitwise-equal to the scalar reference's per-pattern recompute —
+  // and removes the exp calls that dominate its runtime.
+  double lr_tab[kMaxCatMatrices * 4];
+  double ex_tab[kMaxCatMatrices * 4];
+  for (int mc = 0; mc < l.ncat_model; ++mc) {
+    const double r = cat_rates[mc];
+    for (int k = 0; k < 4; ++k) {
+      const double lr = eigenvalues[k] * r;
+      lr_tab[mc * 4 + k] = lr;
+      ex_tab[mc * 4 + k] = std::exp(lr * t);
+    }
+  }
+  Derivatives out;
+  if (l.clv_layout == ClvLayout::kPatternMajor) {
+    // The a/a1/a2 accumulators are sequential over (c, k) in the scalar
+    // reference, so this stays a scalar loop — the win here is the hoisted
+    // exp table.
+    for (std::size_t p = begin; p < end; ++p) {
+      const double* st = sumtable + (p * static_cast<std::size_t>(cc)) * 4;
+      double a = 0.0, a1 = 0.0, a2 = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const double wc = l.weight(c);
+        for (int k = 0; k < 4; ++k) {
+          const double lr = lr_tab[mc * 4 + k];
+          const double term = st[c * 4 + k] * ex_tab[mc * 4 + k];
+          a += wc * term;
+          a1 += wc * lr * term;
+          a2 += wc * lr * lr * term;
+        }
+      }
+      if (a < kMinLikelihood) a = kMinLikelihood;
+      const double w = weights[p];
+      const double scaled =
+          scale_sum != nullptr ? scale_sum[p] * kLogScaleFactor : 0.0;
+      out.lnl += w * (std::log(a) - scaled);
+      const double inv = 1.0 / a;
+      out.d1 += w * a1 * inv;
+      out.d2 += w * (a2 * inv - (a1 * inv) * (a1 * inv));
+    }
+    return out;
+  }
+  const BlockSpan bs = block_span(begin, end);
+  // As in the evaluates, the ragged edges continue the same running
+  // out.lnl/d1/d2 accumulators in scalar per-pattern op order — adding a
+  // delegated partial Derivatives would re-associate the folds. The hoisted
+  // lr/exp tables are bitwise-equal to the scalar recompute, so reuse them.
+  const auto fold_scalar_order = [&](std::size_t from, std::size_t to) {
+    for (std::size_t p = from; p < to; ++p) {
+      double a = 0.0, a1 = 0.0, a2 = 0.0;
+      for (int c = 0; c < cc; ++c) {
+        const int mc = l.model_cat(p, c);
+        const double wc = l.weight(c);
+        for (int k = 0; k < 4; ++k) {
+          const double lr = lr_tab[mc * 4 + k];
+          const double term =
+              sumtable[l.clv_index(p, c, k)] * ex_tab[mc * 4 + k];
+          a += wc * term;
+          a1 += wc * lr * term;
+          a2 += wc * lr * lr * term;
+        }
+      }
+      if (a < kMinLikelihood) a = kMinLikelihood;
+      const double w = weights[p];
+      const double scaled =
+          scale_sum != nullptr ? scale_sum[p] * kLogScaleFactor : 0.0;
+      out.lnl += w * (std::log(a) - scaled);
+      const double inv = 1.0 / a;
+      out.d1 += w * a1 * inv;
+      out.d2 += w * (a2 * inv - (a1 * inv) * (a1 * inv));
+    }
+  };
+  fold_scalar_order(begin, bs.head_end);
+  const std::size_t blk_doubles = static_cast<std::size_t>(cc) * 4 * kL;
+  for (std::size_t p0 = bs.head_end; p0 < bs.tail_begin; p0 += kL) {
+    const double* base_st = sumtable + (p0 / kL) * blk_doubles;
+    v8df a = splat8(0.0), a1 = splat8(0.0), a2 = splat8(0.0);
+    for (int c = 0; c < cc; ++c) {
+      const double wc = l.weight(c);
+      for (int k = 0; k < 4; ++k) {
+        const double lr = lr_tab[c * 4 + k];
+        const v8df term =
+            load8(base_st + (c * 4 + k) * kL) * splat8(ex_tab[c * 4 + k]);
+        a = a + splat8(wc) * term;
+        a1 = a1 + splat8(wc * lr) * term;
+        a2 = a2 + splat8(wc * lr * lr) * term;
+      }
+    }
+    for (int lane = 0; lane < kL; ++lane) {
+      const std::size_t p = p0 + lane;
+      double av = a[lane];
+      if (av < kMinLikelihood) av = kMinLikelihood;
+      const double w = weights[p];
+      const double scaled =
+          scale_sum != nullptr ? scale_sum[p] * kLogScaleFactor : 0.0;
+      out.lnl += w * (std::log(av) - scaled);
+      const double inv = 1.0 / av;
+      out.d1 += w * a1[lane] * inv;
+      out.d2 += w * (a2[lane] * inv - (a1[lane] * inv) * (a1[lane] * inv));
+    }
+  }
+  fold_scalar_order(bs.tail_begin, end);
+  return out;
+}
+
+const KernelOps kOps = {
+    nv_tip_tip,   nv_tip_inner,   nv_inner_inner, ev_tip_inner,
+    ev_inner_inner, st_tip_inner, st_inner_inner, nr_derivs,
+};
+
+}  // namespace RAXH_KERNEL_IMPL_NAMESPACE
+
+const KernelOps* RAXH_KERNEL_OPS_ACCESSOR() {
+  return &RAXH_KERNEL_IMPL_NAMESPACE::kOps;
+}
+
+}  // namespace raxh::kern::detail
+
+#undef RAXH_KERNEL_IMPL_NAMESPACE
+#undef RAXH_KERNEL_OPS_ACCESSOR

@@ -83,6 +83,14 @@ enum class Counter : int {
   kCommBytesRecv,        // payload bytes through Comm::recv
   kCommRingStalls,       // full-shm-ring stall episodes on the send path
   kCommRingStallNs,      // ns spent stalled on full shm rings
+  kKernelFallback,       // SIMD kernel member fell back to the scalar
+                         // reference (layout unsupported, e.g. ncat_model >
+                         // kMaxCatMatrices) — benches watch this to avoid
+                         // measuring the wrong kernel
+  kRepeatPatternsComputed,  // site-repeat newview: representative patterns
+                            // actually computed
+  kRepeatPatternsCopied,    // site-repeat newview: patterns served by
+                            // copying their class representative
   kCount
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);

@@ -1,0 +1,51 @@
+// Cache-line-aligned storage for the likelihood engine's CLV buffers. SIMD
+// kernels want 64-byte-aligned bases so a block of 8 doubles is one aligned
+// cache line (and one AVX-512 register load); std::vector's default allocator
+// only guarantees alignof(double).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace raxh {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Minimal C++17 allocator returning 64-byte-aligned blocks. Equality is
+// stateless, so containers can swap/move freely.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+// 64-byte-aligned vector: drop-in std::vector with aligned backing store.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace raxh

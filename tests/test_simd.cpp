@@ -1,11 +1,14 @@
-// Vectorized kernel path: equivalence with the scalar kernels across rate
-// models, data shapes, and whole-search trajectories. The vector path keeps
-// the scalar operation order per lane, so results match to the last ulp on
-// non-FMA targets (asserted here with a near-zero tolerance so FMA-enabled
-// builds still pass).
+// Kernel-family equivalence at the engine level: every compiled-and-supported
+// SIMD member must be BITWISE-identical to the scalar reference across rate
+// models, data shapes, and whole-search trajectories. The family keeps the
+// scalar operation order per lane and every kernel TU is built with
+// -ffp-contract=off, so the assertions here are exact equality, not
+// tolerances — if a member drifts by one ulp the design contract is broken
+// (golden trees would move when dispatch picks a different member).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "bio/patterns.h"
 #include "bio/seqsim.h"
@@ -18,13 +21,24 @@
 namespace raxh {
 namespace {
 
-// RAII guard: restore scalar mode after each test.
-struct ScopedVectorMode {
-  explicit ScopedVectorMode(kern::KernelMode mode) {
-    kern::set_kernel_mode(mode);
+// RAII guard: select a family member, restore the previous one after.
+struct ScopedIsa {
+  explicit ScopedIsa(kern::KernelIsa isa) : prev(kern::kernel_isa()) {
+    EXPECT_TRUE(kern::set_kernel_isa(isa))
+        << kern::kernel_isa_name(isa) << " not supported";
   }
-  ~ScopedVectorMode() { kern::set_kernel_mode(kern::KernelMode::kScalar); }
+  ~ScopedIsa() { kern::set_kernel_isa(prev); }
+  kern::KernelIsa prev;
 };
+
+std::vector<kern::KernelIsa> supported_simd_isas() {
+  std::vector<kern::KernelIsa> out;
+  for (int i = 1; i < kern::kNumKernelIsas; ++i) {
+    const auto isa = static_cast<kern::KernelIsa>(i);
+    if (kern::kernel_isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
 
 struct Fixture {
   Fixture(std::size_t taxa, std::size_t sites, std::uint64_t seed) {
@@ -46,13 +60,26 @@ struct Fixture {
   std::unique_ptr<Tree> tree;
 };
 
-TEST(Simd, ModeToggleRoundTrips) {
-  EXPECT_EQ(kern::kernel_mode(), kern::KernelMode::kScalar);
+TEST(Simd, FamilyRosterIsSane) {
+  // Scalar is always there; the effective member is always a supported one.
+  EXPECT_TRUE(kern::kernel_isa_compiled(kern::KernelIsa::kScalar));
+  EXPECT_TRUE(kern::kernel_isa_supported(kern::KernelIsa::kScalar));
+  EXPECT_TRUE(kern::kernel_isa_supported(kern::kernel_isa()));
+  EXPECT_TRUE(kern::kernel_isa_supported(kern::best_kernel_isa()));
+  // The generic member is GCC-vector code at baseline arch: compiled on any
+  // GNU-compatible build, and anything compiled at baseline runs anywhere.
+#if defined(__GNUC__) && !defined(RAXH_DISABLE_SIMD_KERNELS)
+  EXPECT_TRUE(kern::kernel_isa_supported(kern::KernelIsa::kGeneric));
+#endif
+}
+
+TEST(Simd, IsaToggleRoundTrips) {
+  const kern::KernelIsa before = kern::kernel_isa();
   {
-    ScopedVectorMode guard(kern::KernelMode::kVector);
-    EXPECT_EQ(kern::kernel_mode(), kern::KernelMode::kVector);
+    ScopedIsa guard(kern::KernelIsa::kScalar);
+    EXPECT_EQ(kern::kernel_isa(), kern::KernelIsa::kScalar);
   }
-  EXPECT_EQ(kern::kernel_mode(), kern::KernelMode::kScalar);
+  EXPECT_EQ(kern::kernel_isa(), before);
 }
 
 TEST(Simd, EvaluateMatchesScalarAllRateModels) {
@@ -61,34 +88,46 @@ TEST(Simd, EvaluateMatchesScalarAllRateModels) {
     RateModel rates = model == 0   ? RateModel::uniform()
                       : model == 1 ? RateModel::gamma(0.6)
                                    : RateModel::cat(f.patterns.num_patterns());
-    LikelihoodEngine scalar_engine(f.patterns, f.gtr, rates);
-    if (model == 2) scalar_engine.optimize_cat_rates(*f.tree);
-    const double want = scalar_engine.evaluate(*f.tree);
+    const double want = [&] {
+      ScopedIsa guard(kern::KernelIsa::kScalar);
+      LikelihoodEngine scalar_engine(f.patterns, f.gtr, rates);
+      if (model == 2) scalar_engine.optimize_cat_rates(*f.tree);
+      return scalar_engine.evaluate(*f.tree);
+    }();
 
-    LikelihoodEngine vector_engine(f.patterns, f.gtr, rates);
-    if (model == 2) vector_engine.optimize_cat_rates(*f.tree);
-    ScopedVectorMode guard(kern::KernelMode::kVector);
-    vector_engine.invalidate_all();
-    const double got = vector_engine.evaluate(*f.tree);
-    EXPECT_NEAR(got, want, std::fabs(want) * 1e-13) << "model " << model;
+    for (const auto isa : supported_simd_isas()) {
+      ScopedIsa guard(isa);
+      LikelihoodEngine engine(f.patterns, f.gtr, rates);
+      if (model == 2) engine.optimize_cat_rates(*f.tree);
+      const double got = engine.evaluate(*f.tree);
+      EXPECT_EQ(got, want) << "model " << model << " isa "
+                           << kern::kernel_isa_name(isa);
+    }
   }
 }
 
 TEST(Simd, EvaluateMatchesAtEveryEdge) {
   Fixture f(10, 100, 41);
   LikelihoodEngine scalar_engine(f.patterns, f.gtr, RateModel::gamma(0.7));
-  LikelihoodEngine vector_engine(f.patterns, f.gtr, RateModel::gamma(0.7));
-  for (const int e : f.tree->edges()) {
-    const double want = scalar_engine.evaluate(*f.tree, e);
-    ScopedVectorMode guard(kern::KernelMode::kVector);
-    const double got = vector_engine.evaluate(*f.tree, e);
-    EXPECT_NEAR(got, want, std::fabs(want) * 1e-13) << "edge " << e;
+  for (const auto isa : supported_simd_isas()) {
+    LikelihoodEngine engine(f.patterns, f.gtr, RateModel::gamma(0.7));
+    for (const int e : f.tree->edges()) {
+      const double want = [&] {
+        ScopedIsa guard(kern::KernelIsa::kScalar);
+        return scalar_engine.evaluate(*f.tree, e);
+      }();
+      ScopedIsa guard(isa);
+      const double got = engine.evaluate(*f.tree, e);
+      EXPECT_EQ(got, want) << "edge " << e << " isa "
+                           << kern::kernel_isa_name(isa);
+    }
   }
 }
 
 TEST(Simd, SearchTrajectoryMatchesScalar) {
   // The strongest equivalence check: a whole SPR search makes identical
-  // accept/reject decisions under both kernel paths.
+  // accept/reject decisions under the scalar reference and the best
+  // dispatched member.
   Fixture f(10, 120, 57);
   Lcg rng_a(7), rng_b(7);
   Tree tree_a =
@@ -96,26 +135,31 @@ TEST(Simd, SearchTrajectoryMatchesScalar) {
   Tree tree_b =
       randomized_stepwise_addition(f.patterns, f.patterns.weights(), rng_b);
 
-  LikelihoodEngine scalar_engine(f.patterns, f.gtr,
-                                 RateModel::cat(f.patterns.num_patterns()));
-  SprSearch scalar_search(scalar_engine, fast_settings());
-  const double scalar_lnl = scalar_search.run(tree_a);
+  double scalar_lnl = 0.0;
+  std::uint64_t scalar_accepted = 0;
+  {
+    ScopedIsa guard(kern::KernelIsa::kScalar);
+    LikelihoodEngine scalar_engine(f.patterns, f.gtr,
+                                   RateModel::cat(f.patterns.num_patterns()));
+    SprSearch scalar_search(scalar_engine, fast_settings());
+    scalar_lnl = scalar_search.run(tree_a);
+    scalar_accepted = scalar_search.stats().moves_accepted;
+  }
 
-  ScopedVectorMode guard(kern::KernelMode::kVector);
-  LikelihoodEngine vector_engine(f.patterns, f.gtr,
-                                 RateModel::cat(f.patterns.num_patterns()));
-  SprSearch vector_search(vector_engine, fast_settings());
-  const double vector_lnl = vector_search.run(tree_b);
+  ScopedIsa guard(kern::best_kernel_isa());
+  LikelihoodEngine engine(f.patterns, f.gtr,
+                          RateModel::cat(f.patterns.num_patterns()));
+  SprSearch search(engine, fast_settings());
+  const double lnl = search.run(tree_b);
 
   EXPECT_EQ(tree_a.to_newick(f.patterns.names()),
             tree_b.to_newick(f.patterns.names()));
-  EXPECT_NEAR(scalar_lnl, vector_lnl, std::fabs(scalar_lnl) * 1e-12);
-  EXPECT_EQ(scalar_search.stats().moves_accepted,
-            vector_search.stats().moves_accepted);
+  EXPECT_EQ(scalar_lnl, lnl);
+  EXPECT_EQ(scalar_accepted, search.stats().moves_accepted);
 }
 
 TEST(Simd, ScalingPathsAgreeOnDeepTree) {
-  // Scale events must fire identically in both paths.
+  // Scale events must fire identically in every member.
   SimConfig cfg;
   cfg.taxa = 50;
   cfg.distinct_sites = 40;
@@ -128,13 +172,19 @@ TEST(Simd, ScalingPathsAgreeOnDeepTree) {
   Tree tree = Tree::parse_newick(sim.true_tree_newick, patterns.names());
   for (int e : tree.edges()) tree.set_length(e, 3.0);
 
-  LikelihoodEngine scalar_engine(patterns, gtr, RateModel::gamma(0.5));
-  const double want = scalar_engine.evaluate(tree);
+  const double want = [&] {
+    ScopedIsa guard(kern::KernelIsa::kScalar);
+    LikelihoodEngine scalar_engine(patterns, gtr, RateModel::gamma(0.5));
+    return scalar_engine.evaluate(tree);
+  }();
+  ASSERT_TRUE(std::isfinite(want));
 
-  ScopedVectorMode guard(kern::KernelMode::kVector);
-  LikelihoodEngine vector_engine(patterns, gtr, RateModel::gamma(0.5));
-  const double got = vector_engine.evaluate(tree);
-  EXPECT_NEAR(got, want, std::fabs(want) * 1e-12);
+  for (const auto isa : supported_simd_isas()) {
+    ScopedIsa guard(isa);
+    LikelihoodEngine engine(patterns, gtr, RateModel::gamma(0.5));
+    EXPECT_EQ(engine.evaluate(tree), want)
+        << "isa " << kern::kernel_isa_name(isa);
+  }
 }
 
 }  // namespace

@@ -3,7 +3,13 @@
 // have to compile ad-hoc snippets against the libraries.
 //
 //   raxh_make_alignment -o data.phy [-taxa N] [-distinct N] [-sites N]
-//                       [-seed S] [-tree true.tre]
+//                       [-seed S] [-tree true.tre] [-mean-branch B]
+//
+// -mean-branch scales the generating tree's branch lengths (default 0.12
+// expected substitutions/site). Small values (~0.02) produce low-divergence,
+// duplicate-heavy alignments — columns that agree within whole subtrees —
+// which is the regime where the engine's site-repeat caching shines
+// (bench_kernels' repeats gate uses exactly such an alignment).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,7 +25,7 @@ int main(int argc, char** argv) {
   if (out.empty()) {
     std::fprintf(stderr,
                  "usage: %s -o out.phy [-taxa N] [-distinct N] [-sites N] "
-                 "[-seed S] [-tree out.tre]\n",
+                 "[-seed S] [-tree out.tre] [-mean-branch B]\n",
                  argv[0]);
     return 2;
   }
@@ -32,6 +38,12 @@ int main(int argc, char** argv) {
   cfg.total_sites = static_cast<std::size_t>(
       std::strtoul(cli.value_or("sites", "600").c_str(), nullptr, 10));
   cfg.seed = std::strtoull(cli.value_or("seed", "42").c_str(), nullptr, 10);
+  cfg.mean_branch_length =
+      std::strtod(cli.value_or("mean-branch", "0.12").c_str(), nullptr);
+  if (!(cfg.mean_branch_length > 0.0)) {
+    std::fprintf(stderr, "error: -mean-branch must be > 0\n");
+    return 2;
+  }
 
   const auto sim = raxh::simulate_alignment(cfg);
   raxh::write_phylip_file(out, sim.alignment);
